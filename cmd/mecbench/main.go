@@ -1,0 +1,104 @@
+// Command mecbench regenerates the tables and figures of the paper's
+// evaluation (Section V), plus the validation and ablation studies that go
+// beyond it.
+//
+// Usage:
+//
+//	mecbench -all                       # every artifact, paper sweeps
+//	mecbench -experiment fig2a          # one artifact
+//	mecbench -list                      # show what is available
+//	mecbench -experiment fig5a -trials 5 -seed 7
+//	mecbench -all -csv out/             # also write one CSV per figure
+//	mecbench -all -quick                # endpoints only (smoke test)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dsmec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mecbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mecbench", flag.ContinueOnError)
+	var (
+		expID    = fs.String("experiment", "", "experiment id to run (see -list)")
+		all      = fs.Bool("all", false, "run every experiment")
+		list     = fs.Bool("list", false, "list available experiments")
+		seed     = fs.Int64("seed", 1, "root random seed")
+		trials   = fs.Int("trials", 3, "seeded repetitions averaged per point")
+		quick    = fs.Bool("quick", false, "sweep endpoints only")
+		parallel = fs.Bool("parallel", true, "run the trials of each sweep point concurrently")
+		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, d := range dsmec.Experiments() {
+			fmt.Fprintf(stdout, "%-18s %s\n", d.ID, d.Title)
+		}
+		return nil
+	}
+
+	var defs []dsmec.Experiment
+	switch {
+	case *all:
+		defs = dsmec.Experiments()
+	case *expID != "":
+		d, ok := dsmec.ExperimentByID(*expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *expID)
+		}
+		defs = []dsmec.Experiment{d}
+	default:
+		return fmt.Errorf("nothing to do: pass -experiment <id>, -all, or -list")
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	opts := dsmec.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *parallel}
+	for _, d := range defs {
+		start := time.Now()
+		fig, err := d.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.ID, err)
+		}
+		if _, err := fig.WriteTo(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "(%s in %v)\n\n", d.ID, time.Since(start).Round(time.Millisecond))
+
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, d.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := fig.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig2a", "fig6b", "simcheck", "battery"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "table1", "-trials", "1", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "4G") || !strings.Contains(out.String(), "13.76") {
+		t.Errorf("table1 output wrong:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "nope"}, &out); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestNoAction(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no action should fail")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-experiment", "fig3", "-trials", "1", "-quick", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "tasks,") {
+		t.Errorf("csv header wrong: %q", string(data[:40]))
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines < 3 { // header + two quick-mode rows
+		t.Errorf("csv has %d lines, want >= 3", lines)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

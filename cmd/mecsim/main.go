@@ -1,0 +1,198 @@
+// Command mecsim runs one data-shared MEC scenario end to end: it
+// generates a system and a task population, assigns the tasks with every
+// algorithm, evaluates the analytic Section II cost model, and replays the
+// LP-HTA assignment in the discrete-event simulator.
+//
+// Usage:
+//
+//	mecsim -tasks 200 -devices 50 -stations 5 -input 3000
+//	mecsim -divisible -tasks 200          # DTA pipeline on divisible tasks
+//	mecsim -seed 7 -tasks 450 -sim=false  # skip the simulator replay
+//	mecsim -load scenario.json            # replay a mecgen-saved scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dsmec"
+	"dsmec/internal/scenarioio"
+	"dsmec/internal/texttable"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mecsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mecsim", flag.ContinueOnError)
+	var (
+		seed      = fs.Int64("seed", 1, "root random seed")
+		devices   = fs.Int("devices", 50, "number of mobile devices")
+		stations  = fs.Int("stations", 5, "number of base stations")
+		tasks     = fs.Int("tasks", 100, "number of tasks")
+		inputKB   = fs.Int("input", 3000, "maximum task input size (kB)")
+		divisible = fs.Bool("divisible", false, "generate divisible tasks and run the DTA pipeline")
+		simulate  = fs.Bool("sim", true, "replay the LP-HTA assignment in the discrete-event simulator")
+		load      = fs.String("load", "", "load a scenario JSON document instead of generating one")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc, err := scenarioio.Decode(f)
+		if err != nil {
+			return err
+		}
+		if sc.Placement != nil {
+			return runDivisibleScenario(sc, stdout)
+		}
+		return runHolisticScenario(sc, *simulate, stdout)
+	}
+
+	params := dsmec.WorkloadParams{
+		NumDevices:  *devices,
+		NumStations: *stations,
+		NumTasks:    *tasks,
+		MaxInput:    dsmec.ByteSize(*inputKB) * dsmec.Kilobyte,
+	}
+	src := dsmec.NewSeed(*seed)
+
+	if *divisible {
+		return runDivisible(src, params, stdout)
+	}
+	return runHolistic(src, params, *simulate, stdout)
+}
+
+func runHolistic(src *dsmec.Seed, params dsmec.WorkloadParams, simulate bool, stdout io.Writer) error {
+	sc, err := dsmec.GenerateHolistic(src, params)
+	if err != nil {
+		return err
+	}
+	return runHolisticScenario(sc, simulate, stdout)
+}
+
+func runHolisticScenario(sc *dsmec.Scenario, simulate bool, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "scenario: %d devices, %d stations, %d holistic tasks\n\n",
+		sc.System.NumDevices(), sc.System.NumStations(), sc.Tasks.Len())
+
+	tb := texttable.New("method", "energy (J)", "mean latency (s)", "unsatisfied", "device/station/cloud/cancel")
+
+	lph, err := dsmec.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		return err
+	}
+	if err := dsmec.CheckFeasible(sc.Model, sc.Tasks, lph.Assignment); err != nil {
+		return fmt.Errorf("LP-HTA produced an infeasible assignment: %w", err)
+	}
+	if err := addRow(tb, "LP-HTA", sc, lph.Assignment); err != nil {
+		return err
+	}
+
+	hgos, err := dsmec.HGOS(sc.Model, sc.Tasks)
+	if err != nil {
+		return err
+	}
+	if err := addRow(tb, "HGOS", sc, hgos); err != nil {
+		return err
+	}
+	offload, err := dsmec.AllOffload(sc.Model, sc.Tasks)
+	if err != nil {
+		return err
+	}
+	if err := addRow(tb, "AllOffload", sc, offload); err != nil {
+		return err
+	}
+	if err := addRow(tb, "AllToC", sc, dsmec.AllToC(sc.Tasks)); err != nil {
+		return err
+	}
+	if _, err := tb.WriteTo(stdout); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "\nLP-HTA internals: LP optimum %.1f J over %d simplex iterations; "+
+		"%d fractional tasks; Δ = %v; ratio bound ≤ %.3f\n",
+		float64(lph.LPObjective), lph.LPIterations, lph.FractionalTasks,
+		lph.Delta, lph.RatioBoundEstimate())
+
+	if !simulate {
+		return nil
+	}
+	simRes, err := dsmec.Simulate(sc.Model, sc.Tasks, lph.Assignment, dsmec.SimConfig{})
+	if err != nil {
+		return err
+	}
+	analytic, err := dsmec.Evaluate(sc.Model, sc.Tasks, lph.Assignment)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\ndiscrete-event replay of LP-HTA: mean latency %v (analytic %v), "+
+		"makespan %v, %d deadline misses under queueing\n",
+		simRes.MeanLatency(), analytic.MeanLatency(), simRes.Makespan, simRes.DeadlineViolations)
+	return nil
+}
+
+func runDivisible(src *dsmec.Seed, params dsmec.WorkloadParams, stdout io.Writer) error {
+	sc, err := dsmec.GenerateDivisible(src, params)
+	if err != nil {
+		return err
+	}
+	return runDivisibleScenario(sc, stdout)
+}
+
+func runDivisibleScenario(sc *dsmec.Scenario, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "scenario: %d devices, %d stations, %d divisible tasks over %d blocks of %v\n\n",
+		sc.System.NumDevices(), sc.System.NumStations(), sc.Tasks.Len(),
+		sc.Placement.NumBlocks(), sc.Placement.BlockSize())
+
+	hol, err := dsmec.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		return err
+	}
+	hm, err := dsmec.Evaluate(sc.Model, sc.Tasks, hol.Assignment)
+	if err != nil {
+		return err
+	}
+
+	tb := texttable.New("method", "energy (J)", "processing time (s)", "involved devices", "new tasks")
+	tb.AddRowf("LP-HTA (holistic)", fmt.Sprintf("%.1f", hm.TotalEnergy.Joules()), "-", "-", "-")
+	for _, goal := range []dsmec.Goal{dsmec.GoalWorkload, dsmec.GoalNumber} {
+		res, err := dsmec.DTA(sc.Model, sc.Tasks, sc.Placement, dsmec.DTAOptions{Goal: goal})
+		if err != nil {
+			return err
+		}
+		tb.AddRowf(goal.String(),
+			fmt.Sprintf("%.1f", res.Metrics.TotalEnergy.Joules()),
+			fmt.Sprintf("%.2f", res.Metrics.ProcessingTime.Seconds()),
+			res.Metrics.InvolvedDevices,
+			res.Metrics.NewTasks)
+	}
+	_, err = tb.WriteTo(stdout)
+	return err
+}
+
+func addRow(tb *texttable.Table, name string, sc *dsmec.Scenario, a *dsmec.Assignment) error {
+	m, err := dsmec.Evaluate(sc.Model, sc.Tasks, a)
+	if err != nil {
+		return err
+	}
+	tb.AddRowf(name,
+		fmt.Sprintf("%.1f", m.TotalEnergy.Joules()),
+		fmt.Sprintf("%.3f", m.MeanLatency().Seconds()),
+		fmt.Sprintf("%.1f%%", 100*m.UnsatisfiedRate()),
+		fmt.Sprintf("%d/%d/%d/%d",
+			m.CountByLevel[dsmec.OnDevice], m.CountByLevel[dsmec.OnStation],
+			m.CountByLevel[dsmec.OnCloud], m.CountByLevel[dsmec.Cancelled]))
+	return nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsmec"
+	"dsmec/internal/scenarioio"
+)
+
+func TestHolisticRun(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-tasks", "30", "-devices", "10", "-stations", "2", "-sim=false"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"LP-HTA", "HGOS", "AllOffload", "AllToC", "ratio bound"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "discrete-event replay") {
+		t.Error("-sim=false should skip the replay")
+	}
+}
+
+func TestHolisticRunWithSim(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-tasks", "20", "-devices", "8", "-stations", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "discrete-event replay") {
+		t.Error("default run should include the simulator replay")
+	}
+}
+
+func TestDivisibleRun(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-divisible", "-tasks", "20", "-devices", "8", "-stations", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"DTA-Workload", "DTA-Number", "LP-HTA (holistic)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLoadScenario(t *testing.T) {
+	// Generate with mecgen's serialization format, then load.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sc.json")
+
+	genOut, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := generateScenarioFile(genOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := genOut.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-load", path, "-sim=false"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "12 devices") {
+		t.Errorf("loaded scenario not reflected:\n%s", out.String())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-load", "/definitely/not/here.json"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+// generateScenarioFile writes a small scenario in the canonical format.
+func generateScenarioFile(w io.Writer) error {
+	sc, err := dsmec.GenerateHolistic(dsmec.NewSeed(5), dsmec.WorkloadParams{
+		NumDevices: 12, NumStations: 3, NumTasks: 24,
+	})
+	if err != nil {
+		return err
+	}
+	return scenarioio.Encode(w, sc)
+}

@@ -1,0 +1,254 @@
+package dsmec_test
+
+import (
+	"errors"
+	"testing"
+
+	"dsmec"
+	"dsmec/internal/core"
+)
+
+// TestEndToEndHolistic is the integration path of the README quick start:
+// generate, assign, check, evaluate, simulate.
+func TestEndToEndHolistic(t *testing.T) {
+	src := dsmec.NewSeed(42)
+	sc, err := dsmec.GenerateHolistic(src, dsmec.WorkloadParams{
+		NumDevices: 20, NumStations: 4, NumTasks: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := dsmec.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dsmec.CheckFeasible(sc.Model, sc.Tasks, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := dsmec.Evaluate(sc.Model, sc.Tasks, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.TotalEnergy <= 0 {
+		t.Error("energy should be positive")
+	}
+
+	// The baselines all cost at least as much energy as LP-HTA here...
+	cloud, err := dsmec.Evaluate(sc.Model, sc.Tasks, dsmec.AllToC(sc.Tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloud.TotalEnergy <= metrics.TotalEnergy {
+		t.Error("AllToC should cost more than LP-HTA")
+	}
+
+	offload, err := dsmec.AllOffload(sc.Model, sc.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := dsmec.Evaluate(sc.Model, sc.Tasks, offload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if om.TotalEnergy <= metrics.TotalEnergy {
+		t.Error("AllOffload should cost more than LP-HTA")
+	}
+
+	hgos, err := dsmec.HGOS(sc.Model, sc.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := dsmec.Evaluate(sc.Model, sc.Tasks, hgos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.UnsatisfiedRate() < metrics.UnsatisfiedRate()-1e-9 {
+		t.Error("deadline-blind HGOS should not beat LP-HTA on unsatisfied rate")
+	}
+
+	// Simulated execution: energy identical, latency no smaller.
+	simRes, err := dsmec.Simulate(sc.Model, sc.Tasks, res.Assignment, dsmec.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := float64(simRes.TotalEnergy - metrics.TotalEnergy)
+	if diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("simulated energy %v != analytic %v", simRes.TotalEnergy, metrics.TotalEnergy)
+	}
+	if simRes.MeanLatency() < metrics.MeanLatency() {
+		t.Error("queueing cannot reduce mean latency")
+	}
+}
+
+// TestEndToEndDivisible covers the DTA pipeline through the facade.
+func TestEndToEndDivisible(t *testing.T) {
+	src := dsmec.NewSeed(7)
+	sc, err := dsmec.GenerateDivisible(src, dsmec.WorkloadParams{
+		NumDevices: 20, NumStations: 4, NumTasks: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holistic, err := dsmec.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := dsmec.Evaluate(sc.Model, sc.Tasks, holistic.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byWorkload, err := dsmec.DTA(sc.Model, sc.Tasks, sc.Placement, dsmec.DTAOptions{Goal: dsmec.GoalWorkload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNumber, err := dsmec.DTA(sc.Model, sc.Tasks, sc.Placement, dsmec.DTAOptions{Goal: dsmec.GoalNumber})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if byWorkload.Metrics.TotalEnergy >= hm.TotalEnergy {
+		t.Error("DTA-Workload should save energy vs holistic LP-HTA")
+	}
+	if byNumber.Metrics.InvolvedDevices > byWorkload.Metrics.InvolvedDevices {
+		t.Error("DTA-Number should involve no more devices than DTA-Workload")
+	}
+}
+
+func TestBruteForceFacade(t *testing.T) {
+	src := dsmec.NewSeed(3)
+	sc, err := dsmec.GenerateHolistic(src, dsmec.WorkloadParams{
+		NumDevices: 2, NumStations: 1, NumTasks: 6,
+		DeadlineSlackMin: 1.5, DeadlineSlackMax: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := dsmec.BruteForceHTA(sc.Model, sc.Tasks)
+	if errors.Is(err, core.ErrNoFeasible) {
+		t.Skip("instance infeasible without cancellation")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dsmec.CheckFeasible(sc.Model, sc.Tasks, opt); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomAssignFacade(t *testing.T) {
+	src := dsmec.NewSeed(4)
+	sc, err := dsmec.GenerateHolistic(src, dsmec.WorkloadParams{
+		NumDevices: 5, NumStations: 1, NumTasks: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dsmec.RandomAssign(src.Stream("random"), sc.Tasks)
+	m, err := dsmec.Evaluate(sc.Model, sc.Tasks, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTasks != 20 {
+		t.Errorf("NumTasks = %d, want 20", m.NumTasks)
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	exps := dsmec.Experiments()
+	if len(exps) < 10 {
+		t.Fatalf("expected at least the 10 paper artifacts, got %d", len(exps))
+	}
+	def, ok := dsmec.ExperimentByID("table1")
+	if !ok {
+		t.Fatal("table1 missing")
+	}
+	fig, err := def.Run(dsmec.ExperimentOptions{Trials: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "table1" || len(fig.Rows) != 2 {
+		t.Error("table1 figure malformed")
+	}
+}
+
+func TestCostModelFacade(t *testing.T) {
+	src := dsmec.NewSeed(5)
+	sc, err := dsmec.GenerateHolistic(src, dsmec.WorkloadParams{
+		NumDevices: 4, NumStations: 2, NumTasks: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dsmec.NewCostModel(sc.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := m.Eval(sc.Tasks.All()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := opts.At(dsmec.OnDevice).Energy
+	e2 := opts.At(dsmec.OnStation).Energy
+	e3 := opts.At(dsmec.OnCloud).Energy
+	if !(e1 < e2 && e2 < e3) {
+		t.Errorf("expected E1 < E2 < E3, got %v %v %v", e1, e2, e3)
+	}
+}
+
+func TestExtensionsFacade(t *testing.T) {
+	src := dsmec.NewSeed(11)
+	sc, err := dsmec.GenerateHolistic(src, dsmec.WorkloadParams{
+		NumDevices: 10, NumStations: 2, NumTasks: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Battery attribution accounts for every joule.
+	res, err := dsmec.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := dsmec.Evaluate(sc.Model, sc.Tasks, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := dsmec.Battery(sc.Model, sc.Tasks, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := float64(report.Total() - metrics.TotalEnergy)
+	if diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("battery total %v != metrics %v", report.Total(), metrics.TotalEnergy)
+	}
+
+	// Timed releases: spreading arrivals cannot slow anything down.
+	releases := make(map[dsmec.TaskID]dsmec.Duration)
+	for i, tk := range sc.Tasks.All() {
+		releases[tk.ID] = dsmec.Duration(i) * 0.5 * dsmec.Second
+	}
+	spread, err := dsmec.SimulateReleases(sc.Model, sc.Tasks, res.Assignment, dsmec.SimConfig{}, releases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := dsmec.Simulate(sc.Model, sc.Tasks, res.Assignment, dsmec.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.DeadlineViolations > batch.DeadlineViolations {
+		t.Errorf("spread arrivals missed more deadlines: %d vs %d",
+			spread.DeadlineViolations, batch.DeadlineViolations)
+	}
+
+	// Feedback planning never does worse than plain LP-HTA.
+	fb, err := dsmec.PlanWithFeedback(sc.Model, sc.Tasks, dsmec.FeedbackOptions{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, best := fb.Rounds[0], fb.Rounds[fb.Best]
+	if best.Misses+best.Cancelled > base.Misses+base.Cancelled {
+		t.Error("feedback planning did worse than its own baseline")
+	}
+}

@@ -1,0 +1,3 @@
+module dsmec
+
+go 1.24

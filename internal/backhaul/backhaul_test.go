@@ -1,0 +1,103 @@
+package backhaul
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsmec/internal/units"
+)
+
+func TestWireValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		wire    Wire
+		wantErr bool
+	}{
+		{"default station-station", DefaultStationToStation(), false},
+		{"default station-cloud", DefaultStationToCloud(), false},
+		{"latency-only", Wire{Latency: 10 * units.Millisecond}, false},
+		{"zero everything", Wire{}, false},
+		{"negative latency", Wire{Latency: -1}, true},
+		{"infinite latency", Wire{Latency: units.Forever}, true},
+		{"negative bandwidth", Wire{Bandwidth: -1}, true},
+		{"negative energy", Wire{EnergyPerByte: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.wire.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTransferTimeLatencyPlusSerialization(t *testing.T) {
+	w := Wire{Latency: 15 * units.Millisecond, Bandwidth: 1 * units.GbitPerSecond}
+	// 1 MB at 1 Gbps is 8 ms serialization + 15 ms latency = 23 ms.
+	got := w.TransferTime(units.Megabyte)
+	if math.Abs(got.Seconds()-0.023) > 1e-12 {
+		t.Errorf("TransferTime = %v, want 23ms", got)
+	}
+}
+
+func TestTransferTimeLatencyOnly(t *testing.T) {
+	w := Wire{Latency: 250 * units.Millisecond} // Bandwidth 0 = latency only
+	if got := w.TransferTime(10 * units.Megabyte); got != 250*units.Millisecond {
+		t.Errorf("latency-only TransferTime = %v, want 250ms", got)
+	}
+	if got := w.TransferTime(0); got != 250*units.Millisecond {
+		t.Errorf("zero-size TransferTime = %v, want 250ms", got)
+	}
+}
+
+func TestTransferEnergy(t *testing.T) {
+	w := Wire{EnergyPerByte: 1e-6}
+	if got := w.TransferEnergy(units.Megabyte); math.Abs(got.Joules()-1) > 1e-12 {
+		t.Errorf("TransferEnergy(1MB) = %v, want 1J", got)
+	}
+	if got := w.TransferEnergy(0); got != 0 {
+		t.Errorf("TransferEnergy(0) = %v, want 0", got)
+	}
+}
+
+func TestPaperLatencyConstants(t *testing.T) {
+	if got := DefaultStationToStation().Latency; got != 15*units.Millisecond {
+		t.Errorf("station-station latency = %v, want 15ms (paper [15])", got)
+	}
+	if got := DefaultStationToCloud().Latency; got != 250*units.Millisecond {
+		t.Errorf("station-cloud latency = %v, want 250ms (paper [16])", got)
+	}
+}
+
+func TestCloudTransfersDominateStationTransfers(t *testing.T) {
+	// The paper's Section II.B argues E_ij3 > E_ij2 because cloud paths
+	// cost more per byte and in latency. Our defaults must preserve this
+	// for any size.
+	bb := DefaultStationToStation()
+	bc := DefaultStationToCloud()
+	f := func(kb uint16) bool {
+		size := units.ByteSize(kb) * units.Kilobyte
+		return bc.TransferTime(size) > bb.TransferTime(size) &&
+			bc.TransferEnergy(size) >= bb.TransferEnergy(size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	w := DefaultStationToCloud()
+	f := func(a, b uint32) bool {
+		x, y := units.ByteSize(a), units.ByteSize(b)
+		if x > y {
+			x, y = y, x
+		}
+		return w.TransferTime(x) <= w.TransferTime(y) &&
+			w.TransferEnergy(x) <= w.TransferEnergy(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

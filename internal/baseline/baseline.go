@@ -1,0 +1,217 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation (Section V.B):
+//
+//   - AllToC: every task goes to the remote cloud.
+//   - AllOffload: every task is offloaded off-device, filling the base
+//     stations first and spilling to the cloud.
+//   - HGOS: a reimplementation of the Heuristic Greedy Offloading Scheme
+//     of Guo et al. [12]. The original targets ultra-dense networks and
+//     greedily offloads computation to minimize task duration; the paper
+//     notes it considers neither per-task deadlines nor the data-shared
+//     structure of the workload. Our HGOS therefore greedily gives each
+//     task the lowest-latency subsystem that still has resource capacity
+//     and never checks the result against the task's deadline or energy
+//     budget. This reproduces the published contrast: HGOS energy lands
+//     near LP-HTA but above it (duration-greedy offloading moves more raw
+//     data than the energy optimum), and its unsatisfied-task rate is much
+//     higher and grows with load (Figs. 2–4).
+//   - Random: uniform placement; a sanity floor for tests.
+//   - BruteForceHTA: the exact HTA optimum by exhaustive search, for small
+//     instances — used to measure LP-HTA's empirical approximation ratio.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dsmec/internal/core"
+	"dsmec/internal/costmodel"
+	"dsmec/internal/task"
+)
+
+// AllToC assigns every task to the cloud.
+func AllToC(ts *task.Set) *core.Assignment {
+	a := core.NewAssignment()
+	for _, t := range ts.All() {
+		a.Place(t.ID, costmodel.SubsystemCloud)
+	}
+	return a
+}
+
+// AllOffload offloads every task off its device: onto the base station
+// while the station's resource cap allows, then onto the cloud. Tasks are
+// considered in ID order within each cluster.
+func AllOffload(m *costmodel.Model, ts *task.Set) (*core.Assignment, error) {
+	sys := m.System()
+	a := core.NewAssignment()
+	stationLoad := make([]float64, sys.NumStations())
+	for _, t := range sorted(ts) {
+		st, err := sys.StationOf(t.ID.User)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		if stationLoad[st]+t.Resource <= sys.Stations[st].ResourceCap {
+			a.Place(t.ID, costmodel.SubsystemStation)
+			stationLoad[st] += t.Resource
+		} else {
+			a.Place(t.ID, costmodel.SubsystemCloud)
+		}
+	}
+	return a, nil
+}
+
+// HGOS is the reimplemented Heuristic Greedy Offloading Scheme. Tasks are
+// ordered by input size (largest first — the offloading decisions that
+// matter most are made while capacity is plentiful) and each takes the
+// subsystem with the minimal latency t_ijl among those whose resource
+// capacity still fits the task. Deadlines are deliberately ignored; see
+// the package comment.
+func HGOS(m *costmodel.Model, ts *task.Set) (*core.Assignment, error) {
+	sys := m.System()
+	a := core.NewAssignment()
+	deviceLoad := make([]float64, sys.NumDevices())
+	stationLoad := make([]float64, sys.NumStations())
+
+	order := sorted(ts)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].InputSize() > order[j].InputSize()
+	})
+
+	for _, t := range order {
+		opts, err := m.Eval(t)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		st, err := sys.StationOf(t.ID.User)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+
+		best := costmodel.SubsystemCloud // always has capacity
+		bestTime := opts.At(costmodel.SubsystemCloud).Time
+		if stationLoad[st]+t.Resource <= sys.Stations[st].ResourceCap {
+			if c := opts.At(costmodel.SubsystemStation).Time; c < bestTime {
+				best, bestTime = costmodel.SubsystemStation, c
+			}
+		}
+		if deviceLoad[t.ID.User]+t.Resource <= sys.Devices[t.ID.User].ResourceCap {
+			if c := opts.At(costmodel.SubsystemDevice).Time; c < bestTime {
+				best = costmodel.SubsystemDevice
+			}
+		}
+
+		a.Place(t.ID, best)
+		switch best {
+		case costmodel.SubsystemDevice:
+			deviceLoad[t.ID.User] += t.Resource
+		case costmodel.SubsystemStation:
+			stationLoad[st] += t.Resource
+		}
+	}
+	return a, nil
+}
+
+// Random places every task uniformly at random; for tests and sanity
+// floors only.
+func Random(r *rand.Rand, ts *task.Set) *core.Assignment {
+	a := core.NewAssignment()
+	for _, t := range ts.All() {
+		a.Place(t.ID, costmodel.Subsystems[r.Intn(3)])
+	}
+	return a
+}
+
+// BruteForceLimit bounds the instance size BruteForceHTA accepts.
+const BruteForceLimit = 14
+
+// BruteForceHTA finds the exact minimum-energy feasible assignment (no
+// cancellations) by exhaustive search with branch-and-bound pruning. It
+// returns core.ErrNoFeasible if no full placement satisfies C1–C3.
+func BruteForceHTA(m *costmodel.Model, ts *task.Set) (*core.Assignment, error) {
+	if ts.Len() > BruteForceLimit {
+		return nil, fmt.Errorf("baseline: brute force limited to %d tasks, got %d", BruteForceLimit, ts.Len())
+	}
+	sys := m.System()
+	tasks := sorted(ts)
+	opts := make([]costmodel.Options, len(tasks))
+	for i, t := range tasks {
+		o, err := m.Eval(t)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		opts[i] = o
+	}
+	stations := make([]int, len(tasks))
+	for i, t := range tasks {
+		st, err := sys.StationOf(t.ID.User)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		stations[i] = st
+	}
+
+	deviceLoad := make([]float64, sys.NumDevices())
+	stationLoad := make([]float64, sys.NumStations())
+	choice := make([]costmodel.Subsystem, len(tasks))
+	bestChoice := make([]costmodel.Subsystem, len(tasks))
+	bestEnergy := math.Inf(1)
+
+	var rec func(i int, energy float64)
+	rec = func(i int, energy float64) {
+		if energy >= bestEnergy {
+			return
+		}
+		if i == len(tasks) {
+			bestEnergy = energy
+			copy(bestChoice, choice)
+			return
+		}
+		t := tasks[i]
+		for _, l := range costmodel.Subsystems {
+			c := opts[i].At(l)
+			if c.Time > t.Deadline {
+				continue
+			}
+			switch l {
+			case costmodel.SubsystemDevice:
+				if deviceLoad[t.ID.User]+t.Resource > sys.Devices[t.ID.User].ResourceCap {
+					continue
+				}
+				deviceLoad[t.ID.User] += t.Resource
+			case costmodel.SubsystemStation:
+				if stationLoad[stations[i]]+t.Resource > sys.Stations[stations[i]].ResourceCap {
+					continue
+				}
+				stationLoad[stations[i]] += t.Resource
+			}
+			choice[i] = l
+			rec(i+1, energy+float64(c.Energy))
+			switch l {
+			case costmodel.SubsystemDevice:
+				deviceLoad[t.ID.User] -= t.Resource
+			case costmodel.SubsystemStation:
+				stationLoad[stations[i]] -= t.Resource
+			}
+		}
+	}
+	rec(0, 0)
+
+	if math.IsInf(bestEnergy, 1) {
+		return nil, core.ErrNoFeasible
+	}
+	a := core.NewAssignment()
+	for i, t := range tasks {
+		a.Place(t.ID, bestChoice[i])
+	}
+	return a, nil
+}
+
+// sorted returns the tasks in deterministic ID order.
+func sorted(ts *task.Set) []*task.Task {
+	out := make([]*task.Task, ts.Len())
+	copy(out, ts.All())
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}

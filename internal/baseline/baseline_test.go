@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"dsmec/internal/core"
+	"dsmec/internal/costmodel"
+	"dsmec/internal/rng"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+	"dsmec/internal/workload"
+)
+
+func holisticScenario(t *testing.T, seed int64, params workload.Params) *workload.Scenario {
+	t.Helper()
+	sc, err := workload.GenerateHolistic(rng.NewSource(seed), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestAllToC(t *testing.T) {
+	sc := holisticScenario(t, 1, workload.Params{NumDevices: 10, NumStations: 2, NumTasks: 20})
+	a := AllToC(sc.Tasks)
+	for _, tk := range sc.Tasks.All() {
+		if got := a.Of(tk.ID); got != costmodel.SubsystemCloud {
+			t.Fatalf("task %v on %v, want cloud", tk.ID, got)
+		}
+	}
+}
+
+func TestAllOffloadRespectsStationCap(t *testing.T) {
+	sc := holisticScenario(t, 2, workload.Params{
+		NumDevices: 10, NumStations: 2, NumTasks: 40, StationCap: 10,
+	})
+	a, err := AllOffload(sc.Model, sc.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make([]float64, sc.System.NumStations())
+	sawStation, sawCloud := false, false
+	for _, tk := range sc.Tasks.All() {
+		switch a.Of(tk.ID) {
+		case costmodel.SubsystemStation:
+			sawStation = true
+			st, err := sc.System.StationOf(tk.ID.User)
+			if err != nil {
+				t.Fatal(err)
+			}
+			load[st] += tk.Resource
+		case costmodel.SubsystemCloud:
+			sawCloud = true
+		default:
+			t.Fatalf("task %v not offloaded", tk.ID)
+		}
+	}
+	for st, l := range load {
+		if l > sc.System.Stations[st].ResourceCap+1e-9 {
+			t.Errorf("station %d overloaded: %g > %g", st, l, sc.System.Stations[st].ResourceCap)
+		}
+	}
+	if !sawStation || !sawCloud {
+		t.Error("with a tight cap both station and cloud placements should appear")
+	}
+}
+
+func TestHGOSRespectsResourceCaps(t *testing.T) {
+	sc := holisticScenario(t, 3, workload.Params{
+		NumDevices: 10, NumStations: 2, NumTasks: 50, DeviceCap: 5, StationCap: 15,
+	})
+	a, err := HGOS(sc.Model, sc.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devLoad := make([]float64, sc.System.NumDevices())
+	stLoad := make([]float64, sc.System.NumStations())
+	for _, tk := range sc.Tasks.All() {
+		switch a.Of(tk.ID) {
+		case costmodel.SubsystemDevice:
+			devLoad[tk.ID.User] += tk.Resource
+		case costmodel.SubsystemStation:
+			st, err := sc.System.StationOf(tk.ID.User)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stLoad[st] += tk.Resource
+		case costmodel.SubsystemCloud:
+		default:
+			t.Fatalf("task %v unplaced", tk.ID)
+		}
+	}
+	for i, l := range devLoad {
+		if l > sc.System.Devices[i].ResourceCap+1e-9 {
+			t.Errorf("device %d overloaded", i)
+		}
+	}
+	for s, l := range stLoad {
+		if l > sc.System.Stations[s].ResourceCap+1e-9 {
+			t.Errorf("station %d overloaded", s)
+		}
+	}
+}
+
+func TestHGOSIgnoresDeadlinesButSavesEnergy(t *testing.T) {
+	// The published contrast (Figs. 2-3): HGOS energy is in LP-HTA's
+	// neighbourhood, its unsatisfied rate is much higher.
+	sc := holisticScenario(t, 4, workload.Params{NumDevices: 20, NumStations: 3, NumTasks: 80})
+
+	hgos, err := HGOS(sc.Model, sc.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hgosMetrics, err := core.Evaluate(sc.Model, sc.Tasks, hgos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alltoc, err := core.Evaluate(sc.Model, sc.Tasks, AllToC(sc.Tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hgosMetrics.TotalEnergy >= alltoc.TotalEnergy {
+		t.Errorf("HGOS energy %v should be well below AllToC %v",
+			hgosMetrics.TotalEnergy, alltoc.TotalEnergy)
+	}
+}
+
+func TestRandomPlacesEverything(t *testing.T) {
+	sc := holisticScenario(t, 5, workload.Params{NumDevices: 10, NumStations: 2, NumTasks: 30})
+	a := Random(rng.NewSource(5).Stream("random"), sc.Tasks)
+	counts := map[costmodel.Subsystem]int{}
+	for _, tk := range sc.Tasks.All() {
+		counts[a.Of(tk.ID)]++
+	}
+	if counts[costmodel.SubsystemNone] != 0 {
+		t.Error("random assignment left tasks unplaced")
+	}
+	if len(counts) < 2 {
+		t.Error("30 random placements should hit at least two subsystems")
+	}
+}
+
+// tinySystem builds a 2-device instance small enough for brute force.
+func tinyInstance(t *testing.T, seed int64, numTasks int) *workload.Scenario {
+	t.Helper()
+	return holisticScenario(t, seed, workload.Params{
+		NumDevices: 2, NumStations: 1, NumTasks: numTasks,
+		DeviceCap: 5, StationCap: 8,
+	})
+}
+
+func TestBruteForceOptimalAtMostLPHTA(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		sc := tinyInstance(t, seed, 8)
+		opt, err := BruteForceHTA(sc.Model, sc.Tasks)
+		if errors.Is(err, core.ErrNoFeasible) {
+			continue // some random instances are over-constrained
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.CheckFeasible(sc.Model, sc.Tasks, opt); err != nil {
+			t.Fatalf("seed %d: brute force produced infeasible assignment: %v", seed, err)
+		}
+		optMetrics, err := core.Evaluate(sc.Model, sc.Tasks, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		lph, err := core.LPHTA(sc.Model, sc.Tasks, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lphMetrics, err := core.Evaluate(sc.Model, sc.Tasks, lph.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// LP-HTA may cancel tasks (reducing energy), so the comparison
+		// only applies when it placed everything.
+		if lphMetrics.Cancelled == 0 && lphMetrics.TotalEnergy < optMetrics.TotalEnergy-1e-9 {
+			t.Errorf("seed %d: LP-HTA energy %v beats the exact optimum %v",
+				seed, lphMetrics.TotalEnergy, optMetrics.TotalEnergy)
+		}
+		// Empirical ratio check against the Theorem 2 bound.
+		if lphMetrics.Cancelled == 0 && optMetrics.TotalEnergy > 0 {
+			ratio := float64(lphMetrics.TotalEnergy) / float64(optMetrics.TotalEnergy)
+			if bound := lph.RatioBoundEstimate(); ratio > bound+1e-9 {
+				t.Errorf("seed %d: empirical ratio %.4f exceeds bound %.4f", seed, ratio, bound)
+			}
+		}
+	}
+}
+
+func TestBruteForceRejectsLargeInstances(t *testing.T) {
+	sc := holisticScenario(t, 9, workload.Params{NumDevices: 5, NumStations: 1, NumTasks: BruteForceLimit + 1})
+	if _, err := BruteForceHTA(sc.Model, sc.Tasks); err == nil {
+		t.Error("BruteForceHTA should reject oversized instances")
+	}
+}
+
+func TestBruteForceNoFeasible(t *testing.T) {
+	// A task whose deadline no subsystem can meet makes the instance
+	// infeasible without cancellation.
+	sc := tinyInstance(t, 10, 2)
+	impossible := &task.Task{
+		ID: task.ID{User: 0, Index: 99}, Kind: task.Holistic,
+		LocalSize: 3000 * units.Kilobyte, ExternalSource: task.NoExternalSource,
+		Resource: 1, Deadline: units.Microsecond,
+	}
+	if err := sc.Tasks.Add(impossible); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BruteForceHTA(sc.Model, sc.Tasks); !errors.Is(err, core.ErrNoFeasible) {
+		t.Errorf("err = %v, want ErrNoFeasible", err)
+	}
+}

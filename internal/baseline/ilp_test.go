@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"dsmec/internal/core"
+	"dsmec/internal/lp"
+	"dsmec/internal/workload"
+)
+
+func TestILPMatchesBruteForce(t *testing.T) {
+	// On brute-forceable instances the two exact solvers must agree on the
+	// optimal energy.
+	for seed := int64(0); seed < 10; seed++ {
+		sc := tinyInstance(t, seed, 10)
+
+		bf, bfErr := BruteForceHTA(sc.Model, sc.Tasks)
+		ilp, ilpErr := ILPOptimalHTA(sc.Model, sc.Tasks, 0)
+
+		if errors.Is(bfErr, core.ErrNoFeasible) {
+			if !errors.Is(ilpErr, core.ErrNoFeasible) {
+				t.Fatalf("seed %d: brute force infeasible but ILP says %v", seed, ilpErr)
+			}
+			continue
+		}
+		if bfErr != nil {
+			t.Fatal(bfErr)
+		}
+		if ilpErr != nil {
+			t.Fatalf("seed %d: ILP failed: %v", seed, ilpErr)
+		}
+
+		bfM, err := core.Evaluate(sc.Model, sc.Tasks, bf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ilpM, err := core.Evaluate(sc.Model, sc.Tasks, ilp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := float64(bfM.TotalEnergy - ilpM.TotalEnergy)
+		if diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("seed %d: brute force %v != ILP %v", seed, bfM.TotalEnergy, ilpM.TotalEnergy)
+		}
+		if err := core.CheckFeasible(sc.Model, sc.Tasks, ilp); err != nil {
+			t.Fatalf("seed %d: ILP solution infeasible: %v", seed, err)
+		}
+	}
+}
+
+func TestILPBeyondBruteForceReach(t *testing.T) {
+	// 40 tasks across 3 clusters: far beyond 3^40 enumeration, easy for
+	// branch-and-bound. The exact optimum must lower-bound LP-HTA.
+	sc := holisticScenario(t, 20, workload.Params{
+		NumDevices: 12, NumStations: 3, NumTasks: 40,
+		DeadlineSlackMin: 1.3, DeadlineSlackMax: 3,
+	})
+	opt, err := ILPOptimalHTA(sc.Model, sc.Tasks, 0)
+	if errors.Is(err, core.ErrNoFeasible) {
+		t.Skip("instance infeasible without cancellation")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.CheckFeasible(sc.Model, sc.Tasks, opt); err != nil {
+		t.Fatal(err)
+	}
+	optM, err := core.Evaluate(sc.Model, sc.Tasks, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lph, err := core.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lphM, err := core.Evaluate(sc.Model, sc.Tasks, lph.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lphM.Cancelled == 0 && lphM.TotalEnergy < optM.TotalEnergy-1e-9 {
+		t.Errorf("LP-HTA %v beats the exact optimum %v", lphM.TotalEnergy, optM.TotalEnergy)
+	}
+	// And on this loose-deadline instance LP-HTA should be near-optimal.
+	if lphM.Cancelled == 0 {
+		ratio := float64(lphM.TotalEnergy) / float64(optM.TotalEnergy)
+		if ratio > 1.5 {
+			t.Errorf("LP-HTA ratio %.3f unexpectedly far from optimal", ratio)
+		}
+	}
+}
+
+func TestILPNodeLimitPropagates(t *testing.T) {
+	sc := holisticScenario(t, 21, workload.Params{
+		NumDevices: 10, NumStations: 2, NumTasks: 40,
+		DeviceCap: 3, StationCap: 12, // tight caps force heavy branching
+	})
+	_, err := ILPOptimalHTA(sc.Model, sc.Tasks, 1)
+	// Either the node limit trips, or the instance is infeasible/solved in
+	// one node per cluster; only the error type matters when it trips.
+	if err != nil && !errors.Is(err, core.ErrNoFeasible) && !errors.Is(err, lp.ErrNodeLimit) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

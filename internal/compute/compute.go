@@ -1,0 +1,152 @@
+// Package compute models task execution on processors: CPU-cycle demand as
+// a function of input size, execution time, and — for battery-powered
+// mobile devices — the dynamic energy of computation.
+//
+// Following the paper (and [6], [14], [22]):
+//
+//   - cycle demand is λ_ijl(y): CPU cycles to process y bytes. The
+//     evaluation uses the linear model λ(y) = λ·y with λ = 330 cycles/byte.
+//   - execution time is λ(y)/f for a processor at frequency f.
+//   - device computation energy is κ·λ(y)·f² with κ = 1e-27 J/(cycle·Hz²).
+//     Base stations and the cloud are grid powered, so their computation
+//     energy is "extremely small comparing with that cost by transmission"
+//     and ignored (κ = 0).
+//   - result size is η(y) = η·y with η = 0.2 in the evaluation; results may
+//     also be constant-size (Fig. 5(b)'s "constant" series).
+package compute
+
+import (
+	"fmt"
+
+	"dsmec/internal/units"
+)
+
+// Paper evaluation constants (Section V.A, following [22]).
+const (
+	// DefaultKappa is κ, the switched-capacitance energy coefficient of a
+	// mobile CPU: E = κ·cycles·f².
+	DefaultKappa = 1e-27
+	// DefaultLambda is λ, CPU cycles needed per input byte.
+	DefaultLambda = 330
+	// DefaultEta is η, the output-size to input-size ratio.
+	DefaultEta = 0.2
+)
+
+// CycleModel maps an input size to a CPU-cycle demand: the paper's
+// λ_ijl(y).
+type CycleModel interface {
+	// Cycles returns the cycles needed to process size bytes.
+	Cycles(size units.ByteSize) units.Cycles
+}
+
+// LinearCycles is the evaluation's λ(y) = PerByte·y model.
+type LinearCycles struct {
+	// PerByte is λ in cycles per byte.
+	PerByte float64
+}
+
+var _ CycleModel = LinearCycles{}
+
+// Cycles implements CycleModel.
+func (m LinearCycles) Cycles(size units.ByteSize) units.Cycles {
+	return units.Cycles(m.PerByte * float64(size.Bytes()))
+}
+
+// DefaultCycles returns the paper's λ = 330 cycles/byte model.
+func DefaultCycles() LinearCycles { return LinearCycles{PerByte: DefaultLambda} }
+
+// ResultModel maps an input size to the size of the computation result: the
+// paper's η(y).
+type ResultModel interface {
+	// ResultSize returns the output size for an input of size bytes.
+	ResultSize(size units.ByteSize) units.ByteSize
+}
+
+// ProportionalResult is η(y) = Ratio·y, the evaluation default with
+// Ratio = 0.2.
+type ProportionalResult struct {
+	Ratio float64
+}
+
+var _ ResultModel = ProportionalResult{}
+
+// ResultSize implements ResultModel.
+func (m ProportionalResult) ResultSize(size units.ByteSize) units.ByteSize {
+	return size.Scale(m.Ratio)
+}
+
+// ConstantResult is η(y) = Size regardless of input, Fig. 5(b)'s
+// "constant" series (e.g. a Count or Sum aggregate).
+type ConstantResult struct {
+	Size units.ByteSize
+}
+
+var _ ResultModel = ConstantResult{}
+
+// ResultSize implements ResultModel.
+func (m ConstantResult) ResultSize(units.ByteSize) units.ByteSize { return m.Size }
+
+// DefaultResult returns the paper's η = 0.2 proportional model.
+func DefaultResult() ProportionalResult { return ProportionalResult{Ratio: DefaultEta} }
+
+// Processor is a CPU with a clock frequency and an energy coefficient.
+// Grid-powered processors (base stations, cloud) use Kappa = 0, matching
+// the paper's decision to ignore their computation energy.
+type Processor struct {
+	Frequency units.Frequency
+	Kappa     float64 // κ; 0 for grid-powered processors
+}
+
+// Validate reports whether the processor is usable.
+func (p Processor) Validate() error {
+	switch {
+	case p.Frequency <= 0:
+		return fmt.Errorf("compute: frequency %v must be positive", p.Frequency)
+	case p.Kappa < 0:
+		return fmt.Errorf("compute: kappa %g must be non-negative", p.Kappa)
+	default:
+		return nil
+	}
+}
+
+// ExecTime returns the time to execute the given cycle demand:
+// t^(C) = λ(y)/f.
+func (p Processor) ExecTime(c units.Cycles) units.Duration {
+	return c.TimeAt(p.Frequency)
+}
+
+// ExecEnergy returns the computation energy E^(C) = κ·λ(y)·f². It is zero
+// for grid-powered processors.
+func (p Processor) ExecEnergy(c units.Cycles) units.Energy {
+	return units.Energy(p.Kappa * float64(c) * float64(p.Frequency) * float64(p.Frequency))
+}
+
+// Evaluation processor frequencies (Section V.A).
+const (
+	// MinDeviceFrequency and MaxDeviceFrequency bound the uniformly drawn
+	// mobile-device CPU clocks.
+	MinDeviceFrequency = 1 * units.Gigahertz
+	MaxDeviceFrequency = 2 * units.Gigahertz
+	// StationFrequency is f_s, the base-station clock.
+	StationFrequency = 4 * units.Gigahertz
+	// CloudFrequency is f_c, the Amazon T2.nano clock.
+	CloudFrequency = 2.4 * units.Gigahertz
+)
+
+// DeviceProcessor returns a battery-powered processor at frequency f with
+// the paper's κ.
+func DeviceProcessor(f units.Frequency) Processor {
+	return Processor{Frequency: f, Kappa: DefaultKappa}
+}
+
+// StationProcessor returns the evaluation's base-station processor: 4 GHz,
+// grid powered.
+func StationProcessor() Processor {
+	return Processor{Frequency: StationFrequency}
+}
+
+// CloudProcessor returns the evaluation's cloud processor: 2.4 GHz, grid
+// powered.
+func CloudProcessor() Processor {
+	return Processor{Frequency: CloudFrequency}
+}

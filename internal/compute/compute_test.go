@@ -1,0 +1,136 @@
+package compute
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsmec/internal/units"
+)
+
+func TestLinearCycles(t *testing.T) {
+	m := DefaultCycles()
+	tests := []struct {
+		name string
+		size units.ByteSize
+		want units.Cycles
+	}{
+		{"zero", 0, 0},
+		{"one byte", 1, 330},
+		{"3000 kB", 3000 * units.Kilobyte, 330 * 3e6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.Cycles(tt.size); got != tt.want {
+				t.Errorf("Cycles(%v) = %v, want %v", tt.size, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProportionalResult(t *testing.T) {
+	m := DefaultResult()
+	if got := m.ResultSize(1000 * units.Kilobyte); got != 200*units.Kilobyte {
+		t.Errorf("ResultSize = %v, want 200kB (eta=0.2)", got)
+	}
+	half := ProportionalResult{Ratio: 0.05}
+	if got := half.ResultSize(2000 * units.Kilobyte); got != 100*units.Kilobyte {
+		t.Errorf("ResultSize = %v, want 100kB", got)
+	}
+}
+
+func TestConstantResult(t *testing.T) {
+	m := ConstantResult{Size: 8 * units.Kilobyte}
+	for _, in := range []units.ByteSize{0, units.Kilobyte, 5 * units.Megabyte} {
+		if got := m.ResultSize(in); got != 8*units.Kilobyte {
+			t.Errorf("ResultSize(%v) = %v, want 8kB", in, got)
+		}
+	}
+}
+
+func TestProcessorValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Processor
+		wantErr bool
+	}{
+		{"device", DeviceProcessor(1.5 * units.Gigahertz), false},
+		{"station", StationProcessor(), false},
+		{"cloud", CloudProcessor(), false},
+		{"zero frequency", Processor{}, true},
+		{"negative frequency", Processor{Frequency: -1}, true},
+		{"negative kappa", Processor{Frequency: 1e9, Kappa: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestExecTime(t *testing.T) {
+	// Paper sanity check: 3000 kB at 330 cycles/byte on a 1.5 GHz device
+	// takes 0.66 s.
+	p := DeviceProcessor(1.5 * units.Gigahertz)
+	c := DefaultCycles().Cycles(3000 * units.Kilobyte)
+	if got := p.ExecTime(c); math.Abs(got.Seconds()-0.66) > 1e-9 {
+		t.Errorf("ExecTime = %v, want 0.66s", got)
+	}
+	// Station at 4 GHz is proportionally faster.
+	if got := StationProcessor().ExecTime(c); math.Abs(got.Seconds()-0.2475) > 1e-9 {
+		t.Errorf("station ExecTime = %v, want 0.2475s", got)
+	}
+}
+
+func TestExecEnergy(t *testing.T) {
+	// κ·λ·X·f² = 1e-27 · 330·3e6 · (1.5e9)² = 2.2275 J.
+	p := DeviceProcessor(1.5 * units.Gigahertz)
+	c := DefaultCycles().Cycles(3000 * units.Kilobyte)
+	if got := p.ExecEnergy(c); math.Abs(got.Joules()-2.2275) > 1e-9 {
+		t.Errorf("ExecEnergy = %v, want 2.2275J", got)
+	}
+}
+
+func TestGridProcessorsConsumeNoEnergy(t *testing.T) {
+	c := DefaultCycles().Cycles(5 * units.Megabyte)
+	if got := StationProcessor().ExecEnergy(c); got != 0 {
+		t.Errorf("station ExecEnergy = %v, want 0 (grid powered)", got)
+	}
+	if got := CloudProcessor().ExecEnergy(c); got != 0 {
+		t.Errorf("cloud ExecEnergy = %v, want 0 (grid powered)", got)
+	}
+}
+
+func TestEnergyQuadraticInFrequency(t *testing.T) {
+	// Property: doubling f doubles speed but quadruples energy — the
+	// tradeoff at the heart of offloading decisions.
+	cyc := units.Cycles(1e9)
+	f := func(ghz uint8) bool {
+		base := units.Frequency(ghz%8+1) * units.Gigahertz
+		p1 := DeviceProcessor(base)
+		p2 := DeviceProcessor(2 * base)
+		t1, t2 := p1.ExecTime(cyc), p2.ExecTime(cyc)
+		e1, e2 := p1.ExecEnergy(cyc), p2.ExecEnergy(cyc)
+		relTime := math.Abs(t1.Seconds()/t2.Seconds() - 2)
+		relEnergy := math.Abs(e2.Joules()/e1.Joules() - 4)
+		return relTime < 1e-9 && relEnergy < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperFrequencyConstants(t *testing.T) {
+	if StationFrequency != 4*units.Gigahertz {
+		t.Errorf("station frequency = %v, want 4GHz", StationFrequency)
+	}
+	if CloudFrequency != 2.4*units.Gigahertz {
+		t.Errorf("cloud frequency = %v, want 2.4GHz (T2.nano)", CloudFrequency)
+	}
+	if MinDeviceFrequency != 1*units.Gigahertz || MaxDeviceFrequency != 2*units.Gigahertz {
+		t.Error("device frequency range must be 1-2GHz per Section V.A")
+	}
+}

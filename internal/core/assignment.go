@@ -1,0 +1,185 @@
+// Package core implements the paper's task-assignment algorithms: LP-HTA
+// for holistic tasks (Section III) and the two DTA variants plus task
+// rearrangement for divisible tasks (Section IV).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dsmec/internal/costmodel"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// ErrNoFeasible is returned by exact solvers when no assignment satisfies
+// every HTA constraint without cancelling tasks.
+var ErrNoFeasible = errors.New("core: no feasible full assignment exists")
+
+// Assignment maps every task to the subsystem chosen for it.
+// SubsystemNone marks a cancelled task (the algorithm could not place it
+// within its deadline and the resource caps, and "informed the user").
+type Assignment struct {
+	Placement map[task.ID]costmodel.Subsystem
+}
+
+// NewAssignment returns an empty assignment.
+func NewAssignment() *Assignment {
+	return &Assignment{Placement: make(map[task.ID]costmodel.Subsystem)}
+}
+
+// Place records that the task runs on subsystem l.
+func (a *Assignment) Place(id task.ID, l costmodel.Subsystem) {
+	a.Placement[id] = l
+}
+
+// Cancel marks the task as cancelled.
+func (a *Assignment) Cancel(id task.ID) {
+	a.Placement[id] = costmodel.SubsystemNone
+}
+
+// Of returns the subsystem assigned to the task; SubsystemNone when the
+// task is cancelled or unknown.
+func (a *Assignment) Of(id task.ID) costmodel.Subsystem {
+	return a.Placement[id]
+}
+
+// Cancelled returns the cancelled task IDs in deterministic order.
+func (a *Assignment) Cancelled() []task.ID {
+	var out []task.ID
+	for id, l := range a.Placement {
+		if l == costmodel.SubsystemNone {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Metrics summarizes an assignment under the analytic cost model. They are
+// exactly the quantities the paper's evaluation plots: total energy
+// (Figs. 2 and 5), average latency (Fig. 4), and the unsatisfied-task rate
+// (Fig. 3), where a task is unsatisfied when its delay constraint cannot
+// be met — including tasks the algorithm had to cancel.
+type Metrics struct {
+	NumTasks     int
+	Cancelled    int
+	Unsatisfied  int // deadline violations + cancellations
+	TotalEnergy  units.Energy
+	TotalLatency units.Duration // summed over placed tasks
+	MaxLatency   units.Duration
+	CountByLevel [4]int // indexed by Subsystem; level 0 counts cancellations
+}
+
+// MeanLatency returns the average latency over placed tasks (0 when none).
+func (m *Metrics) MeanLatency() units.Duration {
+	placed := m.NumTasks - m.Cancelled
+	if placed == 0 {
+		return 0
+	}
+	return m.TotalLatency / units.Duration(placed)
+}
+
+// UnsatisfiedRate returns the fraction of tasks whose deadline is not met.
+func (m *Metrics) UnsatisfiedRate() float64 {
+	if m.NumTasks == 0 {
+		return 0
+	}
+	return float64(m.Unsatisfied) / float64(m.NumTasks)
+}
+
+// Evaluate computes the metrics of an assignment. Every task in ts must
+// appear in the assignment (placed or cancelled).
+func Evaluate(m *costmodel.Model, ts *task.Set, a *Assignment) (*Metrics, error) {
+	out := &Metrics{NumTasks: ts.Len()}
+	for _, t := range ts.All() {
+		l, ok := a.Placement[t.ID]
+		if !ok {
+			return nil, fmt.Errorf("core: task %v missing from assignment", t.ID)
+		}
+		out.CountByLevel[l]++
+		if l == costmodel.SubsystemNone {
+			out.Cancelled++
+			out.Unsatisfied++
+			continue
+		}
+		opts, err := m.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		c := opts.At(l)
+		out.TotalEnergy += c.Energy
+		out.TotalLatency += c.Time
+		if c.Time > out.MaxLatency {
+			out.MaxLatency = c.Time
+		}
+		if c.Time > t.Deadline {
+			out.Unsatisfied++
+		}
+	}
+	return out, nil
+}
+
+// CheckFeasible verifies the HTA constraints C1–C5 against an assignment:
+//
+//	C1: every placed task meets its deadline,
+//	C2: per-device resources   Σ_j C_ij·x_ij1 ≤ max_i,
+//	C3: per-station resources  Σ_ij C_ij·x_ij2 ≤ max_S,
+//	C4/C5: every task is placed on exactly one subsystem or cancelled.
+//
+// It returns nil when all constraints hold. Cancelled tasks are exempt
+// from C1 (the paper's algorithms cancel exactly the tasks that cannot
+// meet it).
+func CheckFeasible(m *costmodel.Model, ts *task.Set, a *Assignment) error {
+	sys := m.System()
+	deviceLoad := make([]float64, sys.NumDevices())
+	stationLoad := make([]float64, sys.NumStations())
+
+	for _, t := range ts.All() {
+		l, ok := a.Placement[t.ID]
+		if !ok {
+			return fmt.Errorf("core: task %v unassigned (violates C4)", t.ID)
+		}
+		switch l {
+		case costmodel.SubsystemNone:
+			continue
+		case costmodel.SubsystemDevice, costmodel.SubsystemStation, costmodel.SubsystemCloud:
+		default:
+			return fmt.Errorf("core: task %v has invalid subsystem %d (violates C5)", t.ID, int(l))
+		}
+		opts, err := m.Eval(t)
+		if err != nil {
+			return err
+		}
+		if got := opts.At(l).Time; got > t.Deadline {
+			return fmt.Errorf("core: task %v misses deadline on %v: %v > %v (violates C1)",
+				t.ID, l, got, t.Deadline)
+		}
+		switch l {
+		case costmodel.SubsystemDevice:
+			deviceLoad[t.ID.User] += t.Resource
+		case costmodel.SubsystemStation:
+			st, err := sys.StationOf(t.ID.User)
+			if err != nil {
+				return err
+			}
+			stationLoad[st] += t.Resource
+		}
+	}
+
+	const tol = 1e-9
+	for i, load := range deviceLoad {
+		if load > sys.Devices[i].ResourceCap+tol {
+			return fmt.Errorf("core: device %d load %g exceeds cap %g (violates C2)",
+				i, load, sys.Devices[i].ResourceCap)
+		}
+	}
+	for s, load := range stationLoad {
+		if load > sys.Stations[s].ResourceCap+tol {
+			return fmt.Errorf("core: station %d load %g exceeds cap %g (violates C3)",
+				s, load, sys.Stations[s].ResourceCap)
+		}
+	}
+	return nil
+}

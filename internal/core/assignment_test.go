@@ -1,0 +1,266 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dsmec/internal/backhaul"
+	"dsmec/internal/compute"
+	"dsmec/internal/costmodel"
+	"dsmec/internal/mecnet"
+	"dsmec/internal/radio"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// twoDeviceSystem builds a minimal controllable system: two devices on one
+// station. Caps are injected by the caller.
+func twoDeviceSystem(t *testing.T, devCap, stationCap float64) (*mecnet.System, *costmodel.Model) {
+	t.Helper()
+	sys := &mecnet.System{
+		Devices: []mecnet.Device{
+			{Station: 0, Link: radio.FourG, Proc: compute.DeviceProcessor(1 * units.Gigahertz), ResourceCap: devCap},
+			{Station: 0, Link: radio.WiFi, Proc: compute.DeviceProcessor(2 * units.Gigahertz), ResourceCap: devCap},
+		},
+		Stations: []mecnet.Station{
+			{Proc: compute.StationProcessor(), ResourceCap: stationCap},
+		},
+		Cloud:       mecnet.Cloud{Proc: compute.CloudProcessor()},
+		StationWire: backhaul.DefaultStationToStation(),
+		CloudWire:   backhaul.DefaultStationToCloud(),
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := costmodel.New(sys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, m
+}
+
+func simpleTask(user, index int, input units.ByteSize, resource float64, deadline units.Duration) *task.Task {
+	return &task.Task{
+		ID:             task.ID{User: user, Index: index},
+		Kind:           task.Holistic,
+		OpSize:         units.Kilobyte,
+		LocalSize:      input,
+		ExternalSource: task.NoExternalSource,
+		Resource:       resource,
+		Deadline:       deadline,
+	}
+}
+
+func TestAssignmentBasics(t *testing.T) {
+	a := NewAssignment()
+	id1 := task.ID{User: 0, Index: 0}
+	id2 := task.ID{User: 0, Index: 1}
+	a.Place(id1, costmodel.SubsystemStation)
+	a.Cancel(id2)
+
+	if got := a.Of(id1); got != costmodel.SubsystemStation {
+		t.Errorf("Of(id1) = %v, want station", got)
+	}
+	if got := a.Of(id2); got != costmodel.SubsystemNone {
+		t.Errorf("Of(id2) = %v, want none", got)
+	}
+	if got := a.Of(task.ID{User: 9, Index: 9}); got != costmodel.SubsystemNone {
+		t.Errorf("Of(unknown) = %v, want none", got)
+	}
+	cancelled := a.Cancelled()
+	if len(cancelled) != 1 || cancelled[0] != id2 {
+		t.Errorf("Cancelled() = %v, want [%v]", cancelled, id2)
+	}
+}
+
+func TestCancelledSorted(t *testing.T) {
+	a := NewAssignment()
+	ids := []task.ID{{User: 2, Index: 0}, {User: 0, Index: 1}, {User: 0, Index: 0}}
+	for _, id := range ids {
+		a.Cancel(id)
+	}
+	got := a.Cancelled()
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Less(got[i]) {
+			t.Fatalf("Cancelled() not sorted: %v", got)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	_, m := twoDeviceSystem(t, 100, 100)
+	t1 := simpleTask(0, 0, 1000*units.Kilobyte, 1, 10*units.Second)
+	t2 := simpleTask(1, 0, 500*units.Kilobyte, 1, units.Millisecond) // will miss any deadline
+	ts, err := task.NewSet(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewAssignment()
+	a.Place(t1.ID, costmodel.SubsystemDevice)
+	a.Place(t2.ID, costmodel.SubsystemDevice)
+
+	got, err := Evaluate(m, ts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks != 2 || got.Cancelled != 0 {
+		t.Errorf("NumTasks/Cancelled = %d/%d, want 2/0", got.NumTasks, got.Cancelled)
+	}
+	if got.Unsatisfied != 1 {
+		t.Errorf("Unsatisfied = %d, want 1 (t2 misses its 1ms deadline)", got.Unsatisfied)
+	}
+	if got.UnsatisfiedRate() != 0.5 {
+		t.Errorf("UnsatisfiedRate = %g, want 0.5", got.UnsatisfiedRate())
+	}
+	if got.TotalEnergy <= 0 {
+		t.Error("TotalEnergy should be positive")
+	}
+	if got.CountByLevel[costmodel.SubsystemDevice] != 2 {
+		t.Errorf("CountByLevel[device] = %d, want 2", got.CountByLevel[costmodel.SubsystemDevice])
+	}
+	if got.MeanLatency() <= 0 || got.MaxLatency < got.MeanLatency() {
+		t.Errorf("latency stats inconsistent: mean %v, max %v", got.MeanLatency(), got.MaxLatency)
+	}
+}
+
+func TestEvaluateCancelledCountsUnsatisfied(t *testing.T) {
+	_, m := twoDeviceSystem(t, 100, 100)
+	t1 := simpleTask(0, 0, 100*units.Kilobyte, 1, 10*units.Second)
+	ts, err := task.NewSet(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssignment()
+	a.Cancel(t1.ID)
+	got, err := Evaluate(m, ts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cancelled != 1 || got.Unsatisfied != 1 {
+		t.Errorf("Cancelled/Unsatisfied = %d/%d, want 1/1", got.Cancelled, got.Unsatisfied)
+	}
+	if got.TotalEnergy != 0 {
+		t.Error("cancelled tasks must not consume energy")
+	}
+	if got.MeanLatency() != 0 {
+		t.Error("MeanLatency over zero placed tasks should be 0")
+	}
+}
+
+func TestEvaluateMissingTask(t *testing.T) {
+	_, m := twoDeviceSystem(t, 100, 100)
+	t1 := simpleTask(0, 0, 100*units.Kilobyte, 1, 10*units.Second)
+	ts, err := task.NewSet(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(m, ts, NewAssignment()); err == nil {
+		t.Error("Evaluate with missing task should fail")
+	}
+}
+
+func TestMetricsZeroTasks(t *testing.T) {
+	m := &Metrics{}
+	if m.UnsatisfiedRate() != 0 || m.MeanLatency() != 0 {
+		t.Error("zero-task metrics should be zero")
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	_, m := twoDeviceSystem(t, 2, 3)
+
+	// Three tasks on device 0, each with resource 2: only one fits
+	// locally; station fits one (cap 3); cloud takes the rest.
+	mk := func(j int) *task.Task {
+		return simpleTask(0, j, 500*units.Kilobyte, 2, 30*units.Second)
+	}
+	t0, t1, t2 := mk(0), mk(1), mk(2)
+	ts, err := task.NewSet(t0, t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := NewAssignment()
+	good.Place(t0.ID, costmodel.SubsystemDevice)
+	good.Place(t1.ID, costmodel.SubsystemStation)
+	good.Place(t2.ID, costmodel.SubsystemCloud)
+	if err := CheckFeasible(m, ts, good); err != nil {
+		t.Errorf("good assignment rejected: %v", err)
+	}
+
+	tests := []struct {
+		name    string
+		build   func() *Assignment
+		wantSub string
+	}{
+		{"unassigned task", func() *Assignment {
+			a := NewAssignment()
+			a.Place(t0.ID, costmodel.SubsystemDevice)
+			a.Place(t1.ID, costmodel.SubsystemCloud)
+			return a
+		}, "C4"},
+		{"invalid subsystem", func() *Assignment {
+			a := NewAssignment()
+			a.Place(t0.ID, costmodel.Subsystem(7))
+			a.Place(t1.ID, costmodel.SubsystemCloud)
+			a.Place(t2.ID, costmodel.SubsystemCloud)
+			return a
+		}, "C5"},
+		{"device overload", func() *Assignment {
+			a := NewAssignment()
+			a.Place(t0.ID, costmodel.SubsystemDevice)
+			a.Place(t1.ID, costmodel.SubsystemDevice)
+			a.Place(t2.ID, costmodel.SubsystemCloud)
+			return a
+		}, "C2"},
+		{"station overload", func() *Assignment {
+			a := NewAssignment()
+			a.Place(t0.ID, costmodel.SubsystemStation)
+			a.Place(t1.ID, costmodel.SubsystemStation)
+			a.Place(t2.ID, costmodel.SubsystemCloud)
+			return a
+		}, "C3"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := CheckFeasible(m, ts, tt.build())
+			if err == nil {
+				t.Fatal("CheckFeasible = nil, want violation")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q should mention %s", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestCheckFeasibleDeadline(t *testing.T) {
+	_, m := twoDeviceSystem(t, 100, 100)
+	// Cloud is never feasible within 1 second for a 3 MB task (250 ms WAN
+	// + serialization + slow CPU), but the local device is.
+	tk := simpleTask(0, 0, 3000*units.Kilobyte, 1, 1200*units.Millisecond)
+	ts, err := task.NewSet(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := NewAssignment()
+	bad.Place(tk.ID, costmodel.SubsystemCloud)
+	err = CheckFeasible(m, ts, bad)
+	if err == nil || !strings.Contains(err.Error(), "C1") {
+		t.Errorf("deadline violation not caught: %v", err)
+	}
+
+	ok := NewAssignment()
+	ok.Place(tk.ID, costmodel.SubsystemDevice)
+	if err := CheckFeasible(m, ts, ok); err != nil {
+		t.Errorf("local placement should be feasible: %v", err)
+	}
+
+	// Cancelled tasks are exempt from C1.
+	cancelled := NewAssignment()
+	cancelled.Cancel(tk.ID)
+	if err := CheckFeasible(m, ts, cancelled); err != nil {
+		t.Errorf("cancelled task should be exempt: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"dsmec/internal/costmodel"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// BatteryReport is the per-device battery drain of executing an
+// assignment, plus the grid-powered share.
+type BatteryReport struct {
+	// ByDevice[i] is the battery energy device i spends (radio and
+	// computation), whether as task owner or as the holder of external
+	// data other tasks needed.
+	ByDevice []units.Energy
+	// Infrastructure is the wired-backhaul energy (grid powered).
+	Infrastructure units.Energy
+}
+
+// Total returns battery plus infrastructure energy; it equals the
+// assignment's Metrics.TotalEnergy.
+func (r *BatteryReport) Total() units.Energy {
+	sum := r.Infrastructure
+	for _, e := range r.ByDevice {
+		sum += e
+	}
+	return sum
+}
+
+// Drained returns how many devices spent any battery at all.
+func (r *BatteryReport) Drained() int {
+	n := 0
+	for _, e := range r.ByDevice {
+		if e > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Max returns the largest per-device drain.
+func (r *BatteryReport) Max() units.Energy {
+	var max units.Energy
+	for _, e := range r.ByDevice {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Battery computes the per-device battery drain of an assignment using
+// the cost model's energy attribution. Cancelled tasks drain nothing.
+func Battery(m *costmodel.Model, ts *task.Set, a *Assignment) (*BatteryReport, error) {
+	report := &BatteryReport{ByDevice: make([]units.Energy, m.System().NumDevices())}
+	for _, t := range ts.All() {
+		l := a.Of(t.ID)
+		if l == costmodel.SubsystemNone {
+			continue
+		}
+		attr, err := m.Attribute(t, l)
+		if err != nil {
+			return nil, err
+		}
+		for who, e := range attr {
+			if who == costmodel.Infrastructure {
+				report.Infrastructure += e
+			} else {
+				report.ByDevice[who] += e
+			}
+		}
+	}
+	return report, nil
+}

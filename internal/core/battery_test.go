@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dsmec/internal/rng"
+	"dsmec/internal/task"
+	"dsmec/internal/workload"
+)
+
+func TestBatteryTotalsMatchMetrics(t *testing.T) {
+	// The attribution-based battery report must account for every joule
+	// the metrics report, for any algorithm's assignment.
+	sc, err := workload.GenerateHolistic(rng.NewSource(41), workload.Params{
+		NumDevices: 15, NumStations: 3, NumTasks: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := Evaluate(sc.Model, sc.Tasks, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Battery(sc.Model, sc.Tasks, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(report.Total().Joules()-metrics.TotalEnergy.Joules()) > 1e-9 {
+		t.Errorf("battery total %v != metrics energy %v", report.Total(), metrics.TotalEnergy)
+	}
+	if len(report.ByDevice) != sc.System.NumDevices() {
+		t.Errorf("report covers %d devices, want %d", len(report.ByDevice), sc.System.NumDevices())
+	}
+	if report.Drained() == 0 || report.Max() <= 0 {
+		t.Error("some devices must have drained battery")
+	}
+}
+
+func TestBatteryCancelledTasksDrainNothing(t *testing.T) {
+	_, m := twoDeviceSystem(t, 100, 100)
+	tk := simpleTask(0, 0, 1000, 1, 1)
+	ts, err := task.NewSet(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssignment()
+	a.Cancel(tk.ID)
+	report, err := Battery(m, ts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total() != 0 {
+		t.Errorf("cancelled task drained %v", report.Total())
+	}
+	if report.Drained() != 0 {
+		t.Error("no device should be drained")
+	}
+}
+
+func TestDTABatteryMatchesTotal(t *testing.T) {
+	sc, err := workload.GenerateDivisible(rng.NewSource(42), workload.Params{
+		NumDevices: 15, NumStations: 3, NumTasks: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, goal := range []Goal{GoalWorkload, GoalNumber} {
+		res, err := DTA(sc.Model, sc.Tasks, sc.Placement, DTAOptions{Goal: goal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Battery == nil {
+			t.Fatal("DTA should produce a battery report")
+		}
+		if math.Abs(res.Battery.Total().Joules()-res.Metrics.TotalEnergy.Joules()) > 1e-6 {
+			t.Errorf("%v: battery total %v != metrics %v",
+				goal, res.Battery.Total(), res.Metrics.TotalEnergy)
+		}
+	}
+}
+
+func TestDTANumberSparesMoreDevices(t *testing.T) {
+	// The paper's motivation for DTA-Number: the energy of the majority of
+	// mobile devices is saved. Fewer devices should drain battery than
+	// under DTA-Workload.
+	sc, err := workload.GenerateDivisible(rng.NewSource(43), workload.Params{
+		NumDevices: 30, NumStations: 3, NumTasks: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLoad, err := DTA(sc.Model, sc.Tasks, sc.Placement, DTAOptions{Goal: GoalWorkload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCount, err := DTA(sc.Model, sc.Tasks, sc.Placement, DTAOptions{Goal: GoalNumber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requesting devices always pay for aggregation, so "drained" exceeds
+	// "involved"; the DTA-Number worker set must still be smaller.
+	if byCount.Metrics.InvolvedDevices >= byLoad.Metrics.InvolvedDevices {
+		t.Skip("random instance has no involvement gap to measure")
+	}
+	if byCount.Battery.Drained() > byLoad.Battery.Drained() {
+		t.Errorf("DTA-Number drained %d devices, DTA-Workload %d; want fewer or equal",
+			byCount.Battery.Drained(), byLoad.Battery.Drained())
+	}
+}

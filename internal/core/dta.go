@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dsmec/internal/costmodel"
+	"dsmec/internal/cover"
+	"dsmec/internal/datamap"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// Goal selects the data-division objective of the Divisible Task
+// Assignment algorithm.
+type Goal int
+
+// Division goals.
+const (
+	// GoalWorkload balances the per-device slice sizes (Section IV.A,
+	// DTA-Workload).
+	GoalWorkload Goal = iota + 1
+	// GoalNumber minimizes the number of involved devices (Section IV.B,
+	// DTA-Number).
+	GoalNumber
+	// GoalWorkloadLPT is the LPT ablation variant of GoalWorkload.
+	GoalWorkloadLPT
+)
+
+// String names the goal as in the paper's figures.
+func (g Goal) String() string {
+	switch g {
+	case GoalWorkload:
+		return "DTA-Workload"
+	case GoalNumber:
+		return "DTA-Number"
+	case GoalWorkloadLPT:
+		return "DTA-Workload-LPT"
+	default:
+		return fmt.Sprintf("Goal(%d)", int(g))
+	}
+}
+
+// ErrNoDivisibleData is returned when the task set references no data
+// blocks, leaving DTA nothing to divide.
+var ErrNoDivisibleData = errors.New("core: task set references no data blocks")
+
+// DTAOptions tunes the DTA pipeline; the zero value of the embedded
+// LPHTAOptions gives the paper's configuration for the scheduling stage.
+type DTAOptions struct {
+	Goal  Goal
+	LPHTA LPHTAOptions
+}
+
+// DTAMetrics breaks down the cost of a DTA execution. TotalEnergy is what
+// Fig. 5 plots; ProcessingTime and InvolvedDevices are Fig. 6's two
+// panels.
+type DTAMetrics struct {
+	// TotalEnergy = HTAEnergy + DescriptorEnergy + ResultEnergy +
+	// AggregationEnergy.
+	TotalEnergy units.Energy
+	// HTAEnergy is the energy of executing the rearranged tasks under the
+	// LP-HTA schedule (compute on devices plus any residual offloading).
+	HTAEnergy units.Energy
+	// DescriptorEnergy ships each task's (op, C, T) descriptor to every
+	// device whose slice intersects the task's input.
+	DescriptorEnergy units.Energy
+	// ResultEnergy returns the partial results to the requesting devices.
+	ResultEnergy units.Energy
+	// AggregationEnergy merges partial results on the requesting devices.
+	AggregationEnergy units.Energy
+
+	// ProcessingTime is the parallel makespan: the busiest device's chain
+	// of descriptor receipt, slice processing and result return, plus the
+	// final aggregation.
+	ProcessingTime units.Duration
+	// InvolvedDevices counts devices with non-empty slices.
+	InvolvedDevices int
+	// NewTasks counts rearranged tasks; CancelledNewTasks those the
+	// scheduling stage had to cancel.
+	NewTasks          int
+	CancelledNewTasks int
+}
+
+// DTAResult is the full outcome of the Divisible Task Assignment.
+type DTAResult struct {
+	// Coverage is the data division: Coverage.Coverage[i] is device i's
+	// slice C_i.
+	Coverage *cover.Result
+	// NewTasks are the rearranged tasks produced by Section IV.C.
+	NewTasks *task.Set
+	// Schedule is the LP-HTA result over NewTasks.
+	Schedule *HTAResult
+	// Metrics is the cost breakdown.
+	Metrics DTAMetrics
+	// Battery is the per-device battery drain of the whole pipeline
+	// (slice processing, descriptor shipping, result returns and
+	// aggregation).
+	Battery *BatteryReport
+}
+
+// rearranged links a new per-device task to the original task it serves.
+type rearranged struct {
+	nt     *task.Task
+	origin *task.Task
+}
+
+// DTA runs the Divisible Task Assignment pipeline of Section IV:
+// divide the required data universe D among devices per opts.Goal,
+// rearrange the tasks so every device only touches local data, schedule
+// the rearranged tasks with LP-HTA, and account for shipping descriptors
+// and partial results instead of raw data.
+func DTA(m *costmodel.Model, ts *task.Set, placement *datamap.Placement, opts DTAOptions) (*DTAResult, error) {
+	sys := m.System()
+	if placement == nil {
+		return nil, fmt.Errorf("core: nil placement")
+	}
+	if placement.NumDevices() != sys.NumDevices() {
+		return nil, fmt.Errorf("core: placement covers %d devices, system has %d",
+			placement.NumDevices(), sys.NumDevices())
+	}
+
+	universe := ts.Universe()
+	if universe.IsEmpty() {
+		return nil, ErrNoDivisibleData
+	}
+	usable := placement.Usable(universe)
+
+	var (
+		cov *cover.Result
+		err error
+	)
+	switch opts.Goal {
+	case GoalWorkload:
+		cov, err = cover.BalancedPartition(universe, usable)
+	case GoalNumber:
+		cov, err = cover.FewestSets(universe, usable)
+	case GoalWorkloadLPT:
+		cov, err = cover.BalancedPartitionLPT(universe, usable)
+	default:
+		return nil, fmt.Errorf("core: invalid DTA goal %d", int(opts.Goal))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: data division: %w", err)
+	}
+
+	newTasks, links, err := rearrange(ts, placement, cov)
+	if err != nil {
+		return nil, err
+	}
+
+	sched, err := LPHTA(m, newTasks, &opts.LPHTA)
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduling rearranged tasks: %w", err)
+	}
+
+	metrics, battery, err := accountDTA(m, links, sched, cov)
+	if err != nil {
+		return nil, err
+	}
+
+	return &DTAResult{
+		Coverage: cov,
+		NewTasks: newTasks,
+		Schedule: sched,
+		Metrics:  *metrics,
+		Battery:  battery,
+	}, nil
+}
+
+// rearrange implements Section IV.C: device i receives a new task for
+// every original task whose input intersects C_i, covering exactly the
+// intersection. The new task's data is entirely local by construction.
+// Resource demands scale with the slice fraction of the original input
+// (C_ij measures memory/threads occupied, which follows the data actually
+// processed).
+func rearrange(ts *task.Set, placement *datamap.Placement, cov *cover.Result) (*task.Set, []rearranged, error) {
+	newTasks := &task.Set{}
+	var links []rearranged
+
+	origins := make([]*task.Task, ts.Len())
+	copy(origins, ts.All())
+	sort.Slice(origins, func(i, j int) bool { return origins[i].ID.Less(origins[j].ID) })
+
+	seq := make(map[int]int) // per-device new-task index
+	for dev, slice := range cov.Coverage {
+		if slice.IsEmpty() {
+			continue
+		}
+		for _, origin := range origins {
+			input := origin.InputBlocks()
+			part := slice.Intersect(input)
+			if part.IsEmpty() {
+				continue
+			}
+			size := placement.SizeOf(part)
+			fraction := float64(part.Len()) / float64(input.Len())
+			nt := &task.Task{
+				ID:             task.ID{User: dev, Index: seq[dev]},
+				Kind:           task.Divisible,
+				OpSize:         origin.OpSize,
+				LocalSize:      size,
+				ExternalSize:   0,
+				ExternalSource: task.NoExternalSource,
+				Resource:       origin.Resource * fraction,
+				Deadline:       origin.Deadline,
+				LocalBlocks:    part,
+			}
+			if err := newTasks.Add(nt); err != nil {
+				return nil, nil, fmt.Errorf("core: rearrange: %w", err)
+			}
+			seq[dev]++
+			links = append(links, rearranged{nt: nt, origin: origin})
+		}
+	}
+	return newTasks, links, nil
+}
+
+// accountDTA computes the DTA cost breakdown and per-device battery
+// drain.
+func accountDTA(m *costmodel.Model, links []rearranged, sched *HTAResult, cov *cover.Result) (*DTAMetrics, *BatteryReport, error) {
+	sys := m.System()
+	out := &DTAMetrics{
+		InvolvedDevices: len(cov.Involved),
+		NewTasks:        len(links),
+	}
+	battery := &BatteryReport{ByDevice: make([]units.Energy, sys.NumDevices())}
+
+	// Scheduling-stage energy and per-executor busy time.
+	chain := make(map[int]units.Duration) // device -> busy chain
+	aggIn := make(map[task.ID]units.ByteSize)
+	aggDev := make(map[task.ID]int)
+
+	for _, ln := range links {
+		l := sched.Assignment.Of(ln.nt.ID)
+		if l == costmodel.SubsystemNone {
+			out.CancelledNewTasks++
+			continue
+		}
+		opts, err := m.Eval(ln.nt)
+		if err != nil {
+			return nil, nil, err
+		}
+		c := opts.At(l)
+		out.HTAEnergy += c.Energy
+		worker := ln.nt.ID.User
+		chain[worker] += c.Time
+		attr, err := m.Attribute(ln.nt, l)
+		if err != nil {
+			return nil, nil, err
+		}
+		for who, e := range attr {
+			if who == costmodel.Infrastructure {
+				battery.Infrastructure += e
+			} else {
+				battery.ByDevice[who] += e
+			}
+		}
+
+		origin := ln.origin.ID.User
+		aggDev[ln.origin.ID] = origin
+		result := m.ResultSize(ln.nt.LocalSize)
+		aggIn[ln.origin.ID] += result
+
+		if worker == origin {
+			continue // slice already on the requester: nothing to ship
+		}
+
+		// Descriptor: origin device -> worker device.
+		wDev := &sys.Devices[worker]
+		oDev := &sys.Devices[origin]
+		sameCluster := wDev.Station == oDev.Station
+
+		descT := oDev.Link.UploadTime(ln.origin.OpSize) + wDev.Link.DownloadTime(ln.origin.OpSize)
+		descE := oDev.Link.UploadEnergy(ln.origin.OpSize) + wDev.Link.DownloadEnergy(ln.origin.OpSize)
+		battery.ByDevice[origin] += oDev.Link.UploadEnergy(ln.origin.OpSize)
+		battery.ByDevice[worker] += wDev.Link.DownloadEnergy(ln.origin.OpSize)
+		if !sameCluster {
+			descT += sys.StationWire.TransferTime(ln.origin.OpSize)
+			descE += sys.StationWire.TransferEnergy(ln.origin.OpSize)
+			battery.Infrastructure += sys.StationWire.TransferEnergy(ln.origin.OpSize)
+		}
+		out.DescriptorEnergy += descE
+
+		// Partial result: worker device -> origin device.
+		resT := wDev.Link.UploadTime(result) + oDev.Link.DownloadTime(result)
+		resE := wDev.Link.UploadEnergy(result) + oDev.Link.DownloadEnergy(result)
+		battery.ByDevice[worker] += wDev.Link.UploadEnergy(result)
+		battery.ByDevice[origin] += oDev.Link.DownloadEnergy(result)
+		if !sameCluster {
+			resT += sys.StationWire.TransferTime(result)
+			resE += sys.StationWire.TransferEnergy(result)
+			battery.Infrastructure += sys.StationWire.TransferEnergy(result)
+		}
+		out.ResultEnergy += resE
+
+		chain[worker] += descT + resT
+	}
+
+	// Aggregation on the requesting devices. Iterate in sorted order so
+	// floating-point accumulation is deterministic run to run.
+	origIDs := make([]task.ID, 0, len(aggIn))
+	for id := range aggIn {
+		origIDs = append(origIDs, id)
+	}
+	sort.Slice(origIDs, func(i, j int) bool { return origIDs[i].Less(origIDs[j]) })
+	var maxAgg units.Duration
+	for _, origID := range origIDs {
+		dev := &sys.Devices[aggDev[origID]]
+		cycles := m.Cycles(aggIn[origID])
+		out.AggregationEnergy += dev.Proc.ExecEnergy(cycles)
+		battery.ByDevice[aggDev[origID]] += dev.Proc.ExecEnergy(cycles)
+		if t := dev.Proc.ExecTime(cycles); t > maxAgg {
+			maxAgg = t
+		}
+	}
+
+	// Makespan: busiest device chain plus the final aggregation.
+	var busiest units.Duration
+	for _, t := range chain {
+		if t > busiest {
+			busiest = t
+		}
+	}
+	out.ProcessingTime = busiest + maxAgg
+
+	out.TotalEnergy = out.HTAEnergy + out.DescriptorEnergy + out.ResultEnergy + out.AggregationEnergy
+	return out, battery, nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dsmec/internal/datamap"
+	"dsmec/internal/rng"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+	"dsmec/internal/workload"
+)
+
+func divisibleScenario(t *testing.T, seed int64, numTasks int) *workload.Scenario {
+	t.Helper()
+	sc, err := workload.GenerateDivisible(rng.NewSource(seed), workload.Params{
+		NumDevices: 20, NumStations: 3, NumTasks: numTasks,
+		MaxInput: 2000 * units.Kilobyte,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestDTAWorkloadInvariants(t *testing.T) {
+	sc := divisibleScenario(t, 1, 40)
+	res, err := DTA(sc.Model, sc.Tasks, sc.Placement, DTAOptions{Goal: GoalWorkload})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	universe := sc.Tasks.Universe()
+
+	// The coverage must partition the universe.
+	covered := datamap.NewSet()
+	total := 0
+	for dev, slice := range res.Coverage.Coverage {
+		holding, err := sc.Placement.Holding(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slice.SubsetOf(holding) {
+			t.Errorf("device %d slice not within its holding", dev)
+		}
+		covered.Union(slice)
+		total += slice.Len()
+	}
+	if !covered.Equal(universe) {
+		t.Error("coverage union != universe")
+	}
+	if total != universe.Len() {
+		t.Error("slices overlap")
+	}
+
+	// Every new task's data is entirely local to its device.
+	for _, nt := range res.NewTasks.All() {
+		if nt.ExternalSize != 0 || nt.HasExternal() {
+			t.Errorf("new task %v still has external data", nt.ID)
+		}
+		holding, err := sc.Placement.Holding(nt.ID.User)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nt.LocalBlocks.SubsetOf(holding) {
+			t.Errorf("new task %v references non-local blocks", nt.ID)
+		}
+	}
+
+	// The union of new-task blocks is the universe.
+	if got := res.NewTasks.Universe(); !got.Equal(universe) {
+		t.Error("rearranged tasks do not cover the universe")
+	}
+
+	// Schedule feasible; metrics consistent.
+	if err := CheckFeasible(sc.Model, res.NewTasks, res.Schedule.Assignment); err != nil {
+		t.Error(err)
+	}
+	m := res.Metrics
+	if m.TotalEnergy != m.HTAEnergy+m.DescriptorEnergy+m.ResultEnergy+m.AggregationEnergy {
+		t.Error("TotalEnergy is not the sum of its parts")
+	}
+	if m.InvolvedDevices != len(res.Coverage.Involved) {
+		t.Error("InvolvedDevices disagrees with coverage")
+	}
+	if m.NewTasks != res.NewTasks.Len() {
+		t.Errorf("NewTasks = %d, want %d", m.NewTasks, res.NewTasks.Len())
+	}
+	if m.ProcessingTime <= 0 {
+		t.Error("ProcessingTime should be positive")
+	}
+}
+
+func TestDTAGoals(t *testing.T) {
+	sc := divisibleScenario(t, 2, 60)
+	workloadRes, err := DTA(sc.Model, sc.Tasks, sc.Placement, DTAOptions{Goal: GoalWorkload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numberRes, err := DTA(sc.Model, sc.Tasks, sc.Placement, DTAOptions{Goal: GoalNumber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lptRes, err := DTA(sc.Model, sc.Tasks, sc.Placement, DTAOptions{Goal: GoalWorkloadLPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig. 6(b): DTA-Number involves no more devices than DTA-Workload.
+	if numberRes.Metrics.InvolvedDevices > workloadRes.Metrics.InvolvedDevices {
+		t.Errorf("DTA-Number involves %d devices, DTA-Workload %d; want fewer or equal",
+			numberRes.Metrics.InvolvedDevices, workloadRes.Metrics.InvolvedDevices)
+	}
+	// Fig. 6(a)'s shape: balanced division should not be slower than the
+	// concentrated one.
+	if workloadRes.Metrics.ProcessingTime > numberRes.Metrics.ProcessingTime {
+		t.Errorf("DTA-Workload processing time %v exceeds DTA-Number %v",
+			workloadRes.Metrics.ProcessingTime, numberRes.Metrics.ProcessingTime)
+	}
+	// The LPT ablation balances at least as well as the paper greedy.
+	if lptRes.Coverage.MaxLoad > workloadRes.Coverage.MaxLoad {
+		t.Errorf("LPT max load %d exceeds paper greedy %d",
+			lptRes.Coverage.MaxLoad, workloadRes.Coverage.MaxLoad)
+	}
+}
+
+func TestDTABeatsHolisticLPHTAOnEnergy(t *testing.T) {
+	// Fig. 5's headline: processing divisible tasks via rearrangement
+	// costs far less energy than shipping raw data (holistic LP-HTA).
+	sc := divisibleScenario(t, 3, 60)
+
+	dta, err := DTA(sc.Model, sc.Tasks, sc.Placement, DTAOptions{Goal: GoalWorkload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hta, err := LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	htaMetrics, err := Evaluate(sc.Model, sc.Tasks, hta.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dta.Metrics.TotalEnergy >= htaMetrics.TotalEnergy {
+		t.Errorf("DTA energy %v should be below holistic LP-HTA %v",
+			dta.Metrics.TotalEnergy, htaMetrics.TotalEnergy)
+	}
+}
+
+func TestDTAErrors(t *testing.T) {
+	sc := divisibleScenario(t, 4, 10)
+
+	if _, err := DTA(sc.Model, sc.Tasks, nil, DTAOptions{Goal: GoalWorkload}); err == nil {
+		t.Error("nil placement should fail")
+	}
+
+	wrong, err := datamap.NewPlacement(3, 5, units.Kilobyte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DTA(sc.Model, sc.Tasks, wrong, DTAOptions{Goal: GoalWorkload}); err == nil {
+		t.Error("device-count mismatch should fail")
+	}
+
+	if _, err := DTA(sc.Model, sc.Tasks, sc.Placement, DTAOptions{Goal: Goal(99)}); err == nil {
+		t.Error("invalid goal should fail")
+	}
+
+	// Tasks without blocks: nothing to divide.
+	holistic, err := task.NewSet(&task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: units.Kilobyte, ExternalSource: task.NoExternalSource,
+		Resource: 1, Deadline: units.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DTA(sc.Model, holistic, sc.Placement, DTAOptions{Goal: GoalWorkload}); !errors.Is(err, ErrNoDivisibleData) {
+		t.Errorf("err = %v, want ErrNoDivisibleData", err)
+	}
+}
+
+func TestDTADeterministic(t *testing.T) {
+	run := func() *DTAResult {
+		sc := divisibleScenario(t, 5, 30)
+		res, err := DTA(sc.Model, sc.Tasks, sc.Placement, DTAOptions{Goal: GoalNumber})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Metrics != b.Metrics {
+		t.Errorf("DTA metrics differ across identical runs:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+}
+
+func TestGoalString(t *testing.T) {
+	if GoalWorkload.String() != "DTA-Workload" || GoalNumber.String() != "DTA-Number" {
+		t.Error("goal names must match the paper's figure legends")
+	}
+	if GoalWorkloadLPT.String() != "DTA-Workload-LPT" {
+		t.Error("LPT goal name wrong")
+	}
+	if Goal(42).String() != "Goal(42)" {
+		t.Error("unknown goal format wrong")
+	}
+}

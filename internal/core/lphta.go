@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dsmec/internal/costmodel"
+	"dsmec/internal/lp"
+	"dsmec/internal/mecnet"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// Rounding selects how Step 3 converts the fractional LP solution into a
+// tentative integral assignment.
+type Rounding int
+
+// Rounding rules.
+const (
+	// RoundLargestFraction is the paper's rule: pick
+	// q = argmax_l X[i,j,l].
+	RoundLargestFraction Rounding = iota + 1
+	// RoundRandomized samples l with probability X[i,j,l]; an ablation.
+	RoundRandomized
+)
+
+// RepairOrder selects which tasks the Steps 5–6 greedy migrations move
+// first.
+type RepairOrder int
+
+// Repair orders.
+const (
+	// RepairLargestFirst is the paper's rule: migrate/cancel the tasks
+	// occupying the most resources first.
+	RepairLargestFirst RepairOrder = iota + 1
+	// RepairSmallestFirst moves the cheapest tasks first; an ablation.
+	RepairSmallestFirst
+)
+
+// LPHTAOptions tunes the algorithm; the zero value gives the paper's
+// configuration.
+type LPHTAOptions struct {
+	Rounding Rounding
+	Repair   RepairOrder
+	// Rand is required only for RoundRandomized.
+	Rand *rand.Rand
+}
+
+func (o *LPHTAOptions) withDefaults() (LPHTAOptions, error) {
+	out := LPHTAOptions{Rounding: RoundLargestFraction, Repair: RepairLargestFirst}
+	if o != nil {
+		if o.Rounding != 0 {
+			out.Rounding = o.Rounding
+		}
+		if o.Repair != 0 {
+			out.Repair = o.Repair
+		}
+		out.Rand = o.Rand
+	}
+	if out.Rounding == RoundRandomized && out.Rand == nil {
+		return out, fmt.Errorf("core: randomized rounding requires a rand source")
+	}
+	return out, nil
+}
+
+// HTAResult is the outcome of LP-HTA, including the quantities that appear
+// in the Theorem 2 ratio bound R ≤ 3 + Δ/E_LP^OPT.
+type HTAResult struct {
+	Assignment *Assignment
+
+	// LPObjective is E_LP^OPT: the optimal value of the relaxation P2,
+	// summed over clusters.
+	LPObjective units.Energy
+	// RoundedEnergy is the energy of the Step 3 integral solution x̂
+	// before any repair.
+	RoundedEnergy units.Energy
+	// Delta is the energy growth caused by the Steps 4–6 migrations,
+	// measured over tasks that remain placed.
+	Delta units.Energy
+	// FractionalTasks counts tasks whose LP solution was not already
+	// integral.
+	FractionalTasks int
+	// LPIterations sums simplex iterations across clusters.
+	LPIterations int
+	// PreCancelled counts tasks cancelled before the LP because no
+	// subsystem could meet their deadline at all.
+	PreCancelled int
+}
+
+// RatioBoundEstimate returns the Theorem 2 upper bound 3 + Δ/E_LP^OPT
+// computed from the run (infinite when the LP optimum is zero).
+func (r *HTAResult) RatioBoundEstimate() float64 {
+	if r.LPObjective <= 0 {
+		return math.Inf(1)
+	}
+	return 3 + float64(r.Delta)/float64(r.LPObjective)
+}
+
+// clusterTask carries one task plus its evaluated per-subsystem costs
+// through the per-cluster pipeline.
+type clusterTask struct {
+	t    *task.Task
+	opts costmodel.Options
+}
+
+// LPHTA runs the Holistic Task Assignment algorithm of Section III on the
+// whole system, treating each cluster independently (as the paper argues
+// is possible, since a task can only run on its own device, its own
+// station, or the cloud).
+func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult, error) {
+	opts, err := options.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sys := m.System()
+	res := &HTAResult{Assignment: NewAssignment()}
+
+	// Group tasks per cluster via their raising device.
+	perCluster := make([][]*task.Task, sys.NumStations())
+	for _, t := range ts.All() {
+		st, err := sys.StationOf(t.ID.User)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		perCluster[st] = append(perCluster[st], t)
+	}
+
+	for st, tasks := range perCluster {
+		if len(tasks) == 0 {
+			continue
+		}
+		if err := lphtaCluster(m, st, tasks, opts, res); err != nil {
+			return nil, fmt.Errorf("core: cluster %d: %w", st, err)
+		}
+	}
+	return res, nil
+}
+
+// lphtaCluster runs Steps 1–6 for one cluster, accumulating into res.
+func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHTAOptions, res *HTAResult) error {
+	sys := m.System()
+
+	// Evaluate costs, cancelling upfront any task no subsystem can serve
+	// within its deadline (the LP would be infeasible with it, and Step 4
+	// would cancel it anyway).
+	cts := make([]clusterTask, 0, len(tasks))
+	for _, t := range tasks {
+		o, err := m.Eval(t)
+		if err != nil {
+			return err
+		}
+		feasibleSomewhere := false
+		for _, l := range costmodel.Subsystems {
+			if o.At(l).Time <= t.Deadline {
+				feasibleSomewhere = true
+				break
+			}
+		}
+		if !feasibleSomewhere {
+			res.Assignment.Cancel(t.ID)
+			res.PreCancelled++
+			continue
+		}
+		cts = append(cts, clusterTask{t: t, opts: o})
+	}
+	if len(cts) == 0 {
+		return nil
+	}
+
+	// Step 1: build and solve the relaxation P2.
+	frac, sol, err := solveClusterLP(sys, station, cts)
+	if err != nil {
+		return err
+	}
+	res.LPObjective += units.Energy(sol.Objective)
+	res.LPIterations += sol.Iterations
+
+	// Steps 2–3: round to x̂.
+	chosen := make([]costmodel.Subsystem, len(cts))
+	for i := range cts {
+		x := frac[i]
+		if !isIntegral(x) {
+			res.FractionalTasks++
+		}
+		switch opts.Rounding {
+		case RoundRandomized:
+			chosen[i] = sampleLevel(opts.Rand, x)
+		default:
+			chosen[i] = argmaxLevel(x)
+		}
+		res.RoundedEnergy += cts[i].opts.At(chosen[i]).Energy
+	}
+
+	// Step 4: deadline repair.
+	for i, ct := range cts {
+		if ct.opts.At(chosen[i]).Time <= ct.t.Deadline {
+			continue
+		}
+		best := costmodel.SubsystemNone
+		bestFrac := -1.0
+		for li, l := range costmodel.Subsystems {
+			if ct.opts.At(l).Time <= ct.t.Deadline && frac[i][li] > bestFrac {
+				best, bestFrac = l, frac[i][li]
+			}
+		}
+		// A feasible subsystem always exists here: infeasible-everywhere
+		// tasks were cancelled before the LP.
+		chosen[i] = best
+	}
+
+	// Step 5: per-device capacity repair (device → station → cancel).
+	byDevice := make(map[int][]int) // device -> indices into cts
+	for i, ct := range cts {
+		if chosen[i] == costmodel.SubsystemDevice {
+			byDevice[ct.t.ID.User] = append(byDevice[ct.t.ID.User], i)
+		}
+	}
+	for dev, idxs := range byDevice {
+		cap := sys.Devices[dev].ResourceCap
+		load := 0.0
+		for _, i := range idxs {
+			load += cts[i].t.Resource
+		}
+		if load <= cap {
+			continue
+		}
+		order := sortByResource(cts, idxs, opts.Repair)
+		// First pass: migrate station-feasible tasks.
+		for _, i := range order {
+			if load <= cap {
+				break
+			}
+			if cts[i].opts.At(costmodel.SubsystemStation).Time <= cts[i].t.Deadline {
+				chosen[i] = costmodel.SubsystemStation
+				load -= cts[i].t.Resource
+			}
+		}
+		// Second pass: cancel what still does not fit.
+		for _, i := range order {
+			if load <= cap {
+				break
+			}
+			if chosen[i] == costmodel.SubsystemDevice {
+				chosen[i] = costmodel.SubsystemNone
+				load -= cts[i].t.Resource
+			}
+		}
+	}
+
+	// Step 6: station capacity repair (station → cloud → cancel).
+	var stationIdxs []int
+	stationLoad := 0.0
+	for i := range cts {
+		if chosen[i] == costmodel.SubsystemStation {
+			stationIdxs = append(stationIdxs, i)
+			stationLoad += cts[i].t.Resource
+		}
+	}
+	if cap := sys.Stations[station].ResourceCap; stationLoad > cap {
+		order := sortByResource(cts, stationIdxs, opts.Repair)
+		for _, i := range order {
+			if stationLoad <= cap {
+				break
+			}
+			if cts[i].opts.At(costmodel.SubsystemCloud).Time <= cts[i].t.Deadline {
+				chosen[i] = costmodel.SubsystemCloud
+				stationLoad -= cts[i].t.Resource
+			}
+		}
+		for _, i := range order {
+			if stationLoad <= cap {
+				break
+			}
+			if chosen[i] == costmodel.SubsystemStation {
+				chosen[i] = costmodel.SubsystemNone
+				stationLoad -= cts[i].t.Resource
+			}
+		}
+	}
+
+	// Record the final assignment and Δ, the energy growth the Steps 4–6
+	// migrations caused relative to the Step 3 rounding (over tasks that
+	// remain placed).
+	var delta units.Energy
+	for i, ct := range cts {
+		l := chosen[i]
+		if l == costmodel.SubsystemNone {
+			res.Assignment.Cancel(ct.t.ID)
+			continue
+		}
+		res.Assignment.Place(ct.t.ID, l)
+		step3 := ct.opts.At(argmaxLevel(frac[i])).Energy
+		delta += ct.opts.At(l).Energy - step3
+	}
+	if delta > 0 {
+		res.Delta += delta
+	}
+	return nil
+}
+
+// solveClusterLP builds and solves the relaxation P2 for one cluster:
+//
+//	min  Σ E_ijl·x_ijl
+//	s.t. x_ijl ≤ T_ij/t_ijl             (C1, folded into variable bounds)
+//	     Σ_j C_ij·x_ij1 ≤ max_i         (C2, one row per device)
+//	     Σ_ij C_ij·x_ij2 ≤ max_S        (C3)
+//	     Σ_l x_ijl = 1                  (C4)
+//	     0 ≤ x_ijl ≤ 1                  (relaxed C5)
+//
+// It returns the fractional assignment per task and the LP solution.
+func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask) ([][3]float64, *lp.Solution, error) {
+	nVars := 3 * len(cts)
+	p := &lp.Problem{
+		Minimize: make([]float64, nVars),
+		Upper:    make([]float64, nVars),
+	}
+
+	for i, ct := range cts {
+		for li, l := range costmodel.Subsystems {
+			v := 3*i + li
+			c := ct.opts.At(l)
+			p.Minimize[v] = float64(c.Energy)
+			bound := 1.0
+			if !c.Time.IsFinite() {
+				bound = 0
+			} else if c.Time > 0 {
+				// t_ijl·x ≤ T_ij  ⇒  x ≤ T_ij/t_ijl.
+				if b := float64(ct.t.Deadline) / float64(c.Time); b < bound {
+					bound = b
+				}
+			}
+			p.Upper[v] = bound
+		}
+	}
+
+	// C4: one equality row per task.
+	for i := range cts {
+		row := make([]float64, nVars)
+		row[3*i], row[3*i+1], row[3*i+2] = 1, 1, 1
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Sense: lp.EQ, RHS: 1})
+	}
+
+	// C2: one row per device that raises tasks in this cluster.
+	byDevice := make(map[int][]int)
+	for i, ct := range cts {
+		byDevice[ct.t.ID.User] = append(byDevice[ct.t.ID.User], i)
+	}
+	devices := make([]int, 0, len(byDevice))
+	for dev := range byDevice {
+		devices = append(devices, dev)
+	}
+	sort.Ints(devices)
+	for _, dev := range devices {
+		row := make([]float64, nVars)
+		for _, i := range byDevice[dev] {
+			row[3*i] = cts[i].t.Resource
+		}
+		p.Constraints = append(p.Constraints, lp.Constraint{
+			Coeffs: row, Sense: lp.LE, RHS: sys.Devices[dev].ResourceCap,
+		})
+	}
+
+	// C3: the station row.
+	row := make([]float64, nVars)
+	for i := range cts {
+		row[3*i+1] = cts[i].t.Resource
+	}
+	p.Constraints = append(p.Constraints, lp.Constraint{
+		Coeffs: row, Sense: lp.LE, RHS: sys.Stations[station].ResourceCap,
+	})
+
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("relaxation: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		// The relaxation can only be infeasible when deadline bounds and
+		// caps conflict in ways the pre-cancellation did not remove; fall
+		// back to dropping deadline bounds entirely (Step 4 repairs them)
+		// so every remaining task still gets a fractional placement.
+		for v := range p.Upper {
+			p.Upper[v] = 1
+		}
+		sol, err = lp.Solve(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("relaxation fallback: %w", err)
+		}
+		if sol.Status != lp.Optimal {
+			return nil, nil, fmt.Errorf("relaxation fallback: status %v", sol.Status)
+		}
+	}
+
+	frac := make([][3]float64, len(cts))
+	for i := range cts {
+		frac[i] = [3]float64{sol.X[3*i], sol.X[3*i+1], sol.X[3*i+2]}
+	}
+	return frac, sol, nil
+}
+
+// isIntegral reports whether a fractional task assignment is already 0/1.
+func isIntegral(x [3]float64) bool {
+	const tol = 1e-6
+	for _, v := range x {
+		if v > tol && v < 1-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// argmaxLevel implements the paper's Step 3 choice q = argmax_l X[i,j,l];
+// ties break toward the cheaper (lower) level, matching the energy
+// ordering E_ij1 < E_ij2 < E_ij3 of typical instances.
+func argmaxLevel(x [3]float64) costmodel.Subsystem {
+	best := 0
+	for l := 1; l < 3; l++ {
+		if x[l] > x[best] {
+			best = l
+		}
+	}
+	return costmodel.Subsystems[best]
+}
+
+// sampleLevel draws l with probability proportional to X[i,j,l].
+func sampleLevel(r *rand.Rand, x [3]float64) costmodel.Subsystem {
+	total := x[0] + x[1] + x[2]
+	if total <= 0 {
+		return costmodel.SubsystemDevice
+	}
+	u := r.Float64() * total
+	switch {
+	case u < x[0]:
+		return costmodel.SubsystemDevice
+	case u < x[0]+x[1]:
+		return costmodel.SubsystemStation
+	default:
+		return costmodel.SubsystemCloud
+	}
+}
+
+// sortByResource returns the indices ordered for repair migration:
+// largest C_ij first for the paper's rule, smallest first for the
+// ablation. Ties break by task ID for determinism.
+func sortByResource(cts []clusterTask, idxs []int, order RepairOrder) []int {
+	out := make([]int, len(idxs))
+	copy(out, idxs)
+	sort.Slice(out, func(a, b int) bool {
+		ra, rb := cts[out[a]].t.Resource, cts[out[b]].t.Resource
+		if ra != rb {
+			if order == RepairSmallestFirst {
+				return ra < rb
+			}
+			return ra > rb
+		}
+		return cts[out[a]].t.ID.Less(cts[out[b]].t.ID)
+	})
+	return out
+}

@@ -1,0 +1,92 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// Infrastructure is the Attribution key for energy drawn from the grid —
+// base-station wires and the WAN — rather than from any device battery.
+const Infrastructure = -1
+
+// Attribution splits E_ijl by who pays it: device indices map to battery
+// energy (radio plus computation), Infrastructure collects the wired
+// backhaul shares. The values sum to the corresponding Options energy.
+type Attribution map[int]units.Energy
+
+// Battery returns the battery share of device i.
+func (a Attribution) Battery(i int) units.Energy { return a[i] }
+
+// Total returns the sum over all payers.
+func (a Attribution) Total() units.Energy {
+	var sum units.Energy
+	for _, e := range a {
+		sum += e
+	}
+	return sum
+}
+
+// Attribute computes who pays the energy of running t on subsystem l.
+// The split follows Section II:
+//
+//   - the source device L_ij pays e_L^(T)(β) whenever external data moves,
+//   - the owning device i pays its uploads, downloads and (for l = 1) the
+//     computation energy κλ(α+β)f²,
+//   - the station↔station and station↔cloud wires bill Infrastructure.
+func (m *Model) Attribute(t *task.Task, l Subsystem) (Attribution, error) {
+	dev, err := m.sys.Device(t.ID.User)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: task %v: %w", t.ID, err)
+	}
+	out := Attribution{}
+	add := func(who int, e units.Energy) {
+		if e != 0 {
+			out[who] += e
+		}
+	}
+
+	var sameCluster bool
+	if t.HasExternal() {
+		src, err := m.sys.Device(t.ExternalSource)
+		if err != nil {
+			return nil, fmt.Errorf("costmodel: task %v external source: %w", t.ID, err)
+		}
+		sameCluster = src.Station == dev.Station
+		// The source device uploads β for every placement choice.
+		add(t.ExternalSource, src.Link.UploadEnergy(t.ExternalSize))
+	}
+
+	input := t.InputSize()
+	cycles := m.cycles.Cycles(input)
+	result := m.result.ResultSize(input)
+	home := t.ID.User
+
+	switch l {
+	case SubsystemDevice:
+		if t.HasExternal() {
+			add(home, dev.Link.DownloadEnergy(t.ExternalSize))
+			if !sameCluster {
+				add(Infrastructure, m.sys.StationWire.TransferEnergy(t.ExternalSize))
+			}
+		}
+		add(home, dev.Proc.ExecEnergy(cycles))
+
+	case SubsystemStation:
+		if t.HasExternal() && !sameCluster {
+			add(Infrastructure, m.sys.StationWire.TransferEnergy(t.ExternalSize))
+		}
+		add(home, dev.Link.UploadEnergy(t.LocalSize))
+		add(home, dev.Link.DownloadEnergy(result))
+
+	case SubsystemCloud:
+		add(home, dev.Link.UploadEnergy(t.LocalSize))
+		add(home, dev.Link.DownloadEnergy(result))
+		add(Infrastructure, m.sys.CloudWire.TransferEnergy(input+result))
+
+	default:
+		return nil, fmt.Errorf("costmodel: task %v: invalid subsystem %d", t.ID, int(l))
+	}
+	return out, nil
+}

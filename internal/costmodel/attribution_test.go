@@ -1,0 +1,143 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"dsmec/internal/rng"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+func TestAttributionSumsToTotal(t *testing.T) {
+	// Property: for any task and placement, the attribution entries sum
+	// exactly to the E_ijl the cost model reports.
+	m := newModel(t, testSystem(t))
+	r := rng.NewSource(17).Stream("attr")
+	for trial := 0; trial < 200; trial++ {
+		alpha := units.ByteSize(rng.UniformInt(r, 50, 3000)) * units.Kilobyte
+		beta := alpha.Scale(rng.Uniform(r, 0, 0.5))
+		user := rng.UniformInt(r, 0, 2)
+		source := task.NoExternalSource
+		if beta > 0 {
+			source = (user + 1 + rng.UniformInt(r, 0, 1)) % 3
+			if source == user {
+				source = (user + 1) % 3
+			}
+		}
+		tk := &task.Task{
+			ID: task.ID{User: user, Index: trial}, Kind: task.Holistic,
+			LocalSize: alpha, ExternalSize: beta, ExternalSource: source,
+			Resource: 1, Deadline: 100 * units.Second,
+		}
+		opts, err := m.Eval(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range Subsystems {
+			attr, err := m.Attribute(tk, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := opts.At(l).Energy
+			if got := attr.Total(); math.Abs(got.Joules()-want.Joules()) > 1e-9 {
+				t.Fatalf("trial %d level %v: attribution total %v != E_ijl %v",
+					trial, l, got, want)
+			}
+		}
+	}
+}
+
+func TestAttributionLocalOnlyDevice(t *testing.T) {
+	// A local-only task run locally drains only the owner's battery.
+	m := newModel(t, testSystem(t))
+	tk := &task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: 1000 * units.Kilobyte, ExternalSource: task.NoExternalSource,
+		Resource: 1, Deadline: 10 * units.Second,
+	}
+	attr, err := m.Attribute(tk, SubsystemDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attr) != 1 {
+		t.Fatalf("attribution = %v, want only device 0", attr)
+	}
+	if math.Abs(attr.Battery(0).Joules()-0.33) > 1e-9 {
+		t.Errorf("device battery = %v, want 0.33J (pure compute)", attr.Battery(0))
+	}
+}
+
+func TestAttributionExternalSourcePays(t *testing.T) {
+	// Cross-cluster external data: the source device pays its upload, the
+	// wire bills infrastructure, the owner pays download + compute.
+	m := newModel(t, testSystem(t))
+	beta := 400 * units.Kilobyte
+	tk := &task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: 600 * units.Kilobyte, ExternalSize: beta, ExternalSource: 2,
+		Resource: 1, Deadline: 10 * units.Second,
+	}
+	attr, err := m.Attribute(tk, SubsystemDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcWant := units.Power(7.32).EnergyOver(beta.TransferTime(5.85 * units.MbitPerSecond))
+	if math.Abs(attr.Battery(2).Joules()-srcWant.Joules()) > 1e-9 {
+		t.Errorf("source battery = %v, want %v", attr.Battery(2), srcWant)
+	}
+	if attr.Battery(Infrastructure) <= 0 {
+		t.Error("cross-cluster wire energy should bill infrastructure")
+	}
+	if attr.Battery(0) <= 0 {
+		t.Error("owner should pay download + compute")
+	}
+	if attr.Battery(1) != 0 {
+		t.Error("uninvolved device must pay nothing")
+	}
+}
+
+func TestAttributionCloudBillsWAN(t *testing.T) {
+	m := newModel(t, testSystem(t))
+	tk := &task.Task{
+		ID: task.ID{User: 1, Index: 0}, Kind: task.Holistic,
+		LocalSize: 1000 * units.Kilobyte, ExternalSource: task.NoExternalSource,
+		Resource: 1, Deadline: 10 * units.Second,
+	}
+	attr, err := m.Attribute(tk, SubsystemCloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1200 kB over the WAN at 1e-6 J/B = 1.2 J.
+	if math.Abs(attr.Battery(Infrastructure).Joules()-1.2) > 1e-9 {
+		t.Errorf("infrastructure share = %v, want 1.2J", attr.Battery(Infrastructure))
+	}
+}
+
+func TestAttributionErrors(t *testing.T) {
+	m := newModel(t, testSystem(t))
+	tk := &task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: units.Kilobyte, ExternalSource: task.NoExternalSource,
+		Resource: 1, Deadline: units.Second,
+	}
+	if _, err := m.Attribute(tk, Subsystem(9)); err == nil {
+		t.Error("invalid subsystem should fail")
+	}
+	bad := &task.Task{
+		ID: task.ID{User: 9, Index: 0}, Kind: task.Holistic,
+		LocalSize: units.Kilobyte, ExternalSource: task.NoExternalSource,
+		Resource: 1, Deadline: units.Second,
+	}
+	if _, err := m.Attribute(bad, SubsystemDevice); err == nil {
+		t.Error("bad user should fail")
+	}
+	badSrc := &task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: units.Kilobyte, ExternalSize: units.Kilobyte, ExternalSource: 9,
+		Resource: 1, Deadline: units.Second,
+	}
+	if _, err := m.Attribute(badSrc, SubsystemDevice); err == nil {
+		t.Error("bad source should fail")
+	}
+}

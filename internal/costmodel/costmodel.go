@@ -1,0 +1,238 @@
+// Package costmodel implements Section II of the paper: the closed-form
+// delay t_ijl and energy E_ijl of running task T_ij on subsystem l, where
+// l = 1 is the task's own mobile device, l = 2 its base station, and l = 3
+// the remote cloud.
+//
+// Each cost combines the computation model (II.A) and the transmission
+// model (II.B):
+//
+//	t_ijl = t_ijl^(C) + t_ijl^(R)
+//	E_ij1 = E_ij1^(R) + E_ij1^(C)        (battery device computes)
+//	E_ijl = E_ijl^(R)            l = 2,3 (grid-powered compute is free)
+//
+// The transmission terms depend on where the external data lives: same
+// cluster as the task's device, or another cluster (adding the
+// station-to-station backhaul).
+package costmodel
+
+import (
+	"fmt"
+
+	"dsmec/internal/compute"
+	"dsmec/internal/mecnet"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// Subsystem identifies where a task runs: the paper's index l.
+type Subsystem int
+
+// The three subsystems of the paper, plus SubsystemNone for cancelled
+// tasks.
+const (
+	SubsystemNone    Subsystem = 0
+	SubsystemDevice  Subsystem = 1
+	SubsystemStation Subsystem = 2
+	SubsystemCloud   Subsystem = 3
+)
+
+// Subsystems lists the three placement choices in index order.
+var Subsystems = [3]Subsystem{SubsystemDevice, SubsystemStation, SubsystemCloud}
+
+// String names the subsystem.
+func (s Subsystem) String() string {
+	switch s {
+	case SubsystemNone:
+		return "none"
+	case SubsystemDevice:
+		return "device"
+	case SubsystemStation:
+		return "station"
+	case SubsystemCloud:
+		return "cloud"
+	default:
+		return fmt.Sprintf("Subsystem(%d)", int(s))
+	}
+}
+
+// Cost is the delay and energy of one placement choice.
+type Cost struct {
+	Time   units.Duration // t_ijl
+	Energy units.Energy   // E_ijl
+}
+
+// Options holds the cost of every subsystem choice for one task, indexed
+// by Subsystem (index 0 unused).
+type Options struct {
+	ByLevel [4]Cost
+}
+
+// At returns the cost of running the task on subsystem l.
+func (o Options) At(l Subsystem) Cost { return o.ByLevel[l] }
+
+// Model evaluates the Section II formulas against a concrete system.
+type Model struct {
+	sys    *mecnet.System
+	cycles compute.CycleModel
+	result compute.ResultModel
+}
+
+// New builds a cost model. cycles is λ (CPU cycles per input size), result
+// is η (result size per input size); nil values default to the paper's
+// evaluation models (λ = 330 cycles/byte, η = 0.2).
+func New(sys *mecnet.System, cycles compute.CycleModel, result compute.ResultModel) (*Model, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("costmodel: nil system")
+	}
+	if cycles == nil {
+		cycles = compute.DefaultCycles()
+	}
+	if result == nil {
+		result = compute.DefaultResult()
+	}
+	return &Model{sys: sys, cycles: cycles, result: result}, nil
+}
+
+// System returns the topology the model evaluates against.
+func (m *Model) System() *mecnet.System { return m.sys }
+
+// ResultSize returns η(size), the output size for the given input size.
+func (m *Model) ResultSize(size units.ByteSize) units.ByteSize {
+	return m.result.ResultSize(size)
+}
+
+// Cycles returns λ(size), the cycle demand for the given input size.
+func (m *Model) Cycles(size units.ByteSize) units.Cycles {
+	return m.cycles.Cycles(size)
+}
+
+// Eval returns the cost of every placement choice for t.
+func (m *Model) Eval(t *task.Task) (Options, error) {
+	dev, err := m.sys.Device(t.ID.User)
+	if err != nil {
+		return Options{}, fmt.Errorf("costmodel: task %v: %w", t.ID, err)
+	}
+
+	var (
+		src       *mecnet.Device
+		sameClust bool
+	)
+	if t.HasExternal() {
+		src, err = m.sys.Device(t.ExternalSource)
+		if err != nil {
+			return Options{}, fmt.Errorf("costmodel: task %v external source: %w", t.ID, err)
+		}
+		sameClust = src.Station == dev.Station
+	}
+
+	input := t.InputSize()
+	cycles := m.cycles.Cycles(input)
+	result := m.result.ResultSize(input)
+
+	var opts Options
+	opts.ByLevel[SubsystemDevice] = m.onDevice(t, dev, src, sameClust, cycles)
+	opts.ByLevel[SubsystemStation] = m.onStation(t, dev, src, sameClust, cycles, result)
+	opts.ByLevel[SubsystemCloud] = m.onCloud(t, dev, src, cycles, result)
+	return opts, nil
+}
+
+// onDevice is the l = 1 case: retrieve β_ij from the source device (via the
+// stations), then compute locally.
+//
+//	t^(R) = β/r_L^(U) + β/r_i^(D)            (+ t_B,B(β) across clusters)
+//	E^(R) = e_L^(T)(β) + e_i^(R)(β)          (+ e_B,B(β) across clusters)
+//	t^(C) = λ(α+β)/f_i,  E^(C) = κλ(α+β)f_i²
+func (m *Model) onDevice(t *task.Task, dev, src *mecnet.Device, sameClust bool, cycles units.Cycles) Cost {
+	var c Cost
+	if t.HasExternal() {
+		beta := t.ExternalSize
+		c.Time += src.Link.UploadTime(beta) + dev.Link.DownloadTime(beta)
+		c.Energy += src.Link.UploadEnergy(beta) + dev.Link.DownloadEnergy(beta)
+		if !sameClust {
+			c.Time += m.sys.StationWire.TransferTime(beta)
+			c.Energy += m.sys.StationWire.TransferEnergy(beta)
+		}
+	}
+	c.Time += dev.Proc.ExecTime(cycles)
+	c.Energy += dev.Proc.ExecEnergy(cycles)
+	return c
+}
+
+// onStation is the l = 2 case: the local data goes up from device i while
+// the external data goes up from device L (in parallel, hence the max);
+// the station computes (free, grid powered); the result comes back down to
+// device i.
+//
+//	t^(R) = max{β/r_L^(U) (+ t_B,B(β)), α/r_i^(U)} + η(α+β)/r_i^(D)
+//	E^(R) = e_L^(T)(β) + e_i^(T)(α) + e_i^(R)(η(α+β)) (+ e_B,B(β))
+//	t^(C) = λ(α+β)/f_s
+func (m *Model) onStation(t *task.Task, dev, src *mecnet.Device, sameClust bool, cycles units.Cycles, result units.ByteSize) Cost {
+	var c Cost
+	externalPath := units.Duration(0)
+	if t.HasExternal() {
+		beta := t.ExternalSize
+		externalPath = src.Link.UploadTime(beta)
+		c.Energy += src.Link.UploadEnergy(beta)
+		if !sameClust {
+			externalPath += m.sys.StationWire.TransferTime(beta)
+			c.Energy += m.sys.StationWire.TransferEnergy(beta)
+		}
+	}
+	localPath := dev.Link.UploadTime(t.LocalSize)
+	c.Energy += dev.Link.UploadEnergy(t.LocalSize)
+
+	c.Time += units.DurationMax(externalPath, localPath)
+	c.Time += dev.Link.DownloadTime(result)
+	c.Energy += dev.Link.DownloadEnergy(result)
+
+	station := &m.sys.Stations[dev.Station]
+	c.Time += station.Proc.ExecTime(cycles)
+	c.Energy += station.Proc.ExecEnergy(cycles) // zero for grid-powered stations
+	return c
+}
+
+// onCloud is the l = 3 case: both inputs go up in parallel as for l = 2,
+// everything (inputs plus result) crosses the station-to-cloud backhaul,
+// the cloud computes, and the result comes down to device i.
+//
+//	t^(R) = max{β/r_L^(U), α/r_i^(U)} + η(α+β)/r_i^(D)
+//	        + t_B,C(α+β+η(α+β))
+//	E^(R) = e_L^(T)(β) + e_i^(T)(α) + e_i^(R)(η(α+β))
+//	        + e_B,C(α+β+η(α+β))
+//	t^(C) = λ(α+β)/f_c
+func (m *Model) onCloud(t *task.Task, dev, src *mecnet.Device, cycles units.Cycles, result units.ByteSize) Cost {
+	var c Cost
+	externalPath := units.Duration(0)
+	if t.HasExternal() {
+		beta := t.ExternalSize
+		externalPath = src.Link.UploadTime(beta)
+		c.Energy += src.Link.UploadEnergy(beta)
+	}
+	localPath := dev.Link.UploadTime(t.LocalSize)
+	c.Energy += dev.Link.UploadEnergy(t.LocalSize)
+
+	c.Time += units.DurationMax(externalPath, localPath)
+	c.Time += dev.Link.DownloadTime(result)
+	c.Energy += dev.Link.DownloadEnergy(result)
+
+	wan := t.InputSize() + result
+	c.Time += m.sys.CloudWire.TransferTime(wan)
+	c.Energy += m.sys.CloudWire.TransferEnergy(wan)
+
+	c.Time += m.sys.Cloud.Proc.ExecTime(cycles)
+	c.Energy += m.sys.Cloud.Proc.ExecEnergy(cycles) // zero for the grid-powered cloud
+	return c
+}
+
+// EvalAll evaluates every task of a set, returning costs keyed by task ID.
+func (m *Model) EvalAll(ts *task.Set) (map[task.ID]Options, error) {
+	out := make(map[task.ID]Options, ts.Len())
+	for _, t := range ts.All() {
+		opts, err := m.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		out[t.ID] = opts
+	}
+	return out, nil
+}

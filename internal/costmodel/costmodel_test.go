@@ -1,0 +1,415 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dsmec/internal/backhaul"
+	"dsmec/internal/compute"
+	"dsmec/internal/mecnet"
+	"dsmec/internal/radio"
+	"dsmec/internal/rng"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// testSystem builds a deterministic two-cluster system:
+// device 0 (4G, 1 GHz) and device 1 (Wi-Fi, 2 GHz) on station 0;
+// device 2 (4G, 1.5 GHz) on station 1.
+func testSystem(t *testing.T) *mecnet.System {
+	t.Helper()
+	sys := &mecnet.System{
+		Devices: []mecnet.Device{
+			{Station: 0, Link: radio.FourG, Proc: compute.DeviceProcessor(1 * units.Gigahertz), ResourceCap: 100},
+			{Station: 0, Link: radio.WiFi, Proc: compute.DeviceProcessor(2 * units.Gigahertz), ResourceCap: 100},
+			{Station: 1, Link: radio.FourG, Proc: compute.DeviceProcessor(1.5 * units.Gigahertz), ResourceCap: 100},
+		},
+		Stations: []mecnet.Station{
+			{Proc: compute.StationProcessor(), ResourceCap: 1000},
+			{Proc: compute.StationProcessor(), ResourceCap: 1000},
+		},
+		Cloud:       mecnet.Cloud{Proc: compute.CloudProcessor()},
+		StationWire: backhaul.DefaultStationToStation(),
+		CloudWire:   backhaul.DefaultStationToCloud(),
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func newModel(t *testing.T, sys *mecnet.System) *Model {
+	t.Helper()
+	m, err := New(sys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSubsystemString(t *testing.T) {
+	tests := []struct {
+		s    Subsystem
+		want string
+	}{
+		{SubsystemNone, "none"},
+		{SubsystemDevice, "device"},
+		{SubsystemStation, "station"},
+		{SubsystemCloud, "cloud"},
+		{Subsystem(9), "Subsystem(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, nil); err == nil {
+		t.Error("New(nil) should fail")
+	}
+	sys := testSystem(t)
+	m, err := New(sys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.System() != sys {
+		t.Error("System() should return the constructor argument")
+	}
+	// Defaults: λ = 330 cycles/byte, η = 0.2.
+	if got := m.Cycles(100); got != 33000 {
+		t.Errorf("default Cycles(100B) = %v, want 33000", got)
+	}
+	if got := m.ResultSize(1000); got != 200 {
+		t.Errorf("default ResultSize(1000B) = %v, want 200", got)
+	}
+}
+
+func TestEvalLocalOnlyTaskOnDevice(t *testing.T) {
+	// A task with no external data run locally: zero transmission, pure
+	// compute. α = 1000 kB on a 1 GHz device.
+	m := newModel(t, testSystem(t))
+	tk := &task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: 1000 * units.Kilobyte, ExternalSource: task.NoExternalSource,
+		Resource: 1, Deadline: 10 * units.Second,
+	}
+	opts, err := m.Eval(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := opts.At(SubsystemDevice)
+	// t = λX/f = 330·1e6/1e9 = 0.33 s; E = κλXf² = 1e-27·330e6·1e18 = 0.33 J.
+	if math.Abs(got.Time.Seconds()-0.33) > 1e-9 {
+		t.Errorf("device time = %v, want 0.33s", got.Time)
+	}
+	if math.Abs(got.Energy.Joules()-0.33) > 1e-9 {
+		t.Errorf("device energy = %v, want 0.33J", got.Energy)
+	}
+}
+
+func TestEvalLocalOnlyTaskOnStation(t *testing.T) {
+	// Station run: upload α over 4G, station computes, download η·α.
+	m := newModel(t, testSystem(t))
+	alpha := 1000 * units.Kilobyte
+	tk := &task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: alpha, ExternalSource: task.NoExternalSource,
+		Resource: 1, Deadline: 10 * units.Second,
+	}
+	opts, err := m.Eval(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := opts.At(SubsystemStation)
+
+	up := alpha.TransferTime(5.85 * units.MbitPerSecond)
+	down := (200 * units.Kilobyte).TransferTime(13.76 * units.MbitPerSecond)
+	exec := units.Cycles(330 * 1e6).TimeAt(4 * units.Gigahertz)
+	wantTime := up + down + exec
+	if math.Abs(got.Time.Seconds()-wantTime.Seconds()) > 1e-9 {
+		t.Errorf("station time = %v, want %v", got.Time, wantTime)
+	}
+	wantEnergy := units.Power(7.32).EnergyOver(up) + units.Power(1.6).EnergyOver(down)
+	if math.Abs(got.Energy.Joules()-wantEnergy.Joules()) > 1e-9 {
+		t.Errorf("station energy = %v, want %v", got.Energy, wantEnergy)
+	}
+}
+
+func TestEvalCloudAddsBackhaul(t *testing.T) {
+	m := newModel(t, testSystem(t))
+	alpha := 1000 * units.Kilobyte
+	tk := &task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: alpha, ExternalSource: task.NoExternalSource,
+		Resource: 1, Deadline: 10 * units.Second,
+	}
+	opts, err := m.Eval(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud := opts.At(SubsystemCloud)
+	station := opts.At(SubsystemStation)
+
+	// Cloud path must include the 250 ms WAN latency plus serialization of
+	// α + η·α = 1200 kB at 100 Mbps = 96 ms, and the slower cloud CPU.
+	wan := m.System().CloudWire.TransferTime(1200 * units.Kilobyte)
+	if wan.Seconds() <= 0.25 {
+		t.Fatalf("test setup: WAN time %v should exceed latency", wan)
+	}
+	execCloud := units.Cycles(330 * 1e6).TimeAt(2.4 * units.Gigahertz)
+	execStation := units.Cycles(330 * 1e6).TimeAt(4 * units.Gigahertz)
+	wantDelta := wan + execCloud - execStation
+	gotDelta := cloud.Time - station.Time
+	if math.Abs(gotDelta.Seconds()-wantDelta.Seconds()) > 1e-9 {
+		t.Errorf("cloud-station time delta = %v, want %v", gotDelta, wantDelta)
+	}
+	// E_ij3 > E_ij2 (paper, Section II.B).
+	if cloud.Energy <= station.Energy {
+		t.Errorf("cloud energy %v should exceed station energy %v", cloud.Energy, station.Energy)
+	}
+}
+
+func TestEvalExternalSameCluster(t *testing.T) {
+	// Task on device 0 with external data held by device 1 (same cluster).
+	m := newModel(t, testSystem(t))
+	alpha, beta := 500*units.Kilobyte, 250*units.Kilobyte
+	tk := &task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: alpha, ExternalSize: beta, ExternalSource: 1,
+		Resource: 1, Deadline: 10 * units.Second,
+	}
+	opts, err := m.Eval(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// l = 1: β up from device 1 (Wi-Fi), β down to device 0 (4G), compute.
+	dev := opts.At(SubsystemDevice)
+	upL := beta.TransferTime(12.88 * units.MbitPerSecond)
+	downI := beta.TransferTime(13.76 * units.MbitPerSecond)
+	exec := units.Cycles(330 * 750e3).TimeAt(1 * units.Gigahertz)
+	wantTime := upL + downI + exec
+	if math.Abs(dev.Time.Seconds()-wantTime.Seconds()) > 1e-9 {
+		t.Errorf("device time = %v, want %v", dev.Time, wantTime)
+	}
+	wantEnergy := units.Power(15.7).EnergyOver(upL) + // device 1 Wi-Fi tx
+		units.Power(1.6).EnergyOver(downI) + // device 0 4G rx
+		units.Energy(1e-27*330*750e3*1e18) // κλ(α+β)f²
+	if math.Abs(dev.Energy.Joules()-wantEnergy.Joules()) > 1e-9 {
+		t.Errorf("device energy = %v, want %v", dev.Energy, wantEnergy)
+	}
+
+	// l = 2: parallel uploads; external path is max'd with local.
+	st := opts.At(SubsystemStation)
+	localUp := alpha.TransferTime(5.85 * units.MbitPerSecond)
+	extUp := beta.TransferTime(12.88 * units.MbitPerSecond)
+	resultDown := (150 * units.Kilobyte).TransferTime(13.76 * units.MbitPerSecond)
+	execS := units.Cycles(330 * 750e3).TimeAt(4 * units.Gigahertz)
+	wantST := units.DurationMax(extUp, localUp) + resultDown + execS
+	if math.Abs(st.Time.Seconds()-wantST.Seconds()) > 1e-9 {
+		t.Errorf("station time = %v, want %v", st.Time, wantST)
+	}
+}
+
+func TestEvalExternalCrossCluster(t *testing.T) {
+	// Task on device 0 (station 0) with external data on device 2
+	// (station 1): the station wire must appear in l = 1 and l = 2 but not
+	// in the l = 3 formulas (per the paper's equations).
+	sys := testSystem(t)
+	m := newModel(t, sys)
+	alpha, beta := 500*units.Kilobyte, 250*units.Kilobyte
+	cross := &task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: alpha, ExternalSize: beta, ExternalSource: 2,
+		Resource: 1, Deadline: 10 * units.Second,
+	}
+	// Same-cluster variant with an identical source link (device 2 is 4G;
+	// no same-cluster 4G peer exists, so build one by comparing formulas
+	// directly instead: cross-cluster must exceed same-cluster by the wire
+	// terms when the source links match).
+	optsCross, err := m.Eval(cross)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wireT := sys.StationWire.TransferTime(beta)
+	wireE := sys.StationWire.TransferEnergy(beta)
+
+	// Reconstruct expected l = 1 from first principles.
+	dev := optsCross.At(SubsystemDevice)
+	upL := beta.TransferTime(5.85 * units.MbitPerSecond) // device 2 is 4G
+	downI := beta.TransferTime(13.76 * units.MbitPerSecond)
+	exec := units.Cycles(330 * 750e3).TimeAt(1 * units.Gigahertz)
+	wantTime := upL + downI + exec + wireT
+	if math.Abs(dev.Time.Seconds()-wantTime.Seconds()) > 1e-9 {
+		t.Errorf("cross-cluster device time = %v, want %v", dev.Time, wantTime)
+	}
+	wantEnergy := units.Power(7.32).EnergyOver(upL) +
+		units.Power(1.6).EnergyOver(downI) +
+		units.Energy(1e-27*330*750e3*1e18) + wireE
+	if math.Abs(dev.Energy.Joules()-wantEnergy.Joules()) > 1e-9 {
+		t.Errorf("cross-cluster device energy = %v, want %v", dev.Energy, wantEnergy)
+	}
+
+	// l = 2: the external path includes the wire inside the max.
+	st := optsCross.At(SubsystemStation)
+	localUp := alpha.TransferTime(5.85 * units.MbitPerSecond)
+	extUp := upL + wireT
+	resultDown := (150 * units.Kilobyte).TransferTime(13.76 * units.MbitPerSecond)
+	execS := units.Cycles(330 * 750e3).TimeAt(4 * units.Gigahertz)
+	wantST := units.DurationMax(extUp, localUp) + resultDown + execS
+	if math.Abs(st.Time.Seconds()-wantST.Seconds()) > 1e-9 {
+		t.Errorf("cross-cluster station time = %v, want %v", st.Time, wantST)
+	}
+
+	// l = 3: per the paper's t_ij3/E_ij3, no station-wire term appears;
+	// verify by checking the cloud cost has no wireE dependence: recompute
+	// with a free station wire and compare.
+	sysFree := testSystem(t)
+	sysFree.StationWire.EnergyPerByte = 0
+	sysFree.StationWire.Latency = 0
+	if err := sysFree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mFree := newModel(t, sysFree)
+	optsFree, err := mFree.Eval(cross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optsFree.At(SubsystemCloud) != optsCross.At(SubsystemCloud) {
+		t.Error("cloud cost should not depend on the station-to-station wire")
+	}
+	if optsFree.At(SubsystemDevice) == optsCross.At(SubsystemDevice) {
+		t.Error("device cost should depend on the station-to-station wire")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	m := newModel(t, testSystem(t))
+	badUser := &task.Task{
+		ID: task.ID{User: 9, Index: 0}, Kind: task.Holistic,
+		LocalSize: units.Kilobyte, ExternalSource: task.NoExternalSource,
+		Resource: 1, Deadline: units.Second,
+	}
+	if _, err := m.Eval(badUser); err == nil {
+		t.Error("Eval with out-of-range user should fail")
+	}
+	badSource := &task.Task{
+		ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+		LocalSize: units.Kilobyte, ExternalSize: units.Kilobyte, ExternalSource: 9,
+		Resource: 1, Deadline: units.Second,
+	}
+	if _, err := m.Eval(badSource); err == nil {
+		t.Error("Eval with out-of-range source should fail")
+	}
+	if _, err := m.Eval(badSource); err == nil || !strings.Contains(err.Error(), "external source") {
+		t.Error("error should mention the external source")
+	}
+}
+
+func TestEnergyOrderingTypicalTasks(t *testing.T) {
+	// The paper's working assumption E_ij1 < E_ij2 < E_ij3 (Corollary 1
+	// precondition) should hold for typical evaluation-sized tasks.
+	m := newModel(t, testSystem(t))
+	r := rng.NewSource(3).Stream("tasks")
+	for trial := 0; trial < 200; trial++ {
+		alpha := units.ByteSize(rng.UniformInt(r, 100, 3000)) * units.Kilobyte
+		beta := alpha.Scale(rng.Uniform(r, 0, 0.5))
+		user := rng.UniformInt(r, 0, 2)
+		source := task.NoExternalSource
+		if beta > 0 {
+			source = (user + 1) % 3
+		}
+		tk := &task.Task{
+			ID: task.ID{User: user, Index: trial}, Kind: task.Holistic,
+			LocalSize: alpha, ExternalSize: beta, ExternalSource: source,
+			Resource: 1, Deadline: 100 * units.Second,
+		}
+		opts, err := m.Eval(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1 := opts.At(SubsystemDevice).Energy
+		e2 := opts.At(SubsystemStation).Energy
+		e3 := opts.At(SubsystemCloud).Energy
+		if !(e1 < e2 && e2 < e3) {
+			t.Fatalf("trial %d: energy ordering violated: E1=%v E2=%v E3=%v (α=%v β=%v)",
+				trial, e1, e2, e3, alpha, beta)
+		}
+	}
+}
+
+func TestCostsScaleWithInput(t *testing.T) {
+	// Property: larger input never decreases any time or energy.
+	m := newModel(t, testSystem(t))
+	f := func(a, b uint16) bool {
+		small, big := units.ByteSize(a)*units.Kilobyte, units.ByteSize(b)*units.Kilobyte
+		if small > big {
+			small, big = big, small
+		}
+		mk := func(size units.ByteSize) *task.Task {
+			return &task.Task{
+				ID: task.ID{User: 0, Index: 0}, Kind: task.Holistic,
+				LocalSize: size, ExternalSource: task.NoExternalSource,
+				Resource: 1, Deadline: units.Second,
+			}
+		}
+		o1, err := m.Eval(mk(small))
+		if err != nil {
+			return false
+		}
+		o2, err := m.Eval(mk(big))
+		if err != nil {
+			return false
+		}
+		for _, l := range Subsystems {
+			if o1.At(l).Time > o2.At(l).Time || o1.At(l).Energy > o2.At(l).Energy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalAll(t *testing.T) {
+	m := newModel(t, testSystem(t))
+	mk := func(u, j int) *task.Task {
+		return &task.Task{
+			ID: task.ID{User: u, Index: j}, Kind: task.Holistic,
+			LocalSize: 100 * units.Kilobyte, ExternalSource: task.NoExternalSource,
+			Resource: 1, Deadline: units.Second,
+		}
+	}
+	ts, err := task.NewSet(mk(0, 0), mk(1, 0), mk(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := m.EvalAll(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("EvalAll returned %d entries, want 3", len(all))
+	}
+	for id, opts := range all {
+		if opts.At(SubsystemDevice).Time <= 0 {
+			t.Errorf("task %v: non-positive device time", id)
+		}
+	}
+
+	bad := mk(9, 0)
+	tsBad, err := task.NewSet(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EvalAll(tsBad); err == nil {
+		t.Error("EvalAll with bad task should fail")
+	}
+}

@@ -1,0 +1,380 @@
+// Package cover implements the data-division algorithms of Section IV of
+// the paper: partitioning the required data universe D among devices whose
+// holdings can serve it.
+//
+//   - BalancedPartition (Section IV.A): an Optimal Coverage of D with
+//     Smallest Set Size — disjoint per-device slices C_i ⊆ UD_i covering D
+//     with the largest slice as small as possible. The paper's greedy
+//     repeatedly takes the device whose remaining usable set is smallest
+//     and assigns all of it; the submodularity argument (Theorem 3) bounds
+//     the greedy at 1/(1−e⁻¹) of optimal.
+//   - FewestSets (Section IV.B): an Optimal Coverage of D with Smallest
+//     Set Number — classical greedy set cover (largest remaining usable
+//     set first) with the standard O(ln n) bound.
+//   - BalancedPartitionLPT: an ablation variant that assigns block by
+//     block to the least-loaded owner, longest-processing-time style.
+//
+// Exact solvers (OptimalMaxLoad, OptimalSetCount) are provided for small
+// instances so tests and benchmarks can measure empirical approximation
+// ratios.
+package cover
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dsmec/internal/datamap"
+	"dsmec/internal/lp"
+)
+
+// ErrUncoverable is returned when some required block is held by no
+// device.
+var ErrUncoverable = errors.New("cover: universe not covered by the union of usable sets")
+
+// Result is a data division: Coverage[i] is the slice C_i assigned to
+// device i (possibly empty), Involved lists devices with non-empty slices
+// in ascending order, and MaxLoad is the largest slice size.
+type Result struct {
+	Coverage []*datamap.Set
+	Involved []int
+	MaxLoad  int
+}
+
+// finalize fills the derived fields from Coverage.
+func (r *Result) finalize() {
+	r.Involved = r.Involved[:0]
+	r.MaxLoad = 0
+	for i, c := range r.Coverage {
+		if c.Len() > 0 {
+			r.Involved = append(r.Involved, i)
+		}
+		if c.Len() > r.MaxLoad {
+			r.MaxLoad = c.Len()
+		}
+	}
+}
+
+// usableIn returns UD_i ∩ D for every device, validating inputs.
+func usableIn(universe *datamap.Set, usable []*datamap.Set) ([]*datamap.Set, error) {
+	if len(usable) == 0 {
+		return nil, fmt.Errorf("cover: no usable sets")
+	}
+	out := make([]*datamap.Set, len(usable))
+	for i, u := range usable {
+		out[i] = u.Intersect(universe)
+	}
+	if !universe.SubsetOf(datamap.UnionOf(out...)) {
+		return nil, ErrUncoverable
+	}
+	return out, nil
+}
+
+// BalancedPartition is the paper's Section IV.A greedy. At every step it
+// picks the device with the smallest non-empty remaining usable set,
+// assigns that whole set to the device, and removes it from the remaining
+// universe.
+func BalancedPartition(universe *datamap.Set, usable []*datamap.Set) (*Result, error) {
+	ud, err := usableIn(universe, usable)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Coverage: make([]*datamap.Set, len(ud))}
+	for i := range res.Coverage {
+		res.Coverage[i] = datamap.NewSet()
+	}
+	remaining := universe.Clone()
+	for remaining.Len() > 0 {
+		r := -1
+		best := 0
+		for i, u := range ud {
+			n := u.IntersectLen(remaining)
+			if n == 0 {
+				continue
+			}
+			if r < 0 || n < best {
+				r, best = i, n
+			}
+		}
+		if r < 0 {
+			// usableIn guaranteed coverage, so this cannot happen; guard
+			// anyway rather than loop forever.
+			return nil, ErrUncoverable
+		}
+		slice := ud[r].Intersect(remaining)
+		res.Coverage[r] = slice
+		remaining.Subtract(slice)
+	}
+	res.finalize()
+	return res, nil
+}
+
+// BalancedPartitionLPT is an ablation variant of BalancedPartition: it
+// orders blocks by how few devices hold them (scarcest first) and assigns
+// each to its least-loaded owner, in the style of
+// longest-processing-time-first machine scheduling.
+func BalancedPartitionLPT(universe *datamap.Set, usable []*datamap.Set) (*Result, error) {
+	ud, err := usableIn(universe, usable)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Coverage: make([]*datamap.Set, len(ud))}
+	for i := range res.Coverage {
+		res.Coverage[i] = datamap.NewSet()
+	}
+
+	blocks := universe.Blocks()
+	owners := make(map[datamap.BlockID][]int, len(blocks))
+	for _, b := range blocks {
+		for i, u := range ud {
+			if u.Contains(b) {
+				owners[b] = append(owners[b], i)
+			}
+		}
+	}
+	sort.SliceStable(blocks, func(a, b int) bool {
+		return len(owners[blocks[a]]) < len(owners[blocks[b]])
+	})
+	for _, b := range blocks {
+		best := -1
+		for _, i := range owners[b] {
+			if best < 0 || res.Coverage[i].Len() < res.Coverage[best].Len() {
+				best = i
+			}
+		}
+		res.Coverage[best].Add(b)
+	}
+	res.finalize()
+	return res, nil
+}
+
+// FewestSets is the Section IV.B greedy set cover: repeatedly take the
+// device covering the most still-uncovered blocks.
+func FewestSets(universe *datamap.Set, usable []*datamap.Set) (*Result, error) {
+	ud, err := usableIn(universe, usable)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Coverage: make([]*datamap.Set, len(ud))}
+	for i := range res.Coverage {
+		res.Coverage[i] = datamap.NewSet()
+	}
+	remaining := universe.Clone()
+	for remaining.Len() > 0 {
+		r := -1
+		best := 0
+		for i, u := range ud {
+			// Strict > keeps the lowest-indexed maximizer, making the
+			// greedy deterministic.
+			if n := u.IntersectLen(remaining); n > best {
+				r, best = i, n
+			}
+		}
+		if r < 0 || best == 0 {
+			return nil, ErrUncoverable
+		}
+		slice := ud[r].Intersect(remaining)
+		res.Coverage[r] = slice
+		remaining.Subtract(slice)
+	}
+	res.finalize()
+	return res, nil
+}
+
+// Verify checks the three conditions of Definitions 1 and 2: slices are
+// subsets of their device's usable data, pairwise disjoint, and their
+// union is exactly the universe.
+func Verify(universe *datamap.Set, usable []*datamap.Set, res *Result) error {
+	if len(res.Coverage) != len(usable) {
+		return fmt.Errorf("cover: %d slices for %d devices", len(res.Coverage), len(usable))
+	}
+	union := datamap.NewSet()
+	total := 0
+	for i, c := range res.Coverage {
+		if !c.SubsetOf(usable[i]) {
+			return fmt.Errorf("cover: slice %d not a subset of its usable set", i)
+		}
+		if !c.SubsetOf(universe) {
+			return fmt.Errorf("cover: slice %d exceeds the universe", i)
+		}
+		union.Union(c)
+		total += c.Len()
+	}
+	if !union.Equal(universe) {
+		return fmt.Errorf("cover: union of slices misses part of the universe")
+	}
+	if total != universe.Len() {
+		return fmt.Errorf("cover: slices overlap (%d assigned blocks for %d universe blocks)",
+			total, universe.Len())
+	}
+	return nil
+}
+
+// OptimalMaxLoad exhaustively computes the smallest achievable maximum
+// slice size (the objective of problem P3). Exponential; tests only.
+func OptimalMaxLoad(universe *datamap.Set, usable []*datamap.Set) (int, error) {
+	ud, err := usableIn(universe, usable)
+	if err != nil {
+		return 0, err
+	}
+	blocks := universe.Blocks()
+	if len(blocks) > 16 {
+		return 0, fmt.Errorf("cover: OptimalMaxLoad limited to 16 blocks, got %d", len(blocks))
+	}
+	loads := make([]int, len(ud))
+	best := len(blocks) + 1
+	var rec func(idx, curMax int)
+	rec = func(idx, curMax int) {
+		if curMax >= best {
+			return // prune
+		}
+		if idx == len(blocks) {
+			best = curMax
+			return
+		}
+		b := blocks[idx]
+		for i, u := range ud {
+			if !u.Contains(b) {
+				continue
+			}
+			loads[i]++
+			next := curMax
+			if loads[i] > next {
+				next = loads[i]
+			}
+			rec(idx+1, next)
+			loads[i]--
+		}
+	}
+	rec(0, 0)
+	if best > len(blocks) {
+		return 0, ErrUncoverable
+	}
+	return best, nil
+}
+
+// OptimalSetCount exhaustively computes the smallest number of devices
+// whose usable sets cover the universe. Exponential; tests only.
+func OptimalSetCount(universe *datamap.Set, usable []*datamap.Set) (int, error) {
+	ud, err := usableIn(universe, usable)
+	if err != nil {
+		return 0, err
+	}
+	n := len(ud)
+	if n > 20 {
+		return 0, fmt.Errorf("cover: OptimalSetCount limited to 20 devices, got %d", n)
+	}
+	bestCount := n + 1
+	for mask := 0; mask < 1<<n; mask++ {
+		count := 0
+		union := datamap.NewSet()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				count++
+				union.Union(ud[i])
+			}
+		}
+		if count < bestCount && universe.SubsetOf(union) {
+			bestCount = count
+		}
+	}
+	if bestCount > n {
+		return 0, ErrUncoverable
+	}
+	return bestCount, nil
+}
+
+// OptimalMaxLoadILP solves problem P3 exactly by 0/1 branch-and-bound:
+// binary variables y_ri assign block r to device i, and a continuous
+// makespan variable bounds every device's load. It reaches instances far
+// beyond OptimalMaxLoad's exhaustive search. nodeLimit bounds the
+// branch-and-bound nodes (0 = default).
+func OptimalMaxLoadILP(universe *datamap.Set, usable []*datamap.Set, nodeLimit int) (int, error) {
+	ud, err := usableIn(universe, usable)
+	if err != nil {
+		return 0, err
+	}
+	blocks := universe.Blocks()
+	nBlocks := len(blocks)
+	nDev := len(ud)
+	if nBlocks == 0 {
+		return 0, nil
+	}
+
+	// Variables: y[r*nDev+i] for each block r and device i, then maxsize.
+	nVars := nBlocks*nDev + 1
+	msVar := nBlocks * nDev
+	p := &lp.Problem{
+		Minimize: make([]float64, nVars),
+		Upper:    make([]float64, nVars),
+	}
+	binary := make([]bool, nVars)
+	p.Minimize[msVar] = 1
+	p.Upper[msVar] = math.Inf(1)
+	for r := range blocks {
+		for i := 0; i < nDev; i++ {
+			v := r*nDev + i
+			if ud[i].Contains(blocks[r]) {
+				p.Upper[v] = 1
+				binary[v] = true
+			} // else pinned to zero: p_ri = ∞ in the paper's formulation
+		}
+	}
+
+	// Each block assigned exactly once.
+	for r := range blocks {
+		row := make([]float64, nVars)
+		for i := 0; i < nDev; i++ {
+			if binary[r*nDev+i] {
+				row[r*nDev+i] = 1
+			}
+		}
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Sense: lp.EQ, RHS: 1})
+	}
+	// Per-device load bounded by maxsize.
+	for i := 0; i < nDev; i++ {
+		row := make([]float64, nVars)
+		any := false
+		for r := range blocks {
+			if binary[r*nDev+i] {
+				row[r*nDev+i] = 1
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		row[msVar] = -1
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 0})
+	}
+
+	// Warm start from the LPT heuristic (often already optimal) and
+	// exploit objective integrality: block counts are integers, so any
+	// node whose LP bound rounds up to the incumbent is pruned.
+	var incumbent []float64
+	if lpt, err := BalancedPartitionLPT(universe, usable); err == nil {
+		incumbent = make([]float64, nVars)
+		for i, slice := range lpt.Coverage {
+			for r := range blocks {
+				if slice.Contains(blocks[r]) {
+					incumbent[r*nDev+i] = 1
+				}
+			}
+		}
+		incumbent[msVar] = float64(lpt.MaxLoad)
+	}
+
+	sol, err := lp.SolveBinary(p, binary, lp.BinaryOptions{
+		NodeLimit:        nodeLimit,
+		Incumbent:        incumbent,
+		IntegerObjective: true,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("cover: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return 0, ErrUncoverable
+	}
+	return int(math.Round(sol.Objective)), nil
+}

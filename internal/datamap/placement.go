@@ -1,0 +1,162 @@
+package datamap
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsmec/internal/rng"
+	"dsmec/internal/units"
+)
+
+// Placement records which device holds which data blocks: the paper's
+// {D_i | 1 ≤ i ≤ n}. Holdings may overlap across devices.
+type Placement struct {
+	blockSize units.ByteSize
+	numBlocks int
+	holdings  []*Set // indexed by device
+}
+
+// NewPlacement creates a placement over numBlocks uniform blocks of
+// blockSize bytes each, with one (initially empty) holding per device.
+func NewPlacement(numDevices, numBlocks int, blockSize units.ByteSize) (*Placement, error) {
+	switch {
+	case numDevices <= 0:
+		return nil, fmt.Errorf("datamap: numDevices %d must be positive", numDevices)
+	case numBlocks < 0:
+		return nil, fmt.Errorf("datamap: numBlocks %d must be non-negative", numBlocks)
+	case blockSize <= 0:
+		return nil, fmt.Errorf("datamap: blockSize %v must be positive", blockSize)
+	}
+	h := make([]*Set, numDevices)
+	for i := range h {
+		h[i] = NewSet()
+	}
+	return &Placement{blockSize: blockSize, numBlocks: numBlocks, holdings: h}, nil
+}
+
+// NumDevices returns the number of devices the placement covers.
+func (p *Placement) NumDevices() int { return len(p.holdings) }
+
+// NumBlocks returns the size of the block universe.
+func (p *Placement) NumBlocks() int { return p.numBlocks }
+
+// BlockSize returns the uniform size of one block.
+func (p *Placement) BlockSize() units.ByteSize { return p.blockSize }
+
+// SizeOf returns the total byte size of a block set under this placement.
+func (p *Placement) SizeOf(s *Set) units.ByteSize {
+	return p.blockSize * units.ByteSize(s.Len())
+}
+
+// Holding returns device i's holding D_i. The returned set is live: callers
+// must not mutate it. Use Holding(i).Clone() for a private copy.
+func (p *Placement) Holding(i int) (*Set, error) {
+	if i < 0 || i >= len(p.holdings) {
+		return nil, fmt.Errorf("datamap: device %d out of range [0,%d)", i, len(p.holdings))
+	}
+	return p.holdings[i], nil
+}
+
+// Assign adds block b to device i's holding.
+func (p *Placement) Assign(i int, b BlockID) error {
+	if i < 0 || i >= len(p.holdings) {
+		return fmt.Errorf("datamap: device %d out of range [0,%d)", i, len(p.holdings))
+	}
+	if int(b) < 0 || int(b) >= p.numBlocks {
+		return fmt.Errorf("datamap: block %d out of range [0,%d)", b, p.numBlocks)
+	}
+	p.holdings[i].Add(b)
+	return nil
+}
+
+// Owners returns the devices whose holdings contain b, in ascending order.
+func (p *Placement) Owners(b BlockID) []int {
+	var owners []int
+	for i, h := range p.holdings {
+		if h.Contains(b) {
+			owners = append(owners, i)
+		}
+	}
+	return owners
+}
+
+// Usable returns UD_i = D ∩ D_i for every device, the inputs to the
+// Section IV division algorithms.
+func (p *Placement) Usable(universe *Set) []*Set {
+	out := make([]*Set, len(p.holdings))
+	for i, h := range p.holdings {
+		out[i] = h.Intersect(universe)
+	}
+	return out
+}
+
+// Covered reports whether the union of all holdings contains every block of
+// universe, i.e. whether the universe can be processed without touching
+// data that no device has.
+func (p *Placement) Covered(universe *Set) bool {
+	return universe.SubsetOf(UnionOf(p.holdings...))
+}
+
+// OverlapParams tunes GenerateOverlapping.
+type OverlapParams struct {
+	// BlocksPerDevice is the average holding size; each device draws its
+	// holding size uniformly from [BlocksPerDevice/2, 3·BlocksPerDevice/2].
+	BlocksPerDevice int
+	// Replication is the minimum number of devices that hold each block;
+	// blocks under-replicated after the random draw are topped up. It
+	// models overlapping monitoring regions. Must be >= 1 and <= devices.
+	Replication int
+}
+
+// GenerateOverlapping populates the placement with random overlapping
+// holdings: each device takes a contiguous region of the block space (a
+// monitoring region) with random extent, and every block is replicated on
+// at least Replication devices. Contiguous regions mirror the paper's
+// motivating scenarios (traffic monitoring, object tracking) where each
+// device covers a spatial neighbourhood.
+func (p *Placement) GenerateOverlapping(r *rand.Rand, params OverlapParams) error {
+	if params.BlocksPerDevice <= 0 {
+		return fmt.Errorf("datamap: BlocksPerDevice %d must be positive", params.BlocksPerDevice)
+	}
+	if params.Replication < 1 || params.Replication > len(p.holdings) {
+		return fmt.Errorf("datamap: Replication %d must be in [1,%d]", params.Replication, len(p.holdings))
+	}
+	if p.numBlocks == 0 {
+		return nil
+	}
+	for i := range p.holdings {
+		extent := rng.UniformInt(r, params.BlocksPerDevice/2, params.BlocksPerDevice*3/2)
+		if extent > p.numBlocks {
+			extent = p.numBlocks
+		}
+		if extent < 1 {
+			extent = 1
+		}
+		start := r.Intn(p.numBlocks)
+		for off := 0; off < extent; off++ {
+			p.holdings[i].Add(BlockID((start + off) % p.numBlocks))
+		}
+	}
+	// Top up under-replicated blocks so the universe stays coverable even
+	// with small per-device extents.
+	for b := 0; b < p.numBlocks; b++ {
+		owners := p.Owners(BlockID(b))
+		for len(owners) < params.Replication {
+			candidate := r.Intn(len(p.holdings))
+			if !p.holdings[candidate].Contains(BlockID(b)) {
+				p.holdings[candidate].Add(BlockID(b))
+				owners = append(owners, candidate)
+			}
+		}
+	}
+	return nil
+}
+
+// FullUniverse returns the set {0, ..., NumBlocks-1}.
+func (p *Placement) FullUniverse() *Set {
+	s := NewSet()
+	for b := 0; b < p.numBlocks; b++ {
+		s.Add(BlockID(b))
+	}
+	return s
+}

@@ -1,0 +1,219 @@
+package datamap
+
+import (
+	"testing"
+
+	"dsmec/internal/rng"
+	"dsmec/internal/units"
+)
+
+func TestNewPlacementValidation(t *testing.T) {
+	tests := []struct {
+		name      string
+		devices   int
+		blocks    int
+		blockSize units.ByteSize
+		wantErr   bool
+	}{
+		{"valid", 5, 100, units.Kilobyte, false},
+		{"zero blocks ok", 5, 0, units.Kilobyte, false},
+		{"zero devices", 0, 100, units.Kilobyte, true},
+		{"negative blocks", 5, -1, units.Kilobyte, true},
+		{"zero block size", 5, 100, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewPlacement(tt.devices, tt.blocks, tt.blockSize)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewPlacement() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPlacementAccessors(t *testing.T) {
+	p, err := NewPlacement(3, 10, 2*units.Kilobyte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumDevices() != 3 || p.NumBlocks() != 10 || p.BlockSize() != 2*units.Kilobyte {
+		t.Error("accessors disagree with constructor")
+	}
+	if got := p.SizeOf(NewSet(1, 2, 3)); got != 6*units.Kilobyte {
+		t.Errorf("SizeOf = %v, want 6kB", got)
+	}
+}
+
+func TestAssignAndHolding(t *testing.T) {
+	p, err := NewPlacement(2, 5, units.Kilobyte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Assign(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	h, err := p.Holding(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Contains(3) {
+		t.Error("assigned block missing from holding")
+	}
+	if err := p.Assign(5, 0); err == nil {
+		t.Error("Assign to out-of-range device should fail")
+	}
+	if err := p.Assign(0, 99); err == nil {
+		t.Error("Assign of out-of-range block should fail")
+	}
+	if err := p.Assign(0, -1); err == nil {
+		t.Error("Assign of negative block should fail")
+	}
+	if _, err := p.Holding(-1); err == nil {
+		t.Error("Holding(-1) should fail")
+	}
+}
+
+func TestOwners(t *testing.T) {
+	p, err := NewPlacement(3, 4, units.Kilobyte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range []int{0, 2} {
+		if err := p.Assign(dev, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Owners(1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Owners(1) = %v, want [0 2]", got)
+	}
+	if got := p.Owners(0); got != nil {
+		t.Errorf("Owners(0) = %v, want nil", got)
+	}
+}
+
+func TestUsableAndCovered(t *testing.T) {
+	p, err := NewPlacement(2, 6, units.Kilobyte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D_0 = {0,1,2}, D_1 = {2,3}
+	for _, b := range []BlockID{0, 1, 2} {
+		if err := p.Assign(0, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range []BlockID{2, 3} {
+		if err := p.Assign(1, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	universe := NewSet(1, 2, 3)
+	usable := p.Usable(universe)
+	if !usable[0].Equal(NewSet(1, 2)) {
+		t.Errorf("UD_0 = %v, want {1,2}", usable[0])
+	}
+	if !usable[1].Equal(NewSet(2, 3)) {
+		t.Errorf("UD_1 = %v, want {2,3}", usable[1])
+	}
+	if !p.Covered(universe) {
+		t.Error("universe {1,2,3} should be covered")
+	}
+	if p.Covered(NewSet(5)) {
+		t.Error("block 5 is held by nobody; should not be covered")
+	}
+}
+
+func TestFullUniverse(t *testing.T) {
+	p, err := NewPlacement(1, 4, units.Kilobyte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.FullUniverse(); !got.Equal(NewSet(0, 1, 2, 3)) {
+		t.Errorf("FullUniverse = %v", got)
+	}
+}
+
+func TestGenerateOverlapping(t *testing.T) {
+	const devices, blocks = 20, 200
+	p, err := NewPlacement(devices, blocks, units.Kilobyte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewSource(7).Stream("placement")
+	params := OverlapParams{BlocksPerDevice: 30, Replication: 2}
+	if err := p.GenerateOverlapping(r, params); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every block must be replicated at least twice.
+	for b := 0; b < blocks; b++ {
+		if owners := p.Owners(BlockID(b)); len(owners) < 2 {
+			t.Fatalf("block %d has %d owners, want >= 2", b, len(owners))
+		}
+	}
+	// The full universe must be coverable.
+	if !p.Covered(p.FullUniverse()) {
+		t.Error("generated placement does not cover the universe")
+	}
+	// Holdings should be non-trivial but not the whole universe.
+	for i := 0; i < devices; i++ {
+		h, err := p.Holding(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.IsEmpty() {
+			t.Errorf("device %d has empty holding", i)
+		}
+	}
+}
+
+func TestGenerateOverlappingDeterminism(t *testing.T) {
+	gen := func() *Placement {
+		p, err := NewPlacement(10, 50, units.Kilobyte)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.NewSource(11).Stream("p")
+		if err := p.GenerateOverlapping(r, OverlapParams{BlocksPerDevice: 10, Replication: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := gen(), gen()
+	for i := 0; i < 10; i++ {
+		ha, _ := a.Holding(i)
+		hb, _ := b.Holding(i)
+		if !ha.Equal(hb) {
+			t.Fatalf("device %d holdings differ between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateOverlappingValidation(t *testing.T) {
+	p, err := NewPlacement(3, 10, units.Kilobyte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewSource(1).Stream("p")
+	if err := p.GenerateOverlapping(r, OverlapParams{BlocksPerDevice: 0, Replication: 1}); err == nil {
+		t.Error("zero BlocksPerDevice should fail")
+	}
+	if err := p.GenerateOverlapping(r, OverlapParams{BlocksPerDevice: 5, Replication: 0}); err == nil {
+		t.Error("zero Replication should fail")
+	}
+	if err := p.GenerateOverlapping(r, OverlapParams{BlocksPerDevice: 5, Replication: 4}); err == nil {
+		t.Error("Replication beyond device count should fail")
+	}
+}
+
+func TestGenerateOverlappingEmptyUniverse(t *testing.T) {
+	p, err := NewPlacement(3, 0, units.Kilobyte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewSource(1).Stream("p")
+	if err := p.GenerateOverlapping(r, OverlapParams{BlocksPerDevice: 5, Replication: 1}); err != nil {
+		t.Errorf("empty universe should be a no-op, got %v", err)
+	}
+}

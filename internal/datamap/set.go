@@ -1,0 +1,218 @@
+// Package datamap models the shared data layer of a data-shared MEC
+// system: the universe of data blocks d_1..d_M, the per-device holdings
+// D_i (which may overlap, because the monitoring regions of two devices
+// may overlap), and the usable sets UD_i = D ∩ D_i that the divisible-task
+// algorithms of Section IV partition or cover.
+package datamap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BlockID identifies a data block d_r in the universe. Blocks are the unit
+// of data placement and division, "a data item or a data block determined
+// by [19]" in the paper's terms.
+type BlockID int
+
+// Set is a mutable set of data blocks. The zero value is an empty set
+// ready for use (operations on a nil Set treat it as empty; Add requires a
+// non-nil receiver obtained from NewSet).
+type Set struct {
+	blocks map[BlockID]struct{}
+}
+
+// NewSet returns a set containing the given blocks.
+func NewSet(blocks ...BlockID) *Set {
+	s := &Set{blocks: make(map[BlockID]struct{}, len(blocks))}
+	for _, b := range blocks {
+		s.blocks[b] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts b into the set.
+func (s *Set) Add(b BlockID) {
+	if s.blocks == nil {
+		s.blocks = make(map[BlockID]struct{})
+	}
+	s.blocks[b] = struct{}{}
+}
+
+// Remove deletes b from the set if present.
+func (s *Set) Remove(b BlockID) {
+	if s == nil {
+		return
+	}
+	delete(s.blocks, b)
+}
+
+// Contains reports whether b is in the set.
+func (s *Set) Contains(b BlockID) bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.blocks[b]
+	return ok
+}
+
+// Len returns the number of blocks in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.blocks)
+}
+
+// IsEmpty reports whether the set has no blocks.
+func (s *Set) IsEmpty() bool { return s.Len() == 0 }
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{blocks: make(map[BlockID]struct{}, s.Len())}
+	if s != nil {
+		for b := range s.blocks {
+			c.blocks[b] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Blocks returns the set's contents in ascending order. The slice is
+// freshly allocated.
+func (s *Set) Blocks() []BlockID {
+	if s == nil {
+		return nil
+	}
+	out := make([]BlockID, 0, len(s.blocks))
+	for b := range s.blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union inserts every block of other into s and returns s.
+func (s *Set) Union(other *Set) *Set {
+	if other == nil {
+		return s
+	}
+	for b := range other.blocks {
+		s.Add(b)
+	}
+	return s
+}
+
+// Subtract removes every block of other from s and returns s.
+func (s *Set) Subtract(other *Set) *Set {
+	if s == nil || other == nil {
+		return s
+	}
+	for b := range other.blocks {
+		delete(s.blocks, b)
+	}
+	return s
+}
+
+// Intersect returns a new set holding the blocks present in both s and
+// other.
+func (s *Set) Intersect(other *Set) *Set {
+	out := NewSet()
+	if s == nil || other == nil {
+		return out
+	}
+	small, large := s, other
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	for b := range small.blocks {
+		if large.Contains(b) {
+			out.Add(b)
+		}
+	}
+	return out
+}
+
+// IntersectLen returns |s ∩ other| without allocating the intersection.
+func (s *Set) IntersectLen(other *Set) int {
+	if s == nil || other == nil {
+		return 0
+	}
+	small, large := s, other
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	n := 0
+	for b := range small.blocks {
+		if large.Contains(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// Intersects reports whether s and other share at least one block.
+func (s *Set) Intersects(other *Set) bool {
+	if s == nil || other == nil {
+		return false
+	}
+	small, large := s, other
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	for b := range small.blocks {
+		if large.Contains(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and other contain exactly the same blocks.
+func (s *Set) Equal(other *Set) bool {
+	if s.Len() != other.Len() {
+		return false
+	}
+	if s == nil {
+		return true
+	}
+	for b := range s.blocks {
+		if !other.Contains(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every block of s is also in other.
+func (s *Set) SubsetOf(other *Set) bool {
+	if s == nil {
+		return true
+	}
+	for b := range s.blocks {
+		if !other.Contains(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a sorted block list, e.g. "{1, 2, 7}".
+func (s *Set) String() string {
+	ids := s.Blocks()
+	parts := make([]string, len(ids))
+	for i, b := range ids {
+		parts[i] = fmt.Sprintf("%d", int(b))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// UnionOf returns a new set that is the union of all given sets.
+func UnionOf(sets ...*Set) *Set {
+	out := NewSet()
+	for _, s := range sets {
+		out.Union(s)
+	}
+	return out
+}

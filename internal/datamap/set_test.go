@@ -1,0 +1,210 @@
+package datamap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetAndBasics(t *testing.T) {
+	s := NewSet(3, 1, 2, 3) // duplicate 3 collapses
+	if got := s.Len(); got != 3 {
+		t.Errorf("Len() = %d, want 3", got)
+	}
+	if !s.Contains(1) || !s.Contains(2) || !s.Contains(3) {
+		t.Error("missing inserted elements")
+	}
+	if s.Contains(4) {
+		t.Error("Contains(4) = true, want false")
+	}
+	s.Add(4)
+	if !s.Contains(4) {
+		t.Error("Add(4) did not insert")
+	}
+	s.Remove(4)
+	if s.Contains(4) {
+		t.Error("Remove(4) did not delete")
+	}
+	s.Remove(99) // removing absent element is a no-op
+	if s.Len() != 3 {
+		t.Errorf("Len() after no-op remove = %d, want 3", s.Len())
+	}
+}
+
+func TestZeroValueSet(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || !s.IsEmpty() {
+		t.Error("zero-value Set should be empty")
+	}
+	s.Add(5) // Add must lazily allocate
+	if !s.Contains(5) {
+		t.Error("Add on zero-value Set failed")
+	}
+}
+
+func TestNilSetOperations(t *testing.T) {
+	var s *Set
+	if s.Len() != 0 || s.Contains(1) || !s.IsEmpty() {
+		t.Error("nil Set should behave as empty")
+	}
+	if got := s.Blocks(); got != nil {
+		t.Errorf("nil.Blocks() = %v, want nil", got)
+	}
+	s.Remove(1) // must not panic
+	if c := s.Clone(); c.Len() != 0 {
+		t.Error("nil.Clone() should be empty")
+	}
+	if s.Intersects(NewSet(1)) {
+		t.Error("nil should intersect nothing")
+	}
+	if !s.SubsetOf(NewSet()) {
+		t.Error("nil is a subset of everything")
+	}
+	if !s.Equal(NewSet()) {
+		t.Error("nil should equal empty")
+	}
+}
+
+func TestBlocksSorted(t *testing.T) {
+	s := NewSet(9, 2, 7, 1)
+	got := s.Blocks()
+	want := []BlockID{1, 2, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Blocks() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Blocks() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewSet(1, 2)
+	c := s.Clone()
+	c.Add(3)
+	s.Remove(1)
+	if s.Contains(3) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.Contains(1) {
+		t.Error("mutating original affected clone")
+	}
+}
+
+func TestUnionSubtractIntersect(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(3, 4)
+
+	if got := a.Intersect(b); !got.Equal(NewSet(3)) {
+		t.Errorf("Intersect = %v, want {3}", got)
+	}
+	if got := a.IntersectLen(b); got != 1 {
+		t.Errorf("IntersectLen = %d, want 1", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	if a.Intersects(NewSet(9)) {
+		t.Error("Intersects({9}) = true, want false")
+	}
+
+	u := a.Clone().Union(b)
+	if !u.Equal(NewSet(1, 2, 3, 4)) {
+		t.Errorf("Union = %v, want {1,2,3,4}", u)
+	}
+
+	d := a.Clone().Subtract(b)
+	if !d.Equal(NewSet(1, 2)) {
+		t.Errorf("Subtract = %v, want {1,2}", d)
+	}
+
+	// Union/Subtract with nil arguments are no-ops.
+	if got := a.Clone().Union(nil); !got.Equal(a) {
+		t.Error("Union(nil) changed the set")
+	}
+	if got := a.Clone().Subtract(nil); !got.Equal(a) {
+		t.Error("Subtract(nil) changed the set")
+	}
+}
+
+func TestEqualAndSubset(t *testing.T) {
+	a := NewSet(1, 2)
+	if !a.Equal(NewSet(2, 1)) {
+		t.Error("order must not matter")
+	}
+	if a.Equal(NewSet(1, 3)) {
+		t.Error("{1,2} != {1,3}")
+	}
+	if a.Equal(NewSet(1)) {
+		t.Error("sets of different size are not equal")
+	}
+	if !NewSet(1).SubsetOf(a) {
+		t.Error("{1} ⊆ {1,2}")
+	}
+	if a.SubsetOf(NewSet(1)) {
+		t.Error("{1,2} ⊄ {1}")
+	}
+	if !NewSet().SubsetOf(NewSet()) {
+		t.Error("∅ ⊆ ∅")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := NewSet(3, 1).String(); got != "{1, 3}" {
+		t.Errorf("String() = %q, want {1, 3}", got)
+	}
+	if got := NewSet().String(); got != "{}" {
+		t.Errorf("empty String() = %q, want {}", got)
+	}
+}
+
+func TestUnionOf(t *testing.T) {
+	got := UnionOf(NewSet(1), NewSet(2, 3), nil, NewSet(3))
+	if !got.Equal(NewSet(1, 2, 3)) {
+		t.Errorf("UnionOf = %v, want {1,2,3}", got)
+	}
+	if got := UnionOf(); got.Len() != 0 {
+		t.Error("UnionOf() should be empty")
+	}
+}
+
+func fromBools(bits []bool) *Set {
+	s := NewSet()
+	for i, b := range bits {
+		if b {
+			s.Add(BlockID(i))
+		}
+	}
+	return s
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	// Property: |A| + |B| = |A ∪ B| + |A ∩ B|, and
+	// A \ B, A ∩ B partition A.
+	f := func(aBits, bBits [24]bool) bool {
+		a := fromBools(aBits[:])
+		b := fromBools(bBits[:])
+		union := a.Clone().Union(b)
+		inter := a.Intersect(b)
+		diff := a.Clone().Subtract(b)
+		if a.Len()+b.Len() != union.Len()+inter.Len() {
+			return false
+		}
+		if diff.Len()+inter.Len() != a.Len() {
+			return false
+		}
+		if inter.Intersects(diff) {
+			return false
+		}
+		if !inter.SubsetOf(a) || !inter.SubsetOf(b) {
+			return false
+		}
+		if inter.Len() != a.IntersectLen(b) {
+			return false
+		}
+		return diff.Clone().Union(inter).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,378 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"dsmec/internal/workload"
+)
+
+// quickOpts runs experiments at their sweep endpoints with one trial —
+// enough to validate structure and the headline orderings.
+var quickOpts = Options{Seed: 1, Trials: 1, Quick: true}
+
+func runQuick(t *testing.T, id string) *Figure {
+	t.Helper()
+	def, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	f, err := def.Run(quickOpts)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if f.ID != id {
+		t.Errorf("figure ID = %q, want %q", f.ID, id)
+	}
+	if len(f.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for i, r := range f.Rows {
+		if len(r.Values) != len(f.Columns) {
+			t.Fatalf("%s row %d has %d values for %d columns", id, i, len(r.Values), len(f.Columns))
+		}
+	}
+	return f
+}
+
+// col returns the index of a named column.
+func col(t *testing.T, f *Figure, name string) int {
+	t.Helper()
+	for i, c := range f.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("%s: column %q not found in %v", f.ID, name, f.Columns)
+	return -1
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must be present.
+	want := []string{
+		"table1", "fig2a", "fig2b", "fig3", "fig4a", "fig4b",
+		"fig5a", "fig5b", "fig6a", "fig6b",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("paper artifact %q missing from registry", id)
+		}
+	}
+	if _, ok := ByID("no-such-experiment"); ok {
+		t.Error("ByID should miss unknown ids")
+	}
+	seen := map[string]bool{}
+	for _, d := range Registry() {
+		if seen[d.ID] {
+			t.Errorf("duplicate experiment id %q", d.ID)
+		}
+		seen[d.ID] = true
+		if d.Title == "" || d.Run == nil {
+			t.Errorf("experiment %q lacks title or runner", d.ID)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	f := runQuick(t, "table1")
+	if len(f.Rows) != 2 {
+		t.Fatalf("Table I should have 2 rows, got %d", len(f.Rows))
+	}
+	fourG := f.Rows[0]
+	if fourG.X != "4G" || fourG.Values[0] != 13.76 || fourG.Values[1] != 5.85 ||
+		fourG.Values[2] != 7.32 || fourG.Values[3] != 1.6 {
+		t.Errorf("4G row = %v, disagrees with Table I", fourG)
+	}
+	wifi := f.Rows[1]
+	if wifi.X != "Wi-Fi" || wifi.Values[0] != 54.97 || wifi.Values[1] != 12.88 ||
+		wifi.Values[2] != 15.7 || wifi.Values[3] != 2.7 {
+		t.Errorf("Wi-Fi row = %v, disagrees with Table I", wifi)
+	}
+}
+
+func TestFig2aOrdering(t *testing.T) {
+	f := runQuick(t, "fig2a")
+	lp, hgos := col(t, f, MethodLPHTA), col(t, f, MethodHGOS)
+	alltoc, alloff := col(t, f, MethodAllToC), col(t, f, MethodAllOffload)
+	for _, r := range f.Rows {
+		if !(r.Values[lp] <= r.Values[hgos]) {
+			t.Errorf("tasks=%s: LP-HTA %.0fJ should not exceed HGOS %.0fJ", r.X, r.Values[lp], r.Values[hgos])
+		}
+		if !(r.Values[hgos] < r.Values[alloff] && r.Values[alloff] < r.Values[alltoc]) {
+			t.Errorf("tasks=%s: expected HGOS < AllOffload < AllToC, got %.0f / %.0f / %.0f",
+				r.X, r.Values[hgos], r.Values[alloff], r.Values[alltoc])
+		}
+	}
+	// LP-HTA energy grows with the task count.
+	first, last := f.Rows[0], f.Rows[len(f.Rows)-1]
+	if first.Values[lp] >= last.Values[lp] {
+		t.Error("LP-HTA energy should grow with the task count")
+	}
+}
+
+func TestFig2bOrdering(t *testing.T) {
+	f := runQuick(t, "fig2b")
+	lp, alltoc := col(t, f, MethodLPHTA), col(t, f, MethodAllToC)
+	for _, r := range f.Rows {
+		if !(r.Values[lp] < r.Values[alltoc]) {
+			t.Errorf("input=%s: LP-HTA should beat AllToC", r.X)
+		}
+	}
+	first, last := f.Rows[0], f.Rows[len(f.Rows)-1]
+	if first.Values[lp] >= last.Values[lp] {
+		t.Error("LP-HTA energy should grow with the input size")
+	}
+}
+
+func TestFig3Ordering(t *testing.T) {
+	f := runQuick(t, "fig3")
+	lp, hgos, alloff := col(t, f, MethodLPHTA), col(t, f, MethodHGOS), col(t, f, MethodAllOffload)
+	for _, r := range f.Rows {
+		if !(r.Values[lp] <= r.Values[hgos]+1e-9) {
+			t.Errorf("tasks=%s: LP-HTA unsat %.1f%% should not exceed HGOS %.1f%%",
+				r.X, r.Values[lp], r.Values[hgos])
+		}
+		if !(r.Values[hgos] < r.Values[alloff]) {
+			t.Errorf("tasks=%s: HGOS unsat should be below AllOffload", r.X)
+		}
+	}
+	// The LP-HTA vs HGOS gap must open up under load.
+	last := f.Rows[len(f.Rows)-1]
+	if !(last.Values[lp] < last.Values[hgos]) {
+		t.Error("under load, LP-HTA must have strictly fewer unsatisfied tasks than HGOS")
+	}
+}
+
+func TestFig4Orderings(t *testing.T) {
+	for _, id := range []string{"fig4a", "fig4b"} {
+		f := runQuick(t, id)
+		lp := col(t, f, MethodLPHTA)
+		alltoc, alloff := col(t, f, MethodAllToC), col(t, f, MethodAllOffload)
+		for _, r := range f.Rows {
+			if !(r.Values[lp] < r.Values[alloff] && r.Values[alloff] < r.Values[alltoc]) {
+				t.Errorf("%s x=%s: expected LP-HTA < AllOffload < AllToC latency, got %.2f / %.2f / %.2f",
+					id, r.X, r.Values[lp], r.Values[alloff], r.Values[alltoc])
+			}
+		}
+	}
+}
+
+func TestFig5Orderings(t *testing.T) {
+	a := runQuick(t, "fig5a")
+	lp := col(t, a, MethodLPHTA)
+	dw, dn := col(t, a, MethodDTAWorkload), col(t, a, MethodDTANumber)
+	for _, r := range a.Rows {
+		if !(r.Values[dw] < r.Values[lp] && r.Values[dn] < r.Values[lp]) {
+			t.Errorf("fig5a tasks=%s: both DTA variants should beat holistic LP-HTA", r.X)
+		}
+	}
+
+	b := runQuick(t, "fig5b")
+	dwb := col(t, b, MethodDTAWorkload)
+	// Energy shrinks as the result size shrinks (rows ordered 0.4X ...
+	// const).
+	if !(b.Rows[len(b.Rows)-1].Values[dwb] < b.Rows[0].Values[dwb]) {
+		t.Error("fig5b: DTA-Workload energy should shrink with the result size")
+	}
+}
+
+func TestFig6Orderings(t *testing.T) {
+	a := runQuick(t, "fig6a")
+	dw, dn := col(t, a, MethodDTAWorkload), col(t, a, MethodDTANumber)
+	for _, r := range a.Rows {
+		if !(r.Values[dw] < r.Values[dn]) {
+			t.Errorf("fig6a input=%s: DTA-Workload processing time should beat DTA-Number", r.X)
+		}
+	}
+
+	b := runQuick(t, "fig6b")
+	dwb, dnb := col(t, b, MethodDTAWorkload), col(t, b, MethodDTANumber)
+	for _, r := range b.Rows {
+		if !(r.Values[dnb] < r.Values[dwb]) {
+			t.Errorf("fig6b tasks=%s: DTA-Number should involve fewer devices", r.X)
+		}
+	}
+}
+
+func TestSimCheck(t *testing.T) {
+	f := runQuick(t, "simcheck")
+	inflation := col(t, f, "inflation x")
+	for _, r := range f.Rows {
+		if r.Values[inflation] < 1 {
+			t.Errorf("tasks=%s: simulated latency cannot be below analytic (inflation %.2f)",
+				r.X, r.Values[inflation])
+		}
+	}
+}
+
+func TestRatioStudy(t *testing.T) {
+	f := runQuick(t, "ratio")
+	meanRatio, bound := col(t, f, "mean ratio"), col(t, f, "mean theorem-2 bound")
+	feasible := col(t, f, "feasible instances")
+	for _, r := range f.Rows {
+		if r.Values[feasible] == 0 {
+			continue
+		}
+		if r.Values[meanRatio] < 1-1e-9 {
+			t.Errorf("tasks=%s: mean ratio %.4f below 1 (cannot beat the optimum)", r.X, r.Values[meanRatio])
+		}
+		if r.Values[meanRatio] > r.Values[bound]+1e-9 {
+			t.Errorf("tasks=%s: mean ratio %.4f exceeds the Theorem 2 bound %.4f",
+				r.X, r.Values[meanRatio], r.Values[bound])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	for _, id := range []string{"ablation-rounding", "ablation-repair", "ablation-lpt"} {
+		f := runQuick(t, id)
+		for _, r := range f.Rows {
+			for i, v := range r.Values {
+				if v < 0 {
+					t.Errorf("%s x=%s col %d: negative value %g", id, r.X, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := runQuick(t, "table1")
+	var sb strings.Builder
+	if _, err := f.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "4G") {
+		t.Errorf("rendered figure missing content:\n%s", out)
+	}
+
+	var csv strings.Builder
+	if err := f.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "NetWork,") {
+		t.Errorf("CSV header wrong: %q", csv.String())
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	run := func() *Figure {
+		f, err := Fig2a(Options{Seed: 7, Trials: 1, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := run(), run()
+	for i := range a.Rows {
+		for j := range a.Rows[i].Values {
+			if a.Rows[i].Values[j] != b.Rows[i].Values[j] {
+				t.Fatalf("row %d col %d differs between identical runs", i, j)
+			}
+		}
+	}
+}
+
+func TestRunHolisticPointUnknownMethod(t *testing.T) {
+	_, err := runHolisticPoint(quickOpts.withDefaults(),
+		// small instance for speed
+		workloadParamsSmall(), []string{"Mystery"})
+	if err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+// workloadParamsSmall keeps error-path tests fast.
+func workloadParamsSmall() workload.Params {
+	return workload.Params{NumDevices: 4, NumStations: 1, NumTasks: 4}
+}
+
+func TestFeedbackExperiment(t *testing.T) {
+	f := runQuick(t, "feedback")
+	uB, uF := col(t, f, "LP-HTA unsat"), col(t, f, "feedback unsat")
+	for _, r := range f.Rows {
+		if r.Values[uF] > r.Values[uB] {
+			t.Errorf("tasks=%s: feedback unsat %.1f exceeds plain LP-HTA %.1f",
+				r.X, r.Values[uF], r.Values[uB])
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := Fig2a(Options{Seed: 3, Trials: 3, Quick: true, Parallel: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig2a(Options{Seed: 3, Trials: 3, Quick: true, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Rows {
+		for j := range seq.Rows[i].Values {
+			if seq.Rows[i].Values[j] != par.Rows[i].Values[j] {
+				t.Fatalf("row %d col %d: sequential %g != parallel %g",
+					i, j, seq.Rows[i].Values[j], par.Rows[i].Values[j])
+			}
+		}
+	}
+
+	seqD, err := Fig5a(Options{Seed: 3, Trials: 2, Quick: true, Parallel: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parD, err := Fig5a(Options{Seed: 3, Trials: 2, Quick: true, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqD.Rows {
+		for j := range seqD.Rows[i].Values {
+			if seqD.Rows[i].Values[j] != parD.Rows[i].Values[j] {
+				t.Fatalf("fig5a row %d col %d differs between modes", i, j)
+			}
+		}
+	}
+}
+
+func TestBatteryExperiment(t *testing.T) {
+	f := runQuick(t, "battery")
+	dW, dN := col(t, f, "W drained"), col(t, f, "N drained")
+	for _, r := range f.Rows {
+		if r.Values[dN] > r.Values[dW] {
+			t.Errorf("tasks=%s: DTA-Number drains %g devices, DTA-Workload %g; want fewer or equal",
+				r.X, r.Values[dN], r.Values[dW])
+		}
+	}
+}
+
+func TestDivisionRatioExperiment(t *testing.T) {
+	f := runQuick(t, "division-ratio")
+	pm, lm := col(t, f, "paper mean"), col(t, f, "LPT mean")
+	inst := col(t, f, "instances")
+	for _, r := range f.Rows {
+		if r.Values[inst] == 0 {
+			continue
+		}
+		if r.Values[pm] < 1-1e-9 || r.Values[lm] < 1-1e-9 {
+			t.Errorf("blocks=%s: ratio below 1 is impossible (paper %.3f, LPT %.3f)",
+				r.X, r.Values[pm], r.Values[lm])
+		}
+		if r.Values[lm] > r.Values[pm]+1e-9 {
+			t.Errorf("blocks=%s: LPT mean ratio %.3f should not exceed the paper greedy's %.3f",
+				r.X, r.Values[lm], r.Values[pm])
+		}
+	}
+}
+
+func TestArrivalsExperiment(t *testing.T) {
+	f := runQuick(t, "arrivals")
+	misses := col(t, f, "misses (%)")
+	if len(f.Rows) < 2 {
+		t.Fatal("arrivals needs at least batch and spread rows")
+	}
+	batch, spread := f.Rows[0], f.Rows[len(f.Rows)-1]
+	if spread.Values[misses] > batch.Values[misses] {
+		t.Errorf("spreading arrivals increased misses: %.1f%% vs %.1f%%",
+			spread.Values[misses], batch.Values[misses])
+	}
+}

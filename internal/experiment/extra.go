@@ -1,0 +1,475 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"dsmec/internal/baseline"
+	"dsmec/internal/core"
+	"dsmec/internal/cover"
+	"dsmec/internal/datamap"
+	"dsmec/internal/lp"
+	"dsmec/internal/rng"
+	"dsmec/internal/sim"
+	"dsmec/internal/stats"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+	"dsmec/internal/workload"
+)
+
+// SimCheck goes beyond the paper: it replays LP-HTA assignments in the
+// discrete-event simulator and reports how much queueing inflates the
+// analytic latencies, plus the deadline violations the closed-form model
+// cannot see.
+func SimCheck(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{
+		ID: "simcheck", Title: "analytic cost model vs discrete-event simulation (LP-HTA)",
+		XLabel: "tasks", YLabel: "latency (s) and violations",
+		Columns: []string{"analytic mean", "simulated mean", "inflation x", "sim deadline misses (%)"},
+		Notes: []string{
+			"energy matches the analytic model exactly by construction; queueing shifts time only",
+		},
+	}
+	for _, n := range taskCounts(opts.Quick) {
+		var analytic, simulated, misses stats.Series
+		for trial := 0; trial < opts.Trials; trial++ {
+			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("simcheck-%d-%d", n, trial))
+			sc, err := workload.GenerateHolistic(src, workload.Params{NumTasks: n})
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.LPHTA(sc.Model, sc.Tasks, nil)
+			if err != nil {
+				return nil, err
+			}
+			m, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
+			if err != nil {
+				return nil, err
+			}
+			sm, err := sim.Run(sc.Model, sc.Tasks, res.Assignment, sim.Config{})
+			if err != nil {
+				return nil, err
+			}
+			analytic.Add(m.MeanLatency().Seconds())
+			simulated.Add(sm.MeanLatency().Seconds())
+			placed := sc.Tasks.Len() - sm.Cancelled
+			if placed > 0 {
+				misses.Add(100 * float64(sm.DeadlineViolations) / float64(placed))
+			}
+		}
+		inflation := 0.0
+		if analytic.Mean() > 0 {
+			inflation = simulated.Mean() / analytic.Mean()
+		}
+		f.AddRow(fmt.Sprintf("%d", n),
+			analytic.Mean(), simulated.Mean(), inflation, misses.Mean())
+	}
+	return f, nil
+}
+
+// RatioStudy goes beyond the paper: it measures LP-HTA's empirical
+// approximation ratio against the exact HTA optimum (computed by
+// LP-based branch-and-bound, far beyond brute-force reach) and compares
+// it with the Theorem 2 bound 3 + Δ/E_LP^OPT.
+func RatioStudy(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{
+		ID: "ratio", Title: "LP-HTA empirical ratio vs exact ILP optimum",
+		XLabel: "tasks", YLabel: "energy ratio",
+		Columns: []string{"mean ratio", "max ratio", "mean theorem-2 bound", "feasible instances"},
+	}
+	counts := []int{8, 16, 32, 48}
+	if opts.Quick {
+		counts = []int{8, 32}
+	}
+	trials := opts.Trials * 4 // small instances are cheap; average harder
+	for _, n := range counts {
+		var ratios, bounds stats.Series
+		feasible := 0
+		for trial := 0; trial < trials; trial++ {
+			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("ratio-%d-%d", n, trial))
+			// Deadlines span [2, 8]x the best achievable time so that
+			// capacity-forced offloads stay deadline-feasible and full
+			// placements exist even under contention.
+			sc, err := workload.GenerateHolistic(src, workload.Params{
+				NumDevices: 8, NumStations: 2, NumTasks: n,
+				DeviceCap: 8, StationCap: 24,
+				DeadlineSlackMin: 2, DeadlineSlackMax: 8,
+			})
+			if err != nil {
+				return nil, err
+			}
+			opt, err := baseline.ILPOptimalHTA(sc.Model, sc.Tasks, 20000)
+			if errors.Is(err, core.ErrNoFeasible) || errors.Is(err, lp.ErrNodeLimit) {
+				continue // over-constrained or too hard to prove optimal
+			}
+			if err != nil {
+				return nil, err
+			}
+			optM, err := core.Evaluate(sc.Model, sc.Tasks, opt)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.LPHTA(sc.Model, sc.Tasks, nil)
+			if err != nil {
+				return nil, err
+			}
+			lpM, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
+			if err != nil {
+				return nil, err
+			}
+			if lpM.Cancelled > 0 || optM.TotalEnergy <= 0 {
+				continue // ratio undefined when LP-HTA cancels
+			}
+			feasible++
+			ratios.Add(float64(lpM.TotalEnergy) / float64(optM.TotalEnergy))
+			bounds.Add(res.RatioBoundEstimate())
+		}
+		if feasible == 0 {
+			f.AddRow(fmt.Sprintf("%d", n), 0, 0, 0, 0)
+			continue
+		}
+		f.AddRow(fmt.Sprintf("%d", n),
+			ratios.Mean(), ratios.Max(), bounds.Mean(), float64(feasible))
+	}
+	return f, nil
+}
+
+// AblationRounding compares the paper's largest-fraction rounding with
+// randomized rounding on energy and cancellations.
+func AblationRounding(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{
+		ID: "ablation-rounding", Title: "LP-HTA rounding rule ablation",
+		XLabel: "tasks", YLabel: "total energy (J) / cancelled",
+		Columns: []string{"largest-fraction (J)", "randomized (J)", "largest cancels", "randomized cancels"},
+	}
+	for _, n := range taskCounts(opts.Quick) {
+		var eL, eR, cL, cR stats.Series
+		for trial := 0; trial < opts.Trials; trial++ {
+			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("ablr-%d-%d", n, trial))
+			sc, err := workload.GenerateHolistic(src, workload.Params{NumTasks: n})
+			if err != nil {
+				return nil, err
+			}
+			for _, randomized := range []bool{false, true} {
+				o := &core.LPHTAOptions{}
+				if randomized {
+					o.Rounding = core.RoundRandomized
+					o.Rand = src.Stream("rounding")
+				}
+				res, err := core.LPHTA(sc.Model, sc.Tasks, o)
+				if err != nil {
+					return nil, err
+				}
+				m, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
+				if err != nil {
+					return nil, err
+				}
+				if randomized {
+					eR.Add(m.TotalEnergy.Joules())
+					cR.Add(float64(m.Cancelled))
+				} else {
+					eL.Add(m.TotalEnergy.Joules())
+					cL.Add(float64(m.Cancelled))
+				}
+			}
+		}
+		f.AddRow(fmt.Sprintf("%d", n), eL.Mean(), eR.Mean(), cL.Mean(), cR.Mean())
+	}
+	return f, nil
+}
+
+// AblationRepair compares the paper's largest-resource-first repair
+// migration with smallest-first under deliberately tight caps.
+func AblationRepair(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{
+		ID: "ablation-repair", Title: "LP-HTA repair order ablation (tight caps)",
+		XLabel: "tasks", YLabel: "total energy (J) / cancelled",
+		Columns: []string{"largest-first (J)", "smallest-first (J)", "largest cancels", "smallest cancels"},
+	}
+	for _, n := range taskCounts(opts.Quick) {
+		var eL, eS, cL, cS stats.Series
+		for trial := 0; trial < opts.Trials; trial++ {
+			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("ablm-%d-%d", n, trial))
+			sc, err := workload.GenerateHolistic(src, workload.Params{
+				NumTasks: n, DeviceCap: 4, StationCap: 25,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, order := range []core.RepairOrder{core.RepairLargestFirst, core.RepairSmallestFirst} {
+				res, err := core.LPHTA(sc.Model, sc.Tasks, &core.LPHTAOptions{Repair: order})
+				if err != nil {
+					return nil, err
+				}
+				m, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
+				if err != nil {
+					return nil, err
+				}
+				if order == core.RepairLargestFirst {
+					eL.Add(m.TotalEnergy.Joules())
+					cL.Add(float64(m.Cancelled))
+				} else {
+					eS.Add(m.TotalEnergy.Joules())
+					cS.Add(float64(m.Cancelled))
+				}
+			}
+		}
+		f.AddRow(fmt.Sprintf("%d", n), eL.Mean(), eS.Mean(), cL.Mean(), cS.Mean())
+	}
+	return f, nil
+}
+
+// AblationLPT compares the paper's smallest-remaining-set division greedy
+// with the LPT block-by-block variant on max slice load and processing
+// time, against the exact P3 optimum from branch-and-bound.
+func AblationLPT(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{
+		ID: "ablation-lpt", Title: "data division greedy ablation",
+		XLabel: "tasks", YLabel: "max load (blocks) / processing time (s)",
+		Columns: []string{"paper max load", "LPT max load", "paper proc (s)", "LPT proc (s)"},
+	}
+	for _, n := range taskCounts(opts.Quick) {
+		var loadP, loadL, timeP, timeL stats.Series
+		for trial := 0; trial < opts.Trials; trial++ {
+			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("abll-%d-%d", n, trial))
+			sc, err := workload.GenerateDivisible(src, workload.Params{NumTasks: n})
+			if err != nil {
+				return nil, err
+			}
+			for _, goal := range []core.Goal{core.GoalWorkload, core.GoalWorkloadLPT} {
+				res, err := core.DTA(sc.Model, sc.Tasks, sc.Placement, core.DTAOptions{Goal: goal})
+				if err != nil {
+					return nil, err
+				}
+				if goal == core.GoalWorkload {
+					loadP.Add(float64(res.Coverage.MaxLoad))
+					timeP.Add(res.Metrics.ProcessingTime.Seconds())
+				} else {
+					loadL.Add(float64(res.Coverage.MaxLoad))
+					timeL.Add(res.Metrics.ProcessingTime.Seconds())
+				}
+			}
+		}
+		f.AddRow(fmt.Sprintf("%d", n), loadP.Mean(), loadL.Mean(), timeP.Mean(), timeL.Mean())
+	}
+	return f, nil
+}
+
+// DivisionRatio goes beyond the paper: on small instances where the P3
+// optimum is provable by branch-and-bound, it measures the empirical
+// approximation ratio of the paper's smallest-remaining-set greedy and of
+// the LPT variant. The paper claims a 1/(1−e⁻¹) ≈ 1.58 bound for its
+// greedy (Corollary 2); the measured worst case exceeds it, while LPT
+// stays near-optimal — see EXPERIMENTS.md.
+func DivisionRatio(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{
+		ID: "division-ratio", Title: "data-division greedy vs exact P3 optimum (small instances)",
+		XLabel: "blocks", YLabel: "max-load ratio to optimal",
+		Columns: []string{"paper mean", "paper worst", "LPT mean", "LPT worst", "instances"},
+	}
+	sizes := []int{24, 48, 96}
+	if opts.Quick {
+		sizes = []int{24, 96}
+	}
+	trials := opts.Trials * 4
+	for _, blocks := range sizes {
+		var rp, rl stats.Series
+		instances := 0
+		for trial := 0; trial < trials; trial++ {
+			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("divratio-%d-%d", blocks, trial))
+			universe, usable, err := randomDivision(src, 8, blocks, blocks/3)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := cover.OptimalMaxLoadILP(universe, usable, 20000)
+			if errors.Is(err, lp.ErrNodeLimit) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			if opt == 0 {
+				continue
+			}
+			paper, err := cover.BalancedPartition(universe, usable)
+			if err != nil {
+				return nil, err
+			}
+			lpt, err := cover.BalancedPartitionLPT(universe, usable)
+			if err != nil {
+				return nil, err
+			}
+			rp.Add(float64(paper.MaxLoad) / float64(opt))
+			rl.Add(float64(lpt.MaxLoad) / float64(opt))
+			instances++
+		}
+		f.AddRow(fmt.Sprintf("%d", blocks),
+			rp.Mean(), rp.Max(), rl.Mean(), rl.Max(), float64(instances))
+	}
+	return f, nil
+}
+
+// randomDivision builds a random coverable P3 instance: every block is
+// held by 1–3 of the devices.
+func randomDivision(src *rng.Source, devices, blocks, perDev int) (*datamap.Set, []*datamap.Set, error) {
+	r := src.Stream("division")
+	universe := datamap.NewSet()
+	for b := 0; b < blocks; b++ {
+		universe.Add(datamap.BlockID(b))
+	}
+	usable := make([]*datamap.Set, devices)
+	for i := range usable {
+		usable[i] = datamap.NewSet()
+		for j := 0; j < perDev; j++ {
+			usable[i].Add(datamap.BlockID(r.Intn(blocks)))
+		}
+	}
+	for b := 0; b < blocks; b++ {
+		usable[r.Intn(devices)].Add(datamap.BlockID(b))
+	}
+	return universe, usable, nil
+}
+
+// Feedback goes beyond the paper: it runs the simulator-in-the-loop
+// planner (sim.PlanWithFeedback) against plain LP-HTA and reports how many
+// tasks each leaves unsatisfied under queueing, and at what energy.
+func Feedback(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{
+		ID: "feedback", Title: "simulator-in-the-loop replanning vs plain LP-HTA",
+		XLabel: "tasks", YLabel: "unsatisfied tasks under queueing / energy (J)",
+		Columns: []string{"LP-HTA unsat", "feedback unsat", "LP-HTA (J)", "feedback (J)"},
+		Notes: []string{
+			"unsat = simulated deadline misses + cancellations; feedback replans with deadlines tightened by measured queueing inflation",
+		},
+	}
+	for _, n := range taskCounts(opts.Quick) {
+		var uB, uF, eB, eF stats.Series
+		for trial := 0; trial < opts.Trials; trial++ {
+			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("fb-%d-%d", n, trial))
+			sc, err := workload.GenerateHolistic(src, workload.Params{NumTasks: n})
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.PlanWithFeedback(sc.Model, sc.Tasks, sim.FeedbackOptions{Rounds: 3})
+			if err != nil {
+				return nil, err
+			}
+			base := res.Rounds[0]
+			best := res.Rounds[res.Best]
+			uB.Add(float64(base.Misses + base.Cancelled))
+			uF.Add(float64(best.Misses + best.Cancelled))
+			eB.Add(base.Energy.Joules())
+			eF.Add(best.Energy.Joules())
+		}
+		f.AddRow(fmt.Sprintf("%d", n), uB.Mean(), uF.Mean(), eB.Mean(), eF.Mean())
+	}
+	return f, nil
+}
+
+// BatteryStudy goes beyond the paper: it uses the cost model's per-device
+// energy attribution to quantify Fig. 6(b)'s motivation — DTA-Number
+// "saves the energy of the majority of mobile devices" — by reporting how
+// many devices drain battery at all and how hard the busiest one works.
+func BatteryStudy(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{
+		ID: "battery", Title: "per-device battery drain, DTA-Workload vs DTA-Number",
+		XLabel: "tasks", YLabel: "devices drained / max drain (J)",
+		Columns: []string{"W drained", "N drained", "W max (J)", "N max (J)", "W spared", "N spared"},
+		Notes: []string{
+			"drained = devices spending any battery; spared = devices spending none (of 50)",
+		},
+	}
+	for _, n := range taskCounts(opts.Quick) {
+		var dW, dN, mW, mN, sW, sN stats.Series
+		for trial := 0; trial < opts.Trials; trial++ {
+			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("bat-%d-%d", n, trial))
+			sc, err := workload.GenerateDivisible(src, workload.Params{NumTasks: n})
+			if err != nil {
+				return nil, err
+			}
+			for _, goal := range []core.Goal{core.GoalWorkload, core.GoalNumber} {
+				res, err := core.DTA(sc.Model, sc.Tasks, sc.Placement, core.DTAOptions{Goal: goal})
+				if err != nil {
+					return nil, err
+				}
+				drained := float64(res.Battery.Drained())
+				spared := float64(len(res.Battery.ByDevice)) - drained
+				if goal == core.GoalWorkload {
+					dW.Add(drained)
+					mW.Add(res.Battery.Max().Joules())
+					sW.Add(spared)
+				} else {
+					dN.Add(drained)
+					mN.Add(res.Battery.Max().Joules())
+					sN.Add(spared)
+				}
+			}
+		}
+		f.AddRow(fmt.Sprintf("%d", n),
+			dW.Mean(), dN.Mean(), mW.Mean(), mN.Mean(), sW.Mean(), sN.Mean())
+	}
+	return f, nil
+}
+
+// Arrivals goes beyond the paper's quasi-static assumption: the same
+// LP-HTA assignment is executed in the simulator with tasks released all
+// at once (the paper's setting) versus spread uniformly over growing
+// arrival windows, showing how much of the queueing pain of simcheck is an
+// artifact of batch arrivals.
+func Arrivals(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{
+		ID: "arrivals", Title: "batch vs spread arrivals (LP-HTA, 200 tasks)",
+		XLabel: "arrival window (s)", YLabel: "sim misses (%) / mean sojourn (s)",
+		Columns: []string{"misses (%)", "mean sojourn (s)", "analytic mean (s)"},
+	}
+	windows := []float64{0, 15, 30, 60, 120}
+	if opts.Quick {
+		windows = []float64{0, 120}
+	}
+	for _, w := range windows {
+		var misses, sojourn, analytic stats.Series
+		for trial := 0; trial < opts.Trials; trial++ {
+			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("arr-%d-%g", trial, w))
+			sc, err := workload.GenerateHolistic(src, workload.Params{NumTasks: 200})
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.LPHTA(sc.Model, sc.Tasks, nil)
+			if err != nil {
+				return nil, err
+			}
+			m, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
+			if err != nil {
+				return nil, err
+			}
+			releases := make(map[task.ID]units.Duration, sc.Tasks.Len())
+			if w > 0 {
+				r := src.Stream("releases")
+				for _, tk := range sc.Tasks.All() {
+					releases[tk.ID] = units.Duration(r.Float64() * w)
+				}
+			}
+			simRes, err := sim.RunReleases(sc.Model, sc.Tasks, res.Assignment, sim.Config{}, releases)
+			if err != nil {
+				return nil, err
+			}
+			placed := sc.Tasks.Len() - simRes.Cancelled
+			if placed > 0 {
+				misses.Add(100 * float64(simRes.DeadlineViolations) / float64(placed))
+			}
+			sojourn.Add(simRes.MeanLatency().Seconds())
+			analytic.Add(m.MeanLatency().Seconds())
+		}
+		f.AddRow(fmt.Sprintf("%.0f", w), misses.Mean(), sojourn.Mean(), analytic.Mean())
+	}
+	return f, nil
+}

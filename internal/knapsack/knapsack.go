@@ -1,0 +1,168 @@
+// Package knapsack solves the 0/1 knapsack problem.
+//
+// Theorem 1 of the paper proves HTA NP-complete by reducing Knapsack to the
+// special case max_i = 0, T_ij = ∞: choosing which tasks stay on the base
+// station (value E_ij3 − E_ij2, weight C_ij, capacity max_S) is exactly
+// 0/1 knapsack. This package provides an exact dynamic-programming solver,
+// the classical density greedy with its 1/2 guarantee, and a brute-force
+// reference for tests — used both to demonstrate the reduction and as an
+// optimal baseline for small HTA instances.
+package knapsack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Item is one knapsack item.
+type Item struct {
+	Value  float64
+	Weight int
+}
+
+// Result is a solved knapsack: the chosen item indices (ascending), their
+// total value and total weight.
+type Result struct {
+	Chosen []int
+	Value  float64
+	Weight int
+}
+
+func validate(items []Item, capacity int) error {
+	if capacity < 0 {
+		return fmt.Errorf("knapsack: negative capacity %d", capacity)
+	}
+	for i, it := range items {
+		if it.Weight < 0 {
+			return fmt.Errorf("knapsack: item %d has negative weight %d", i, it.Weight)
+		}
+		if it.Value < 0 || math.IsNaN(it.Value) || math.IsInf(it.Value, 0) {
+			return fmt.Errorf("knapsack: item %d has invalid value %g", i, it.Value)
+		}
+	}
+	return nil
+}
+
+// SolveDP solves the knapsack exactly by dynamic programming over weight,
+// O(n·capacity) time and space.
+func SolveDP(items []Item, capacity int) (*Result, error) {
+	if err := validate(items, capacity); err != nil {
+		return nil, err
+	}
+	n := len(items)
+	// best[i][w]: max value using items[0..i) within weight w. Row-rolled
+	// with a keep table for reconstruction.
+	keep := make([][]bool, n)
+	prev := make([]float64, capacity+1)
+	cur := make([]float64, capacity+1)
+	for i, it := range items {
+		keep[i] = make([]bool, capacity+1)
+		for w := 0; w <= capacity; w++ {
+			cur[w] = prev[w]
+			if it.Weight <= w {
+				cand := prev[w-it.Weight] + it.Value
+				if cand > cur[w] {
+					cur[w] = cand
+					keep[i][w] = true
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	res := &Result{Value: prev[capacity]}
+	w := capacity
+	for i := n - 1; i >= 0; i-- {
+		if keep[i][w] {
+			res.Chosen = append(res.Chosen, i)
+			res.Weight += items[i].Weight
+			w -= items[i].Weight
+		}
+	}
+	sort.Ints(res.Chosen)
+	return res, nil
+}
+
+// Greedy is the density heuristic with the max-item fix-up: take items by
+// value/weight until full, then return the better of that packing and the
+// single most valuable fitting item. Guarantees at least half the optimum.
+func Greedy(items []Item, capacity int) (*Result, error) {
+	if err := validate(items, capacity); err != nil {
+		return nil, err
+	}
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		// Zero-weight items are infinitely dense; take them first.
+		da := math.Inf(1)
+		if ia.Weight > 0 {
+			da = ia.Value / float64(ia.Weight)
+		}
+		db := math.Inf(1)
+		if ib.Weight > 0 {
+			db = ib.Value / float64(ib.Weight)
+		}
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+
+	pack := &Result{}
+	room := capacity
+	for _, i := range order {
+		if items[i].Weight <= room {
+			pack.Chosen = append(pack.Chosen, i)
+			pack.Value += items[i].Value
+			pack.Weight += items[i].Weight
+			room -= items[i].Weight
+		}
+	}
+
+	// Max single fitting item.
+	bestIdx := -1
+	for i, it := range items {
+		if it.Weight <= capacity && (bestIdx < 0 || it.Value > items[bestIdx].Value) {
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 && items[bestIdx].Value > pack.Value {
+		pack = &Result{Chosen: []int{bestIdx}, Value: items[bestIdx].Value, Weight: items[bestIdx].Weight}
+	}
+	sort.Ints(pack.Chosen)
+	return pack, nil
+}
+
+// BruteForce enumerates all 2^n subsets; for tests and tiny instances only.
+func BruteForce(items []Item, capacity int) (*Result, error) {
+	if err := validate(items, capacity); err != nil {
+		return nil, err
+	}
+	if len(items) > 24 {
+		return nil, fmt.Errorf("knapsack: brute force limited to 24 items, got %d", len(items))
+	}
+	best := &Result{}
+	for mask := 0; mask < 1<<len(items); mask++ {
+		v, w := 0.0, 0
+		for i := range items {
+			if mask&(1<<i) != 0 {
+				v += items[i].Value
+				w += items[i].Weight
+			}
+		}
+		if w <= capacity && v > best.Value {
+			best.Value = v
+			best.Weight = w
+			best.Chosen = best.Chosen[:0]
+			for i := range items {
+				if mask&(1<<i) != 0 {
+					best.Chosen = append(best.Chosen, i)
+				}
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,160 @@
+package knapsack
+
+import (
+	"math"
+	"testing"
+
+	"dsmec/internal/rng"
+)
+
+func TestSolveDPKnownInstances(t *testing.T) {
+	tests := []struct {
+		name      string
+		items     []Item
+		capacity  int
+		wantValue float64
+	}{
+		{"empty", nil, 10, 0},
+		{"zero capacity", []Item{{Value: 5, Weight: 1}}, 0, 0},
+		{"single fits", []Item{{Value: 5, Weight: 3}}, 3, 5},
+		{"single too heavy", []Item{{Value: 5, Weight: 4}}, 3, 0},
+		{"classic", []Item{
+			{Value: 60, Weight: 10}, {Value: 100, Weight: 20}, {Value: 120, Weight: 30},
+		}, 50, 220},
+		{"greedy trap", []Item{
+			// Density greedy takes the 1-weight item and misses the pair.
+			{Value: 10, Weight: 1}, {Value: 9, Weight: 5}, {Value: 9, Weight: 5},
+		}, 10, 19},
+		{"zero weight item", []Item{
+			{Value: 3, Weight: 0}, {Value: 4, Weight: 2},
+		}, 2, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := SolveDP(tt.items, tt.capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Value != tt.wantValue {
+				t.Errorf("Value = %g, want %g", got.Value, tt.wantValue)
+			}
+			if got.Weight > tt.capacity {
+				t.Errorf("Weight %d exceeds capacity %d", got.Weight, tt.capacity)
+			}
+			// Chosen must reproduce Value/Weight.
+			v, w := 0.0, 0
+			for _, i := range got.Chosen {
+				v += tt.items[i].Value
+				w += tt.items[i].Weight
+			}
+			if v != got.Value || w != got.Weight {
+				t.Errorf("Chosen sums (%g,%d) disagree with (%g,%d)", v, w, got.Value, got.Weight)
+			}
+		})
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []struct {
+		name     string
+		items    []Item
+		capacity int
+	}{
+		{"negative capacity", nil, -1},
+		{"negative weight", []Item{{Value: 1, Weight: -1}}, 5},
+		{"negative value", []Item{{Value: -1, Weight: 1}}, 5},
+		{"nan value", []Item{{Value: math.NaN(), Weight: 1}}, 5},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := SolveDP(tt.items, tt.capacity); err == nil {
+				t.Error("SolveDP should reject")
+			}
+			if _, err := Greedy(tt.items, tt.capacity); err == nil {
+				t.Error("Greedy should reject")
+			}
+			if _, err := BruteForce(tt.items, tt.capacity); err == nil {
+				t.Error("BruteForce should reject")
+			}
+		})
+	}
+	if _, err := BruteForce(make([]Item, 25), 1); err == nil {
+		t.Error("BruteForce should reject > 24 items")
+	}
+}
+
+func TestDPMatchesBruteForceRandom(t *testing.T) {
+	r := rng.NewSource(42).Stream("knap")
+	for trial := 0; trial < 200; trial++ {
+		n := rng.UniformInt(r, 1, 12)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Value:  float64(rng.UniformInt(r, 0, 100)),
+				Weight: rng.UniformInt(r, 0, 15),
+			}
+		}
+		capacity := rng.UniformInt(r, 0, 40)
+
+		dp, err := SolveDP(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := BruteForce(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.Value != bf.Value {
+			t.Fatalf("trial %d: DP value %g != brute force %g (items %v, cap %d)",
+				trial, dp.Value, bf.Value, items, capacity)
+		}
+	}
+}
+
+func TestGreedyHalfApproximation(t *testing.T) {
+	r := rng.NewSource(7).Stream("knap-greedy")
+	for trial := 0; trial < 200; trial++ {
+		n := rng.UniformInt(r, 1, 12)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Value:  float64(rng.UniformInt(r, 1, 100)),
+				Weight: rng.UniformInt(r, 1, 15),
+			}
+		}
+		capacity := rng.UniformInt(r, 1, 40)
+
+		g, err := Greedy(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := SolveDP(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Weight > capacity {
+			t.Fatalf("trial %d: greedy exceeded capacity", trial)
+		}
+		if g.Value < 0.5*opt.Value {
+			t.Fatalf("trial %d: greedy %g below half of optimum %g", trial, g.Value, opt.Value)
+		}
+		if g.Value > opt.Value {
+			t.Fatalf("trial %d: greedy %g beats optimum %g (impossible)", trial, g.Value, opt.Value)
+		}
+	}
+}
+
+func TestGreedyZeroWeightFirst(t *testing.T) {
+	items := []Item{
+		{Value: 1, Weight: 5},
+		{Value: 2, Weight: 0},
+		{Value: 3, Weight: 0},
+	}
+	g, err := Greedy(items, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Value != 6 {
+		t.Errorf("greedy value = %g, want 6 (both free items plus the heavy one)", g.Value)
+	}
+}

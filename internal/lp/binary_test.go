@@ -1,0 +1,309 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dsmec/internal/rng"
+)
+
+func allBinary(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+// bruteForceBinary enumerates all 0/1 assignments of the binary variables
+// (continuous variables must be absent) and returns the best feasible
+// objective.
+func bruteForceBinary(p *Problem) float64 {
+	n := p.NumVars()
+	best := math.Inf(1)
+	x := make([]float64, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for j := 0; j < n; j++ {
+			x[j] = float64((mask >> j) & 1)
+		}
+		if !feasible(p, x) {
+			continue
+		}
+		obj := 0.0
+		for j := range x {
+			obj += p.Minimize[j] * x[j]
+		}
+		if obj < best {
+			best = obj
+		}
+	}
+	return best
+}
+
+func TestSolveBinaryKnapsackShape(t *testing.T) {
+	// max 60x0+100x1+120x2 s.t. 10x0+20x1+30x2 <= 50: classic optimum 220
+	// at (0,1,1).
+	p := &Problem{
+		Minimize: []float64{-60, -100, -120},
+		Constraints: []Constraint{
+			{Coeffs: []float64{10, 20, 30}, Sense: LE, RHS: 50},
+		},
+	}
+	s, err := SolveBinary(p, allBinary(3), BinaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("Status = %v", s.Status)
+	}
+	if !almostEqual(s.Objective, -220) {
+		t.Errorf("objective = %g, want -220", s.Objective)
+	}
+	if s.X[0] != 0 || s.X[1] != 1 || s.X[2] != 1 {
+		t.Errorf("x = %v, want [0 1 1]", s.X)
+	}
+	if s.Nodes <= 0 {
+		t.Error("Nodes should be positive")
+	}
+}
+
+func TestSolveBinaryInfeasible(t *testing.T) {
+	// x0 + x1 = 1.5 has no binary solution.
+	p := &Problem{
+		Minimize: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 1.5},
+		},
+	}
+	s, err := SolveBinary(p, allBinary(2), BinaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("Status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveBinaryMixed(t *testing.T) {
+	// One binary decision gating a continuous variable:
+	// min -y s.t. y <= 2*x0, y <= 1.2, x0 binary. Optimum: x0=1, y=1.2.
+	p := &Problem{
+		Minimize: []float64{0.5, -1}, // small cost on x0 so it only opens when useful
+		Constraints: []Constraint{
+			{Coeffs: []float64{-2, 1}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 1.2},
+		},
+	}
+	s, err := SolveBinary(p, []bool{true, false}, BinaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("Status = %v", s.Status)
+	}
+	if !almostEqual(s.Objective, 0.5-1.2) {
+		t.Errorf("objective = %g, want -0.7", s.Objective)
+	}
+	if s.X[0] != 1 || !almostEqual(s.X[1], 1.2) {
+		t.Errorf("x = %v, want [1 1.2]", s.X)
+	}
+}
+
+func TestSolveBinaryValidation(t *testing.T) {
+	p := &Problem{Minimize: []float64{1}}
+	if _, err := SolveBinary(p, []bool{true, true}, BinaryOptions{}); err == nil {
+		t.Error("flag-count mismatch should fail")
+	}
+	bad := &Problem{Minimize: []float64{1}, Upper: []float64{0.5}}
+	if _, err := SolveBinary(bad, []bool{true}, BinaryOptions{}); err == nil {
+		t.Error("binary variable with upper bound < 1 should fail")
+	}
+	if _, err := SolveBinary(&Problem{}, nil, BinaryOptions{}); err == nil {
+		t.Error("invalid problem should fail")
+	}
+}
+
+func TestSolveBinaryNodeLimit(t *testing.T) {
+	// A problem needing more than one node with NodeLimit 1.
+	p := &Problem{
+		Minimize: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 1.5},
+		},
+	}
+	if _, err := SolveBinary(p, allBinary(2), BinaryOptions{NodeLimit: 1}); !errors.Is(err, ErrNodeLimit) {
+		t.Errorf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+func TestSolveBinaryAgainstBruteForce(t *testing.T) {
+	r := rng.NewSource(77).Stream("bnb")
+	for trial := 0; trial < 150; trial++ {
+		n := rng.UniformInt(r, 1, 10)
+		m := rng.UniformInt(r, 1, 5)
+		p := &Problem{Minimize: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p.Minimize[j] = rng.Uniform(r, -5, 5)
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), RHS: rng.Uniform(r, -2, float64(n))}
+			for j := 0; j < n; j++ {
+				c.Coeffs[j] = rng.Uniform(r, -2, 2)
+			}
+			if rng.UniformInt(r, 0, 1) == 0 {
+				c.Sense = LE
+			} else {
+				c.Sense = GE
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+
+		want := bruteForceBinary(p)
+		got, err := SolveBinary(p, allBinary(n), BinaryOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.IsInf(want, 1) {
+			if got.Status != Infeasible {
+				t.Fatalf("trial %d: status %v, brute force says infeasible\nX=%v",
+					trial, got.Status, got.X)
+			}
+			continue
+		}
+		if got.Status != Optimal {
+			t.Fatalf("trial %d: status %v, brute force found %g", trial, got.Status, want)
+		}
+		if math.Abs(got.Objective-want) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: objective %g, brute force %g (x=%v)",
+				trial, got.Objective, want, got.X)
+		}
+		// The returned point must be feasible and binary.
+		if !feasible(p, got.X) {
+			t.Fatalf("trial %d: infeasible incumbent", trial)
+		}
+		for j, v := range got.X {
+			if v != 0 && v != 1 {
+				t.Fatalf("trial %d: x[%d] = %g not binary", trial, j, v)
+			}
+		}
+	}
+}
+
+func TestMostFractional(t *testing.T) {
+	x := []float64{0, 0.5, 1, 0.9, 0.4999}
+	got := MostFractional(x, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("MostFractional = %v, want [1 4]", got)
+	}
+	if got := MostFractional(x, 10); len(got) != 3 {
+		t.Errorf("k beyond fractional count should clamp, got %v", got)
+	}
+	if got := MostFractional([]float64{0, 1, 2}, 3); len(got) != 0 {
+		t.Errorf("integral vector should yield nothing, got %v", got)
+	}
+}
+
+func TestSolveBinaryWithIncumbent(t *testing.T) {
+	// Knapsack instance; a feasible but suboptimal incumbent must not
+	// change the optimum, and must seed pruning.
+	p := &Problem{
+		Minimize: []float64{-60, -100, -120},
+		Constraints: []Constraint{
+			{Coeffs: []float64{10, 20, 30}, Sense: LE, RHS: 50},
+		},
+	}
+	s, err := SolveBinary(p, allBinary(3), BinaryOptions{
+		Incumbent: []float64{1, 1, 0}, // value 160, weight 30: feasible
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almostEqual(s.Objective, -220) {
+		t.Errorf("objective = %g (%v), want -220", s.Objective, s.Status)
+	}
+
+	// An incumbent that is already optimal must be returned when nothing
+	// beats it.
+	s2, err := SolveBinary(p, allBinary(3), BinaryOptions{
+		Incumbent: []float64{0, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s2.Objective, -220) {
+		t.Errorf("objective with optimal incumbent = %g, want -220", s2.Objective)
+	}
+}
+
+func TestSolveBinaryIncumbentValidation(t *testing.T) {
+	p := &Problem{
+		Minimize: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 1},
+		},
+	}
+	tests := []struct {
+		name string
+		inc  []float64
+	}{
+		{"wrong length", []float64{1}},
+		{"non-binary entry", []float64{0.5, 0}},
+		{"infeasible", []float64{1, 1}}, // violates the LE row
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := SolveBinary(p, allBinary(2), BinaryOptions{Incumbent: tt.inc}); err == nil {
+				t.Error("bad incumbent should be rejected")
+			}
+		})
+	}
+}
+
+func TestSolveBinaryIntegerObjectivePruning(t *testing.T) {
+	// Min-max style instance with an integral objective: 6 unit items on 2
+	// machines, makespan variable z. IntegerObjective pruning must still
+	// find the exact optimum (3) and agree with the plain search.
+	const items, machines = 6, 2
+	nVars := items*machines + 1
+	z := items * machines
+	p := &Problem{Minimize: make([]float64, nVars), Upper: make([]float64, nVars)}
+	binary := make([]bool, nVars)
+	p.Minimize[z] = 1
+	p.Upper[z] = math.Inf(1)
+	for v := 0; v < z; v++ {
+		p.Upper[v] = 1
+		binary[v] = true
+	}
+	for it := 0; it < items; it++ {
+		row := make([]float64, nVars)
+		for mch := 0; mch < machines; mch++ {
+			row[it*machines+mch] = 1
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Sense: EQ, RHS: 1})
+	}
+	for mch := 0; mch < machines; mch++ {
+		row := make([]float64, nVars)
+		for it := 0; it < items; it++ {
+			row[it*machines+mch] = 1
+		}
+		row[z] = -1
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Sense: LE, RHS: 0})
+	}
+
+	plain, err := SolveBinary(p, binary, BinaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := SolveBinary(p, binary, BinaryOptions{IntegerObjective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(plain.Objective, 3) || !almostEqual(fast.Objective, 3) {
+		t.Errorf("objectives %g / %g, want 3", plain.Objective, fast.Objective)
+	}
+	if fast.Nodes > plain.Nodes {
+		t.Errorf("integer-objective pruning explored %d nodes, plain %d; want fewer or equal",
+			fast.Nodes, plain.Nodes)
+	}
+}

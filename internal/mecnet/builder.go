@@ -1,0 +1,119 @@
+package mecnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsmec/internal/backhaul"
+	"dsmec/internal/compute"
+	"dsmec/internal/radio"
+	"dsmec/internal/rng"
+	"dsmec/internal/units"
+)
+
+// GenerateParams configures Generate, which builds the evaluation topology
+// of Section V.A: devices with 1–2 GHz CPUs attached round-robin to 4 GHz
+// stations over randomly chosen 4G/Wi-Fi links, behind a 2.4 GHz cloud.
+type GenerateParams struct {
+	NumDevices  int
+	NumStations int
+
+	// DeviceFreqMin/Max bound the uniformly drawn device CPU clocks.
+	// Zero values default to the paper's 1 GHz / 2 GHz.
+	DeviceFreqMin units.Frequency
+	DeviceFreqMax units.Frequency
+
+	// DeviceResourceCap is max_i (same for every device);
+	// StationResourceCap is max_S (same for every station).
+	DeviceResourceCap  float64
+	StationResourceCap float64
+
+	// Picker selects each device's access link. Nil defaults to the
+	// paper's uniform 4G/Wi-Fi choice (Table I).
+	Picker *radio.Picker
+
+	// StationFreq and CloudFreq override the paper's 4 GHz / 2.4 GHz when
+	// non-zero.
+	StationFreq units.Frequency
+	CloudFreq   units.Frequency
+
+	// StationWire and CloudWire override the default backhauls when
+	// non-nil.
+	StationWire *backhaul.Wire
+	CloudWire   *backhaul.Wire
+}
+
+func (p *GenerateParams) withDefaults() GenerateParams {
+	out := *p
+	if out.DeviceFreqMin == 0 {
+		out.DeviceFreqMin = compute.MinDeviceFrequency
+	}
+	if out.DeviceFreqMax == 0 {
+		out.DeviceFreqMax = compute.MaxDeviceFrequency
+	}
+	if out.Picker == nil {
+		out.Picker = radio.TableIPicker()
+	}
+	if out.StationFreq == 0 {
+		out.StationFreq = compute.StationFrequency
+	}
+	if out.CloudFreq == 0 {
+		out.CloudFreq = compute.CloudFrequency
+	}
+	return out
+}
+
+// Generate builds and validates a System per the given parameters, drawing
+// all randomness from r.
+func Generate(r *rand.Rand, params GenerateParams) (*System, error) {
+	p := params.withDefaults()
+	switch {
+	case p.NumDevices <= 0:
+		return nil, fmt.Errorf("mecnet: NumDevices %d must be positive", p.NumDevices)
+	case p.NumStations <= 0:
+		return nil, fmt.Errorf("mecnet: NumStations %d must be positive", p.NumStations)
+	case p.NumStations > p.NumDevices:
+		return nil, fmt.Errorf("mecnet: NumStations %d exceeds NumDevices %d; every cluster needs a device",
+			p.NumStations, p.NumDevices)
+	case p.DeviceFreqMin > p.DeviceFreqMax:
+		return nil, fmt.Errorf("mecnet: DeviceFreqMin %v exceeds DeviceFreqMax %v", p.DeviceFreqMin, p.DeviceFreqMax)
+	case p.DeviceResourceCap < 0 || p.StationResourceCap < 0:
+		return nil, fmt.Errorf("mecnet: resource caps must be non-negative")
+	}
+
+	sys := &System{
+		Devices:  make([]Device, p.NumDevices),
+		Stations: make([]Station, p.NumStations),
+		Cloud:    Cloud{Proc: compute.Processor{Frequency: p.CloudFreq}},
+	}
+	if p.StationWire != nil {
+		sys.StationWire = *p.StationWire
+	} else {
+		sys.StationWire = backhaul.DefaultStationToStation()
+	}
+	if p.CloudWire != nil {
+		sys.CloudWire = *p.CloudWire
+	} else {
+		sys.CloudWire = backhaul.DefaultStationToCloud()
+	}
+
+	for s := range sys.Stations {
+		sys.Stations[s] = Station{
+			Proc:        compute.Processor{Frequency: p.StationFreq},
+			ResourceCap: p.StationResourceCap,
+		}
+	}
+	for i := range sys.Devices {
+		freq := units.Frequency(rng.Uniform(r, float64(p.DeviceFreqMin), float64(p.DeviceFreqMax)))
+		sys.Devices[i] = Device{
+			Station:     i % p.NumStations, // round-robin keeps clusters balanced
+			Link:        p.Picker.Pick(r),
+			Proc:        compute.DeviceProcessor(freq),
+			ResourceCap: p.DeviceResourceCap,
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

@@ -1,0 +1,148 @@
+// Package mecnet describes the three-level topology of a MEC system: n
+// mobile devices partitioned into k clusters, each cluster served by one
+// base station, and a single remote cloud behind all stations (Fig. 1 of
+// the paper).
+//
+// The package captures the quasi-static scenario the paper assumes: every
+// device stays attached to the same base station for the whole assignment
+// period.
+package mecnet
+
+import (
+	"fmt"
+
+	"dsmec/internal/backhaul"
+	"dsmec/internal/compute"
+	"dsmec/internal/radio"
+)
+
+// Device is one mobile device (level 1). Its index in System.Devices is
+// its identity i; user U_i raises tasks through device i.
+type Device struct {
+	Station     int               // index of the serving base station
+	Link        radio.Link        // radio access link to that station
+	Proc        compute.Processor // f_i plus κ
+	ResourceCap float64           // max_i, the device's computation-resource bound
+}
+
+// Station is one base station with its small-scale cloud (level 2).
+type Station struct {
+	Proc        compute.Processor // f_s, grid powered
+	ResourceCap float64           // max_S for this station
+}
+
+// Cloud is the remote cloud (level 3).
+type Cloud struct {
+	Proc compute.Processor // f_c, grid powered
+}
+
+// System is a complete MEC topology.
+type System struct {
+	Devices  []Device
+	Stations []Station
+	Cloud    Cloud
+
+	// StationWire is the station↔station backhaul (t_B,B / e_B,B).
+	StationWire backhaul.Wire
+	// CloudWire is the station↔cloud backhaul (t_B,C / e_B,C).
+	CloudWire backhaul.Wire
+
+	clusters [][]int // device indices per station, built by Validate
+}
+
+// Validate checks structural consistency and builds the cluster index.
+// Call it once after constructing a System by hand; the builders in this
+// package call it for you.
+func (s *System) Validate() error {
+	if len(s.Devices) == 0 {
+		return fmt.Errorf("mecnet: system has no devices")
+	}
+	if len(s.Stations) == 0 {
+		return fmt.Errorf("mecnet: system has no stations")
+	}
+	if err := s.Cloud.Proc.Validate(); err != nil {
+		return fmt.Errorf("mecnet: cloud: %w", err)
+	}
+	if err := s.StationWire.Validate(); err != nil {
+		return fmt.Errorf("mecnet: station wire: %w", err)
+	}
+	if err := s.CloudWire.Validate(); err != nil {
+		return fmt.Errorf("mecnet: cloud wire: %w", err)
+	}
+	for r, st := range s.Stations {
+		if err := st.Proc.Validate(); err != nil {
+			return fmt.Errorf("mecnet: station %d: %w", r, err)
+		}
+		if st.ResourceCap < 0 {
+			return fmt.Errorf("mecnet: station %d: negative resource cap %g", r, st.ResourceCap)
+		}
+	}
+	clusters := make([][]int, len(s.Stations))
+	for i, d := range s.Devices {
+		if d.Station < 0 || d.Station >= len(s.Stations) {
+			return fmt.Errorf("mecnet: device %d: station %d out of range [0,%d)", i, d.Station, len(s.Stations))
+		}
+		if err := d.Link.Validate(); err != nil {
+			return fmt.Errorf("mecnet: device %d: %w", i, err)
+		}
+		if err := d.Proc.Validate(); err != nil {
+			return fmt.Errorf("mecnet: device %d: %w", i, err)
+		}
+		if d.ResourceCap < 0 {
+			return fmt.Errorf("mecnet: device %d: negative resource cap %g", i, d.ResourceCap)
+		}
+		clusters[d.Station] = append(clusters[d.Station], i)
+	}
+	s.clusters = clusters
+	return nil
+}
+
+// NumDevices returns n, the device count.
+func (s *System) NumDevices() int { return len(s.Devices) }
+
+// NumStations returns k, the station count.
+func (s *System) NumStations() int { return len(s.Stations) }
+
+// Device returns device i.
+func (s *System) Device(i int) (*Device, error) {
+	if i < 0 || i >= len(s.Devices) {
+		return nil, fmt.Errorf("mecnet: device %d out of range [0,%d)", i, len(s.Devices))
+	}
+	return &s.Devices[i], nil
+}
+
+// StationOf returns the index of the station serving device i.
+func (s *System) StationOf(i int) (int, error) {
+	d, err := s.Device(i)
+	if err != nil {
+		return 0, err
+	}
+	return d.Station, nil
+}
+
+// SameCluster reports whether devices a and b attach to the same base
+// station. A device is trivially in its own cluster.
+func (s *System) SameCluster(a, b int) (bool, error) {
+	sa, err := s.StationOf(a)
+	if err != nil {
+		return false, err
+	}
+	sb, err := s.StationOf(b)
+	if err != nil {
+		return false, err
+	}
+	return sa == sb, nil
+}
+
+// Cluster returns the device indices attached to station r, in ascending
+// order. The returned slice must not be mutated. Validate must have been
+// called.
+func (s *System) Cluster(r int) ([]int, error) {
+	if s.clusters == nil {
+		return nil, fmt.Errorf("mecnet: system not validated")
+	}
+	if r < 0 || r >= len(s.clusters) {
+		return nil, fmt.Errorf("mecnet: station %d out of range [0,%d)", r, len(s.clusters))
+	}
+	return s.clusters[r], nil
+}

@@ -1,0 +1,255 @@
+package mecnet
+
+import (
+	"testing"
+
+	"dsmec/internal/backhaul"
+	"dsmec/internal/compute"
+	"dsmec/internal/radio"
+	"dsmec/internal/rng"
+	"dsmec/internal/units"
+)
+
+func smallSystem(t *testing.T) *System {
+	t.Helper()
+	sys := &System{
+		Devices: []Device{
+			{Station: 0, Link: radio.FourG, Proc: compute.DeviceProcessor(1 * units.Gigahertz), ResourceCap: 10},
+			{Station: 0, Link: radio.WiFi, Proc: compute.DeviceProcessor(2 * units.Gigahertz), ResourceCap: 10},
+			{Station: 1, Link: radio.FourG, Proc: compute.DeviceProcessor(1.5 * units.Gigahertz), ResourceCap: 10},
+		},
+		Stations: []Station{
+			{Proc: compute.StationProcessor(), ResourceCap: 100},
+			{Proc: compute.StationProcessor(), ResourceCap: 100},
+		},
+		Cloud:       Cloud{Proc: compute.CloudProcessor()},
+		StationWire: backhaul.DefaultStationToStation(),
+		CloudWire:   backhaul.DefaultStationToCloud(),
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	return sys
+}
+
+func TestValidateRejectsBadSystems(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*System)
+	}{
+		{"no devices", func(s *System) { s.Devices = nil }},
+		{"no stations", func(s *System) { s.Stations = nil }},
+		{"bad cloud", func(s *System) { s.Cloud.Proc.Frequency = 0 }},
+		{"bad station wire", func(s *System) { s.StationWire.Latency = -1 }},
+		{"bad cloud wire", func(s *System) { s.CloudWire.Bandwidth = -1 }},
+		{"bad station proc", func(s *System) { s.Stations[0].Proc.Frequency = 0 }},
+		{"negative station cap", func(s *System) { s.Stations[0].ResourceCap = -1 }},
+		{"device station out of range", func(s *System) { s.Devices[0].Station = 7 }},
+		{"device station negative", func(s *System) { s.Devices[0].Station = -1 }},
+		{"bad device link", func(s *System) { s.Devices[0].Link.Upload = 0 }},
+		{"bad device proc", func(s *System) { s.Devices[0].Proc.Frequency = 0 }},
+		{"negative device cap", func(s *System) { s.Devices[0].ResourceCap = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sys := smallSystem(t)
+			tt.mutate(sys)
+			if err := sys.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	sys := smallSystem(t)
+	if sys.NumDevices() != 3 || sys.NumStations() != 2 {
+		t.Error("counts wrong")
+	}
+	d, err := sys.Device(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Link.Tech != radio.TechWiFi {
+		t.Error("Device(1) should be the WiFi device")
+	}
+	if _, err := sys.Device(3); err == nil {
+		t.Error("Device(3) should fail")
+	}
+	if _, err := sys.Device(-1); err == nil {
+		t.Error("Device(-1) should fail")
+	}
+	st, err := sys.StationOf(2)
+	if err != nil || st != 1 {
+		t.Errorf("StationOf(2) = %d,%v want 1,nil", st, err)
+	}
+}
+
+func TestSameCluster(t *testing.T) {
+	sys := smallSystem(t)
+	same, err := sys.SameCluster(0, 1)
+	if err != nil || !same {
+		t.Errorf("SameCluster(0,1) = %v,%v want true", same, err)
+	}
+	same, err = sys.SameCluster(0, 2)
+	if err != nil || same {
+		t.Errorf("SameCluster(0,2) = %v,%v want false", same, err)
+	}
+	same, err = sys.SameCluster(2, 2)
+	if err != nil || !same {
+		t.Errorf("SameCluster(2,2) = %v,%v want true", same, err)
+	}
+	if _, err := sys.SameCluster(0, 9); err == nil {
+		t.Error("SameCluster with bad device should fail")
+	}
+	if _, err := sys.SameCluster(9, 0); err == nil {
+		t.Error("SameCluster with bad device should fail")
+	}
+}
+
+func TestCluster(t *testing.T) {
+	sys := smallSystem(t)
+	c0, err := sys.Cluster(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c0) != 2 || c0[0] != 0 || c0[1] != 1 {
+		t.Errorf("Cluster(0) = %v, want [0 1]", c0)
+	}
+	c1, err := sys.Cluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != 1 || c1[0] != 2 {
+		t.Errorf("Cluster(1) = %v, want [2]", c1)
+	}
+	if _, err := sys.Cluster(5); err == nil {
+		t.Error("Cluster(5) should fail")
+	}
+	unvalidated := &System{}
+	if _, err := unvalidated.Cluster(0); err == nil {
+		t.Error("Cluster on unvalidated system should fail")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	r := rng.NewSource(5).Stream("net")
+	sys, err := Generate(r, GenerateParams{
+		NumDevices:         50,
+		NumStations:        5,
+		DeviceResourceCap:  20,
+		StationResourceCap: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumDevices() != 50 || sys.NumStations() != 5 {
+		t.Error("generated counts wrong")
+	}
+	// Round-robin attachment: each cluster has exactly 10 devices.
+	for s := 0; s < 5; s++ {
+		c, err := sys.Cluster(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c) != 10 {
+			t.Errorf("cluster %d has %d devices, want 10", s, len(c))
+		}
+	}
+	// Defaults from the paper.
+	if sys.Stations[0].Proc.Frequency != compute.StationFrequency {
+		t.Error("station frequency should default to 4GHz")
+	}
+	if sys.Cloud.Proc.Frequency != compute.CloudFrequency {
+		t.Error("cloud frequency should default to 2.4GHz")
+	}
+	if sys.StationWire.Latency != backhaul.StationToStationLatency {
+		t.Error("station wire should default to the 15ms backhaul")
+	}
+	// Device frequencies within [1,2] GHz; links drawn from Table I.
+	saw4G, sawWiFi := false, false
+	for i, d := range sys.Devices {
+		f := d.Proc.Frequency
+		if f < compute.MinDeviceFrequency || f > compute.MaxDeviceFrequency {
+			t.Errorf("device %d frequency %v outside [1,2]GHz", i, f)
+		}
+		switch d.Link.Tech {
+		case radio.Tech4G:
+			saw4G = true
+		case radio.TechWiFi:
+			sawWiFi = true
+		}
+		if d.ResourceCap != 20 {
+			t.Errorf("device %d cap = %g, want 20", i, d.ResourceCap)
+		}
+	}
+	if !saw4G || !sawWiFi {
+		t.Error("both access technologies should appear among 50 devices")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	gen := func() *System {
+		r := rng.NewSource(9).Stream("net")
+		sys, err := Generate(r, GenerateParams{NumDevices: 10, NumStations: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	a, b := gen(), gen()
+	for i := range a.Devices {
+		if a.Devices[i] != b.Devices[i] {
+			t.Fatalf("device %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := rng.NewSource(1).Stream("net")
+	tests := []struct {
+		name   string
+		params GenerateParams
+	}{
+		{"zero devices", GenerateParams{NumDevices: 0, NumStations: 1}},
+		{"zero stations", GenerateParams{NumDevices: 5, NumStations: 0}},
+		{"more stations than devices", GenerateParams{NumDevices: 2, NumStations: 5}},
+		{"inverted freq range", GenerateParams{
+			NumDevices: 5, NumStations: 1,
+			DeviceFreqMin: 3 * units.Gigahertz, DeviceFreqMax: 2 * units.Gigahertz,
+		}},
+		{"negative cap", GenerateParams{NumDevices: 5, NumStations: 1, DeviceResourceCap: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Generate(r, tt.params); err == nil {
+				t.Error("Generate() = nil error, want error")
+			}
+		})
+	}
+}
+
+func TestGenerateOverrides(t *testing.T) {
+	r := rng.NewSource(2).Stream("net")
+	wire := backhaul.Wire{Latency: 5 * units.Millisecond, Bandwidth: units.GbitPerSecond}
+	sys, err := Generate(r, GenerateParams{
+		NumDevices:  4,
+		NumStations: 2,
+		StationFreq: 8 * units.Gigahertz,
+		CloudFreq:   3 * units.Gigahertz,
+		StationWire: &wire,
+		CloudWire:   &wire,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stations[0].Proc.Frequency != 8*units.Gigahertz {
+		t.Error("StationFreq override ignored")
+	}
+	if sys.Cloud.Proc.Frequency != 3*units.Gigahertz {
+		t.Error("CloudFreq override ignored")
+	}
+	if sys.StationWire != wire || sys.CloudWire != wire {
+		t.Error("wire overrides ignored")
+	}
+}

@@ -1,0 +1,220 @@
+// Package radio models the radio access network between mobile devices and
+// their base stations.
+//
+// The paper derives upload and download rates from Shannon capacity,
+//
+//	r^(U) = W^(U) log2(1 + g^(U) P^(T) / ϖ0)
+//	r^(D) = W^(D) log2(1 + g^(D) P^(S) / ϖ0)
+//
+// and then, for the evaluation, fixes concrete rates and powers per access
+// technology (Table I: 4G and Wi-Fi). This package supports both: Shannon
+// derives a Link from channel parameters, and the FourG/WiFi profiles
+// reproduce Table I exactly.
+//
+// Energy accounting follows [9]: sending X bytes costs P^(T)·X/r^(U) joules
+// on the sender's radio; receiving X bytes costs P^(R)·X/r^(D) on the
+// receiver's radio.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dsmec/internal/units"
+)
+
+// Tech identifies the access technology a device uses to reach its base
+// station.
+type Tech int
+
+// Supported access technologies. Table I of the paper defines 4G and Wi-Fi;
+// TechCustom marks links built from explicit channel parameters.
+const (
+	Tech4G Tech = iota + 1
+	TechWiFi
+	TechCustom
+)
+
+// String returns the conventional name of the technology.
+func (t Tech) String() string {
+	switch t {
+	case Tech4G:
+		return "4G"
+	case TechWiFi:
+		return "Wi-Fi"
+	case TechCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// Link is a device's radio connection: its achievable rates and the power
+// its radio draws while transmitting and receiving.
+type Link struct {
+	Tech     Tech
+	Upload   units.BitRate // r_i^(U)
+	Download units.BitRate // r_i^(D)
+	TxPower  units.Power   // P_i^(T), drawn while uploading
+	RxPower  units.Power   // P_i^(R), drawn while downloading
+}
+
+// Table I of the paper, verbatim.
+var (
+	// FourG is the 4G/LTE row of Table I.
+	FourG = Link{
+		Tech:     Tech4G,
+		Upload:   5.85 * units.MbitPerSecond,
+		Download: 13.76 * units.MbitPerSecond,
+		TxPower:  7.32 * units.Watt,
+		RxPower:  1.6 * units.Watt,
+	}
+	// WiFi is the Wi-Fi row of Table I.
+	WiFi = Link{
+		Tech:     TechWiFi,
+		Upload:   12.88 * units.MbitPerSecond,
+		Download: 54.97 * units.MbitPerSecond,
+		TxPower:  15.7 * units.Watt,
+		RxPower:  2.7 * units.Watt,
+	}
+)
+
+// Validate reports whether the link's parameters are physically meaningful.
+func (l Link) Validate() error {
+	switch {
+	case l.Upload <= 0:
+		return fmt.Errorf("radio: upload rate %v must be positive", l.Upload)
+	case l.Download <= 0:
+		return fmt.Errorf("radio: download rate %v must be positive", l.Download)
+	case l.TxPower <= 0:
+		return fmt.Errorf("radio: tx power %v must be positive", l.TxPower)
+	case l.RxPower <= 0:
+		return fmt.Errorf("radio: rx power %v must be positive", l.RxPower)
+	default:
+		return nil
+	}
+}
+
+// UploadTime returns the time to push size bytes up to the base station.
+func (l Link) UploadTime(size units.ByteSize) units.Duration {
+	return size.TransferTime(l.Upload)
+}
+
+// DownloadTime returns the time to pull size bytes down from the base
+// station.
+func (l Link) DownloadTime(size units.ByteSize) units.Duration {
+	return size.TransferTime(l.Download)
+}
+
+// UploadEnergy returns e_i^(T)(X): the radio energy spent transmitting size
+// bytes to the base station.
+func (l Link) UploadEnergy(size units.ByteSize) units.Energy {
+	return l.TxPower.EnergyOver(l.UploadTime(size))
+}
+
+// DownloadEnergy returns e_i^(R)(X): the radio energy spent receiving size
+// bytes from the base station.
+func (l Link) DownloadEnergy(size units.ByteSize) units.Energy {
+	return l.RxPower.EnergyOver(l.DownloadTime(size))
+}
+
+// Channel carries the physical-layer parameters of one direction of a
+// radio link, from which Shannon derives the achievable rate.
+type Channel struct {
+	Bandwidth units.BitRate // W: channel bandwidth in Hz expressed as max symbol rate (1 Hz ~ 1 bit/s per unit SNR-log)
+	Gain      float64       // g: channel power gain (dimensionless, 0 < g <= 1)
+	Power     units.Power   // P: transmitter power into this channel
+	Noise     units.Power   // ϖ0: white-noise power
+}
+
+// Rate returns the Shannon capacity W·log2(1 + gP/ϖ0) of the channel.
+func (c Channel) Rate() (units.BitRate, error) {
+	switch {
+	case c.Bandwidth <= 0:
+		return 0, fmt.Errorf("radio: bandwidth %v must be positive", c.Bandwidth)
+	case c.Gain <= 0 || c.Gain > 1:
+		return 0, fmt.Errorf("radio: gain %g must be in (0, 1]", c.Gain)
+	case c.Power <= 0:
+		return 0, fmt.Errorf("radio: power %v must be positive", c.Power)
+	case c.Noise <= 0:
+		return 0, fmt.Errorf("radio: noise power %v must be positive", c.Noise)
+	}
+	snr := c.Gain * float64(c.Power) / float64(c.Noise)
+	return units.BitRate(float64(c.Bandwidth) * math.Log2(1+snr)), nil
+}
+
+// Shannon builds a Link from uplink and downlink channel descriptions and
+// the device's radio powers. It returns an error if either channel is
+// degenerate.
+func Shannon(up, down Channel, txPower, rxPower units.Power) (Link, error) {
+	upRate, err := up.Rate()
+	if err != nil {
+		return Link{}, fmt.Errorf("uplink: %w", err)
+	}
+	downRate, err := down.Rate()
+	if err != nil {
+		return Link{}, fmt.Errorf("downlink: %w", err)
+	}
+	l := Link{
+		Tech:     TechCustom,
+		Upload:   upRate,
+		Download: downRate,
+		TxPower:  txPower,
+		RxPower:  rxPower,
+	}
+	if err := l.Validate(); err != nil {
+		return Link{}, err
+	}
+	return l, nil
+}
+
+// ErrNoProfiles is returned by Picker constructors given an empty
+// profile set.
+var ErrNoProfiles = errors.New("radio: no link profiles to pick from")
+
+// Picker assigns access links to devices. The paper's evaluation connects
+// each device "by 4G or WiFi randomly"; TableIPicker reproduces that.
+type Picker struct {
+	profiles []Link
+}
+
+// NewPicker returns a Picker choosing uniformly among the given profiles.
+func NewPicker(profiles ...Link) (*Picker, error) {
+	if len(profiles) == 0 {
+		return nil, ErrNoProfiles
+	}
+	for i, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("profile %d: %w", i, err)
+		}
+	}
+	cp := make([]Link, len(profiles))
+	copy(cp, profiles)
+	return &Picker{profiles: cp}, nil
+}
+
+// TableIPicker returns the paper's device-connectivity model: each device
+// connects via 4G or Wi-Fi with equal probability.
+func TableIPicker() *Picker {
+	p, err := NewPicker(FourG, WiFi)
+	if err != nil {
+		// Both built-in profiles validate; reaching here is a programming
+		// error in this package, not a runtime condition.
+		panic(err)
+	}
+	return p
+}
+
+// Pick draws one link profile using r.
+func (p *Picker) Pick(r *rand.Rand) Link {
+	return p.profiles[r.Intn(len(p.profiles))]
+}
+
+// Profiles returns a copy of the profile set.
+func (p *Picker) Profiles() []Link {
+	cp := make([]Link, len(p.profiles))
+	copy(cp, p.profiles)
+	return cp
+}

@@ -1,0 +1,246 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsmec/internal/rng"
+	"dsmec/internal/units"
+)
+
+func TestTableIProfiles(t *testing.T) {
+	// Table I, verbatim.
+	tests := []struct {
+		name             string
+		link             Link
+		up, down         float64 // Mbps
+		txPower, rxPower float64 // W
+	}{
+		{"4G", FourG, 5.85, 13.76, 7.32, 1.6},
+		{"Wi-Fi", WiFi, 12.88, 54.97, 15.7, 2.7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.link.Upload.Mbps(); math.Abs(got-tt.up) > 1e-9 {
+				t.Errorf("upload = %g Mbps, want %g", got, tt.up)
+			}
+			if got := tt.link.Download.Mbps(); math.Abs(got-tt.down) > 1e-9 {
+				t.Errorf("download = %g Mbps, want %g", got, tt.down)
+			}
+			if got := float64(tt.link.TxPower); got != tt.txPower {
+				t.Errorf("tx power = %g W, want %g", got, tt.txPower)
+			}
+			if got := float64(tt.link.RxPower); got != tt.rxPower {
+				t.Errorf("rx power = %g W, want %g", got, tt.rxPower)
+			}
+			if err := tt.link.Validate(); err != nil {
+				t.Errorf("Validate() = %v, want nil", err)
+			}
+		})
+	}
+}
+
+func TestTechString(t *testing.T) {
+	tests := []struct {
+		tech Tech
+		want string
+	}{
+		{Tech4G, "4G"},
+		{TechWiFi, "Wi-Fi"},
+		{TechCustom, "custom"},
+		{Tech(99), "Tech(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.tech.String(); got != tt.want {
+			t.Errorf("Tech(%d).String() = %q, want %q", int(tt.tech), got, tt.want)
+		}
+	}
+}
+
+func TestLinkValidate(t *testing.T) {
+	base := FourG
+	tests := []struct {
+		name   string
+		mutate func(*Link)
+	}{
+		{"zero upload", func(l *Link) { l.Upload = 0 }},
+		{"negative download", func(l *Link) { l.Download = -1 }},
+		{"zero tx power", func(l *Link) { l.TxPower = 0 }},
+		{"negative rx power", func(l *Link) { l.RxPower = -2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			l := base
+			tt.mutate(&l)
+			if err := l.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestUploadEnergy(t *testing.T) {
+	// 4G upload of 3000 kB: 24e6 bits / 5.85e6 bps = 4.1026 s at 7.32 W
+	// = 30.03 J.
+	size := 3000 * units.Kilobyte
+	e := FourG.UploadEnergy(size)
+	want := 7.32 * 24e6 / 5.85e6
+	if math.Abs(e.Joules()-want) > 1e-6 {
+		t.Errorf("UploadEnergy = %v, want %.3fJ", e, want)
+	}
+}
+
+func TestDownloadEnergy(t *testing.T) {
+	// Wi-Fi download of 1 MB: 8e6/54.97e6 s at 2.7 W.
+	size := units.Megabyte
+	e := WiFi.DownloadEnergy(size)
+	want := 2.7 * 8e6 / 54.97e6
+	if math.Abs(e.Joules()-want) > 1e-9 {
+		t.Errorf("DownloadEnergy = %v, want %.4fJ", e, want)
+	}
+}
+
+func TestTransferTimesMonotone(t *testing.T) {
+	// Property: upload time and energy grow monotonically with size.
+	f := func(a, b uint16) bool {
+		small, big := units.ByteSize(a), units.ByteSize(b)
+		if small > big {
+			small, big = big, small
+		}
+		return FourG.UploadTime(small) <= FourG.UploadTime(big) &&
+			FourG.UploadEnergy(small) <= FourG.UploadEnergy(big) &&
+			WiFi.DownloadTime(small) <= WiFi.DownloadTime(big)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelRate(t *testing.T) {
+	// SNR = 3 gives log2(4) = 2 bits per bandwidth unit.
+	c := Channel{
+		Bandwidth: 10 * units.MbitPerSecond,
+		Gain:      1,
+		Power:     3 * units.Watt,
+		Noise:     1 * units.Watt,
+	}
+	r, err := c.Rate()
+	if err != nil {
+		t.Fatalf("Rate() error: %v", err)
+	}
+	if math.Abs(r.Mbps()-20) > 1e-9 {
+		t.Errorf("Rate = %v, want 20Mbps", r)
+	}
+}
+
+func TestChannelRateErrors(t *testing.T) {
+	valid := Channel{Bandwidth: 1e6, Gain: 0.5, Power: 1, Noise: 0.01}
+	tests := []struct {
+		name   string
+		mutate func(*Channel)
+	}{
+		{"zero bandwidth", func(c *Channel) { c.Bandwidth = 0 }},
+		{"zero gain", func(c *Channel) { c.Gain = 0 }},
+		{"gain above one", func(c *Channel) { c.Gain = 1.5 }},
+		{"zero power", func(c *Channel) { c.Power = 0 }},
+		{"zero noise", func(c *Channel) { c.Noise = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := valid
+			tt.mutate(&c)
+			if _, err := c.Rate(); err == nil {
+				t.Error("Rate() = nil error, want error")
+			}
+		})
+	}
+	if _, err := valid.Rate(); err != nil {
+		t.Errorf("valid channel rejected: %v", err)
+	}
+}
+
+func TestShannon(t *testing.T) {
+	up := Channel{Bandwidth: 5 * units.MbitPerSecond, Gain: 1, Power: 1, Noise: 1}
+	down := Channel{Bandwidth: 10 * units.MbitPerSecond, Gain: 1, Power: 3, Noise: 1}
+	l, err := Shannon(up, down, 7*units.Watt, 2*units.Watt)
+	if err != nil {
+		t.Fatalf("Shannon() error: %v", err)
+	}
+	if l.Tech != TechCustom {
+		t.Errorf("Tech = %v, want custom", l.Tech)
+	}
+	if math.Abs(l.Upload.Mbps()-5) > 1e-9 { // log2(2) = 1
+		t.Errorf("upload = %v, want 5Mbps", l.Upload)
+	}
+	if math.Abs(l.Download.Mbps()-20) > 1e-9 { // log2(4) = 2
+		t.Errorf("download = %v, want 20Mbps", l.Download)
+	}
+
+	if _, err := Shannon(Channel{}, down, 1, 1); err == nil {
+		t.Error("Shannon with bad uplink should fail")
+	}
+	if _, err := Shannon(up, Channel{}, 1, 1); err == nil {
+		t.Error("Shannon with bad downlink should fail")
+	}
+	if _, err := Shannon(up, down, 0, 1); err == nil {
+		t.Error("Shannon with zero tx power should fail")
+	}
+}
+
+func TestShannonHigherSNRFaster(t *testing.T) {
+	f := func(p1, p2 uint8) bool {
+		lo, hi := float64(p1)+1, float64(p2)+1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		mk := func(p float64) units.BitRate {
+			r, err := Channel{Bandwidth: 1e6, Gain: 1, Power: units.Power(p), Noise: 1}.Rate()
+			if err != nil {
+				t.Fatalf("rate: %v", err)
+			}
+			return r
+		}
+		return mk(lo) <= mk(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPicker(t *testing.T) {
+	if _, err := NewPicker(); err == nil {
+		t.Error("NewPicker() with no profiles should fail")
+	}
+	if _, err := NewPicker(Link{}); err == nil {
+		t.Error("NewPicker with invalid profile should fail")
+	}
+
+	p := TableIPicker()
+	r := rng.NewSource(11).Stream("picker")
+	counts := map[Tech]int{}
+	for i := 0; i < 2000; i++ {
+		counts[p.Pick(r).Tech]++
+	}
+	if counts[Tech4G] == 0 || counts[TechWiFi] == 0 {
+		t.Errorf("both technologies should appear, got %v", counts)
+	}
+	// Roughly uniform: each should be within [800, 1200] of 2000 draws.
+	for tech, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("%v drawn %d times of 2000, want ~1000", tech, c)
+		}
+	}
+}
+
+func TestPickerProfilesCopy(t *testing.T) {
+	p, err := NewPicker(FourG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Profiles()
+	got[0].Upload = 1 // must not alias internal state
+	if p.Profiles()[0].Upload != FourG.Upload {
+		t.Error("Profiles() must return a copy")
+	}
+}

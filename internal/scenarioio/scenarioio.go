@@ -1,0 +1,354 @@
+// Package scenarioio serializes complete scenarios — topology, cost-model
+// parameters, tasks, and (for divisible workloads) the data placement — to
+// a versioned JSON document and back. Round-tripping a scenario preserves
+// every quantity the algorithms read, so workloads can be generated once,
+// archived, inspected, or exchanged with external tooling, and re-evaluated
+// bit-for-bit later.
+package scenarioio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dsmec/internal/backhaul"
+	"dsmec/internal/compute"
+	"dsmec/internal/costmodel"
+	"dsmec/internal/datamap"
+	"dsmec/internal/mecnet"
+	"dsmec/internal/radio"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+	"dsmec/internal/workload"
+)
+
+// FormatVersion identifies the document schema.
+const FormatVersion = 1
+
+// Document is the on-disk form of a scenario.
+type Document struct {
+	Version   int           `json:"version"`
+	System    systemDoc     `json:"system"`
+	Cost      costDoc       `json:"cost_model"`
+	Tasks     []taskDoc     `json:"tasks"`
+	Placement *placementDoc `json:"placement,omitempty"`
+}
+
+type systemDoc struct {
+	Devices  []deviceDoc  `json:"devices"`
+	Stations []stationDoc `json:"stations"`
+	CloudGHz float64      `json:"cloud_ghz"`
+	Wires    wiresDoc     `json:"wires"`
+}
+
+type deviceDoc struct {
+	Station     int     `json:"station"`
+	UploadMbps  float64 `json:"upload_mbps"`
+	DownMbps    float64 `json:"download_mbps"`
+	TxPowerW    float64 `json:"tx_power_w"`
+	RxPowerW    float64 `json:"rx_power_w"`
+	Tech        string  `json:"tech"`
+	FreqGHz     float64 `json:"freq_ghz"`
+	Kappa       float64 `json:"kappa"`
+	ResourceCap float64 `json:"resource_cap"`
+}
+
+type stationDoc struct {
+	FreqGHz     float64 `json:"freq_ghz"`
+	ResourceCap float64 `json:"resource_cap"`
+}
+
+type wiresDoc struct {
+	StationLatencyS float64 `json:"station_latency_s"`
+	StationBps      float64 `json:"station_bandwidth_bps"`
+	StationJPerByte float64 `json:"station_joule_per_byte"`
+	CloudLatencyS   float64 `json:"cloud_latency_s"`
+	CloudBps        float64 `json:"cloud_bandwidth_bps"`
+	CloudJPerByte   float64 `json:"cloud_joule_per_byte"`
+}
+
+type costDoc struct {
+	// CyclesPerByte is λ; ResultKind/ResultValue encode η: either
+	// "proportional" with a ratio, or "constant" with a byte size.
+	CyclesPerByte float64 `json:"cycles_per_byte"`
+	ResultKind    string  `json:"result_kind"`
+	ResultValue   float64 `json:"result_value"`
+}
+
+type taskDoc struct {
+	User           int     `json:"user"`
+	Index          int     `json:"index"`
+	Kind           string  `json:"kind"`
+	OpBytes        int64   `json:"op_bytes"`
+	LocalBytes     int64   `json:"local_bytes"`
+	ExternalBytes  int64   `json:"external_bytes"`
+	ExternalSource *int    `json:"external_source,omitempty"`
+	Resource       float64 `json:"resource"`
+	DeadlineS      float64 `json:"deadline_s"`
+	LocalBlocks    []int   `json:"local_blocks,omitempty"`
+	ExternalBlocks []int   `json:"external_blocks,omitempty"`
+}
+
+type placementDoc struct {
+	NumBlocks  int     `json:"num_blocks"`
+	BlockBytes int64   `json:"block_bytes"`
+	Holdings   [][]int `json:"holdings"`
+}
+
+// Encode writes the scenario as indented JSON. The cost model's λ and η
+// are taken from params (workload defaults) because costmodel hides them;
+// pass the scenario produced by the workload generator.
+func Encode(w io.Writer, sc *workload.Scenario) error {
+	if sc == nil || sc.System == nil || sc.Tasks == nil {
+		return fmt.Errorf("scenarioio: incomplete scenario")
+	}
+	doc := Document{Version: FormatVersion}
+
+	doc.System.CloudGHz = sc.System.Cloud.Proc.Frequency.GHz()
+	doc.System.Wires = wiresDoc{
+		StationLatencyS: sc.System.StationWire.Latency.Seconds(),
+		StationBps:      float64(sc.System.StationWire.Bandwidth),
+		StationJPerByte: float64(sc.System.StationWire.EnergyPerByte),
+		CloudLatencyS:   sc.System.CloudWire.Latency.Seconds(),
+		CloudBps:        float64(sc.System.CloudWire.Bandwidth),
+		CloudJPerByte:   float64(sc.System.CloudWire.EnergyPerByte),
+	}
+	for _, d := range sc.System.Devices {
+		doc.System.Devices = append(doc.System.Devices, deviceDoc{
+			Station:     d.Station,
+			UploadMbps:  d.Link.Upload.Mbps(),
+			DownMbps:    d.Link.Download.Mbps(),
+			TxPowerW:    float64(d.Link.TxPower),
+			RxPowerW:    float64(d.Link.RxPower),
+			Tech:        d.Link.Tech.String(),
+			FreqGHz:     d.Proc.Frequency.GHz(),
+			Kappa:       d.Proc.Kappa,
+			ResourceCap: d.ResourceCap,
+		})
+	}
+	for _, s := range sc.System.Stations {
+		doc.System.Stations = append(doc.System.Stations, stationDoc{
+			FreqGHz:     s.Proc.Frequency.GHz(),
+			ResourceCap: s.ResourceCap,
+		})
+	}
+
+	doc.Cost = costDoc{CyclesPerByte: compute.DefaultLambda}
+	switch rm := sc.Params.ResultModel.(type) {
+	case compute.ProportionalResult:
+		doc.Cost.ResultKind = "proportional"
+		doc.Cost.ResultValue = rm.Ratio
+	case compute.ConstantResult:
+		doc.Cost.ResultKind = "constant"
+		doc.Cost.ResultValue = float64(rm.Size)
+	case nil:
+		doc.Cost.ResultKind = "proportional"
+		doc.Cost.ResultValue = compute.DefaultEta
+	default:
+		return fmt.Errorf("scenarioio: unsupported result model %T", rm)
+	}
+
+	for _, t := range sc.Tasks.All() {
+		td := taskDoc{
+			User:          t.ID.User,
+			Index:         t.ID.Index,
+			Kind:          t.Kind.String(),
+			OpBytes:       t.OpSize.Bytes(),
+			LocalBytes:    t.LocalSize.Bytes(),
+			ExternalBytes: t.ExternalSize.Bytes(),
+			Resource:      t.Resource,
+			DeadlineS:     t.Deadline.Seconds(),
+		}
+		if t.ExternalSource != task.NoExternalSource {
+			src := t.ExternalSource
+			td.ExternalSource = &src
+		}
+		for _, b := range t.LocalBlocks.Blocks() {
+			td.LocalBlocks = append(td.LocalBlocks, int(b))
+		}
+		for _, b := range t.ExternalBlocks.Blocks() {
+			td.ExternalBlocks = append(td.ExternalBlocks, int(b))
+		}
+		doc.Tasks = append(doc.Tasks, td)
+	}
+
+	if sc.Placement != nil {
+		pd := &placementDoc{
+			NumBlocks:  sc.Placement.NumBlocks(),
+			BlockBytes: sc.Placement.BlockSize().Bytes(),
+		}
+		for i := 0; i < sc.Placement.NumDevices(); i++ {
+			holding, err := sc.Placement.Holding(i)
+			if err != nil {
+				return fmt.Errorf("scenarioio: %w", err)
+			}
+			row := make([]int, 0, holding.Len())
+			for _, b := range holding.Blocks() {
+				row = append(row, int(b))
+			}
+			pd.Holdings = append(pd.Holdings, row)
+		}
+		doc.Placement = pd
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Decode reads a Document and rebuilds a fully validated scenario.
+func Decode(r io.Reader) (*workload.Scenario, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("scenarioio: %w", err)
+	}
+	if doc.Version != FormatVersion {
+		return nil, fmt.Errorf("scenarioio: unsupported version %d (want %d)", doc.Version, FormatVersion)
+	}
+
+	sys := &mecnet.System{
+		Cloud: mecnet.Cloud{Proc: compute.Processor{
+			Frequency: units.Frequency(doc.System.CloudGHz) * units.Gigahertz,
+		}},
+		StationWire: backhaul.Wire{
+			Latency:       units.Duration(doc.System.Wires.StationLatencyS),
+			Bandwidth:     units.BitRate(doc.System.Wires.StationBps),
+			EnergyPerByte: units.Energy(doc.System.Wires.StationJPerByte),
+		},
+		CloudWire: backhaul.Wire{
+			Latency:       units.Duration(doc.System.Wires.CloudLatencyS),
+			Bandwidth:     units.BitRate(doc.System.Wires.CloudBps),
+			EnergyPerByte: units.Energy(doc.System.Wires.CloudJPerByte),
+		},
+	}
+	for _, d := range doc.System.Devices {
+		sys.Devices = append(sys.Devices, mecnet.Device{
+			Station: d.Station,
+			Link: radio.Link{
+				Tech:     techFromString(d.Tech),
+				Upload:   units.BitRate(d.UploadMbps) * units.MbitPerSecond,
+				Download: units.BitRate(d.DownMbps) * units.MbitPerSecond,
+				TxPower:  units.Power(d.TxPowerW),
+				RxPower:  units.Power(d.RxPowerW),
+			},
+			Proc: compute.Processor{
+				Frequency: units.Frequency(d.FreqGHz) * units.Gigahertz,
+				Kappa:     d.Kappa,
+			},
+			ResourceCap: d.ResourceCap,
+		})
+	}
+	for _, s := range doc.System.Stations {
+		sys.Stations = append(sys.Stations, mecnet.Station{
+			Proc:        compute.Processor{Frequency: units.Frequency(s.FreqGHz) * units.Gigahertz},
+			ResourceCap: s.ResourceCap,
+		})
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("scenarioio: %w", err)
+	}
+
+	var resultModel compute.ResultModel
+	switch doc.Cost.ResultKind {
+	case "proportional":
+		resultModel = compute.ProportionalResult{Ratio: doc.Cost.ResultValue}
+	case "constant":
+		resultModel = compute.ConstantResult{Size: units.ByteSize(doc.Cost.ResultValue)}
+	default:
+		return nil, fmt.Errorf("scenarioio: unknown result kind %q", doc.Cost.ResultKind)
+	}
+	model, err := costmodel.New(sys, compute.LinearCycles{PerByte: doc.Cost.CyclesPerByte}, resultModel)
+	if err != nil {
+		return nil, fmt.Errorf("scenarioio: %w", err)
+	}
+
+	ts := &task.Set{}
+	for i, td := range doc.Tasks {
+		t := &task.Task{
+			ID:             task.ID{User: td.User, Index: td.Index},
+			Kind:           kindFromString(td.Kind),
+			OpSize:         units.ByteSize(td.OpBytes),
+			LocalSize:      units.ByteSize(td.LocalBytes),
+			ExternalSize:   units.ByteSize(td.ExternalBytes),
+			ExternalSource: task.NoExternalSource,
+			Resource:       td.Resource,
+			Deadline:       units.Duration(td.DeadlineS),
+		}
+		if td.ExternalSource != nil {
+			t.ExternalSource = *td.ExternalSource
+		}
+		if len(td.LocalBlocks) > 0 {
+			t.LocalBlocks = datamap.NewSet()
+			for _, b := range td.LocalBlocks {
+				t.LocalBlocks.Add(datamap.BlockID(b))
+			}
+		}
+		if len(td.ExternalBlocks) > 0 {
+			t.ExternalBlocks = datamap.NewSet()
+			for _, b := range td.ExternalBlocks {
+				t.ExternalBlocks.Add(datamap.BlockID(b))
+			}
+		}
+		if err := ts.Add(t); err != nil {
+			return nil, fmt.Errorf("scenarioio: task %d: %w", i, err)
+		}
+	}
+
+	var placement *datamap.Placement
+	if doc.Placement != nil {
+		if len(doc.Placement.Holdings) != len(sys.Devices) {
+			return nil, fmt.Errorf("scenarioio: %d holdings for %d devices",
+				len(doc.Placement.Holdings), len(sys.Devices))
+		}
+		placement, err = datamap.NewPlacement(len(sys.Devices), doc.Placement.NumBlocks,
+			units.ByteSize(doc.Placement.BlockBytes))
+		if err != nil {
+			return nil, fmt.Errorf("scenarioio: %w", err)
+		}
+		for dev, row := range doc.Placement.Holdings {
+			for _, b := range row {
+				if err := placement.Assign(dev, datamap.BlockID(b)); err != nil {
+					return nil, fmt.Errorf("scenarioio: %w", err)
+				}
+			}
+		}
+	}
+
+	return &workload.Scenario{
+		System:    sys,
+		Model:     model,
+		Tasks:     ts,
+		Placement: placement,
+		Params:    workload.Params{ResultModel: resultModel},
+	}, nil
+}
+
+func techFromString(s string) radio.Tech {
+	switch s {
+	case "4G":
+		return radio.Tech4G
+	case "Wi-Fi":
+		return radio.TechWiFi
+	default:
+		return radio.TechCustom
+	}
+}
+
+func kindFromString(s string) task.Kind {
+	switch s {
+	case "divisible":
+		return task.Divisible
+	default:
+		return task.Holistic
+	}
+}
+
+// jsonUnmarshal and jsonMarshalTo expose raw-document (de)serialization
+// for tests that need to corrupt documents between Encode and Decode.
+func jsonUnmarshal(data []byte, doc *Document) error { return json.Unmarshal(data, doc) }
+
+func jsonMarshalTo(w io.Writer, doc Document) error {
+	return json.NewEncoder(w).Encode(doc)
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"container/heap"
+
+	"dsmec/internal/units"
+)
+
+// stage is one unit of work on one resource. A stage becomes eligible when
+// all its dependencies finish; it then queues on its resource and occupies
+// one server for its service time.
+type stage struct {
+	res       *resource
+	service   units.Duration
+	next      []*stage // stages depending on this one
+	waitingOn int      // unmet dependency count
+	plan      *plan
+}
+
+// plan is the stage DAG of a single task. The plan completes when its last
+// stage finishes (pending tracks unfinished stages; the DAG is connected
+// through the final stage, so the maximum finish time is the completion).
+type plan struct {
+	stages  []*stage
+	pending int
+	finish  units.Duration
+	onDone  func(finish units.Duration)
+}
+
+// stage appends a root stage (no dependencies).
+func (p *plan) stage(res *resource, service units.Duration) *stage {
+	s := &stage{res: res, service: service, plan: p}
+	p.stages = append(p.stages, s)
+	return s
+}
+
+// stageAfter appends a stage depending on prev (prev may be nil, making
+// the stage a root).
+func (p *plan) stageAfter(res *resource, service units.Duration, prev *stage) *stage {
+	if prev == nil {
+		return p.stage(res, service)
+	}
+	return p.stageAfterAll(res, service, []*stage{prev})
+}
+
+// stageAfterAll appends a stage depending on every stage in deps.
+func (p *plan) stageAfterAll(res *resource, service units.Duration, deps []*stage) *stage {
+	s := &stage{res: res, service: service, waitingOn: len(deps), plan: p}
+	for _, d := range deps {
+		d.next = append(d.next, s)
+	}
+	p.stages = append(p.stages, s)
+	return s
+}
+
+// resource is a k-server FIFO queue.
+type resource struct {
+	eng     *engine
+	servers int
+	busy    int
+	queue   []*stage
+}
+
+// enqueue adds an eligible stage; it starts immediately if a server is
+// free.
+func (r *resource) enqueue(s *stage, now units.Duration) {
+	if r.busy < r.servers {
+		r.start(s, now)
+		return
+	}
+	r.queue = append(r.queue, s)
+}
+
+func (r *resource) start(s *stage, now units.Duration) {
+	r.busy++
+	r.eng.schedule(now+s.service, s)
+}
+
+// finish releases the server and starts the next queued stage.
+func (r *resource) finish(now units.Duration) {
+	r.busy--
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.start(next, now)
+	}
+}
+
+// event is either a scheduled stage completion (stage != nil) or a timed
+// plan release (plan != nil).
+type event struct {
+	at    units.Duration
+	seq   int // FIFO tie-break for identical times
+	stage *stage
+	plan  *plan
+}
+
+// eventHeap orders events by time, then insertion order.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event   { return h[0] }
+
+// engine drives the event loop.
+type engine struct {
+	now    units.Duration
+	events eventHeap
+	seq    int
+}
+
+// newResource registers a k-server resource with the engine.
+func (e *engine) newResource(servers int) *resource {
+	return &resource{eng: e, servers: servers}
+}
+
+// schedule arms a completion event.
+func (e *engine) schedule(at units.Duration, s *stage) {
+	heap.Push(&e.events, event{at: at, seq: e.seq, stage: s})
+	e.seq++
+}
+
+// release submits a plan immediately: all root stages become eligible.
+func (e *engine) release(p *plan) {
+	p.pending = len(p.stages)
+	for _, s := range p.stages {
+		if s.waitingOn == 0 {
+			s.res.enqueue(s, e.now)
+		}
+	}
+	if p.pending == 0 && p.onDone != nil {
+		p.onDone(e.now) // degenerate empty plan
+	}
+}
+
+// releaseAt submits a plan at the given simulated time (immediately when
+// the time is not in the future).
+func (e *engine) releaseAt(p *plan, at units.Duration) {
+	if at <= e.now {
+		e.release(p)
+		return
+	}
+	heap.Push(&e.events, event{at: at, seq: e.seq, plan: p})
+	e.seq++
+}
+
+// run processes events until none remain.
+func (e *engine) run() {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		if ev.plan != nil {
+			e.release(ev.plan)
+			continue
+		}
+		s := ev.stage
+		s.res.finish(e.now)
+
+		p := s.plan
+		p.pending--
+		if e.now > p.finish {
+			p.finish = e.now
+		}
+		if p.pending == 0 && p.onDone != nil {
+			p.onDone(p.finish)
+		}
+		for _, nxt := range s.next {
+			nxt.waitingOn--
+			if nxt.waitingOn == 0 {
+				nxt.res.enqueue(nxt, e.now)
+			}
+		}
+	}
+}

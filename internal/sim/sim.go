@@ -1,0 +1,271 @@
+// Package sim is a discrete-event simulator that *executes* a task
+// assignment instead of only evaluating the paper's closed-form cost
+// model. Every shared resource — device radios, device CPUs, station
+// backhaul ports, station CPUs, the WAN uplinks and the cloud — is a FIFO
+// queue, so the simulated completion times include the queueing delays the
+// analytic model ignores.
+//
+// When the system is uncontended (one task at a time per resource), the
+// simulated latency of each task equals its analytic t_ijl exactly, which
+// the tests use to validate both models against each other. Under load the
+// simulated latencies dominate the analytic ones.
+package sim
+
+import (
+	"fmt"
+
+	"dsmec/internal/core"
+	"dsmec/internal/costmodel"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// Config sizes the shared resources. Zero values take the defaults.
+type Config struct {
+	// StationCores is the number of tasks a base station's small-scale
+	// cloud can compute simultaneously. Default 4.
+	StationCores int
+	// CloudCores is the cloud's parallelism. Default 64.
+	CloudCores int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StationCores == 0 {
+		c.StationCores = 4
+	}
+	if c.CloudCores == 0 {
+		c.CloudCores = 64
+	}
+	return c
+}
+
+// TaskOutcome is one task's simulated execution record.
+type TaskOutcome struct {
+	Subsystem costmodel.Subsystem
+	// Release is when the task entered the system (0 in the quasi-static
+	// setting); Completion is the absolute time its result reached the
+	// user; Sojourn = Completion - Release is the user-perceived latency.
+	Release    units.Duration
+	Completion units.Duration
+	Sojourn    units.Duration
+	Analytic   units.Duration // the closed-form t_ijl for comparison
+	DeadlineOK bool           // Sojourn <= deadline
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Outcomes map[task.ID]TaskOutcome
+	// TotalEnergy matches the analytic model: queueing shifts time, not
+	// energy.
+	TotalEnergy units.Energy
+	// Makespan is the completion time of the last task.
+	Makespan units.Duration
+	// TotalLatency sums sojourn times (= completions in the quasi-static
+	// setting); MeanLatency averages over placed tasks.
+	TotalLatency units.Duration
+	// DeadlineViolations counts placed tasks finishing after their
+	// deadline (under queueing, more tasks miss deadlines than the
+	// analytic model predicts).
+	DeadlineViolations int
+	// Cancelled counts tasks the assignment did not place.
+	Cancelled int
+}
+
+// MeanLatency returns the average simulated latency over placed tasks.
+func (r *Result) MeanLatency() units.Duration {
+	placed := len(r.Outcomes)
+	if placed == 0 {
+		return 0
+	}
+	return r.TotalLatency / units.Duration(placed)
+}
+
+// Run simulates the execution of assignment a over the task set, with
+// every task released at time zero (the paper's quasi-static setting).
+func Run(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Config) (*Result, error) {
+	return RunReleases(m, ts, a, cfg, nil)
+}
+
+// RunReleases simulates the execution with per-task release times,
+// relaxing the quasi-static assumption: a task's plan enters the system at
+// releases[id] (zero when absent), and its deadline is checked against the
+// sojourn time Completion - Release.
+func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Config, releases map[task.ID]units.Duration) (*Result, error) {
+	cfg = cfg.withDefaults()
+	sys := m.System()
+
+	eng := &engine{}
+	res := &Result{Outcomes: make(map[task.ID]TaskOutcome, ts.Len())}
+
+	// Build resources.
+	devUp := make([]*resource, sys.NumDevices())
+	devDown := make([]*resource, sys.NumDevices())
+	devCPU := make([]*resource, sys.NumDevices())
+	for i := range devUp {
+		devUp[i] = eng.newResource(1)
+		devDown[i] = eng.newResource(1)
+		devCPU[i] = eng.newResource(1)
+	}
+	stWire := make([]*resource, sys.NumStations())
+	stWAN := make([]*resource, sys.NumStations())
+	stCPU := make([]*resource, sys.NumStations())
+	for s := range stWire {
+		stWire[s] = eng.newResource(1)
+		stWAN[s] = eng.newResource(1)
+		stCPU[s] = eng.newResource(cfg.StationCores)
+	}
+	cloudCPU := eng.newResource(cfg.CloudCores)
+
+	for _, t := range ts.All() {
+		l, ok := a.Placement[t.ID]
+		if !ok {
+			return nil, fmt.Errorf("sim: task %v missing from assignment", t.ID)
+		}
+		switch l {
+		case costmodel.SubsystemNone:
+			res.Cancelled++
+			continue
+		case costmodel.SubsystemDevice, costmodel.SubsystemStation, costmodel.SubsystemCloud:
+		default:
+			return nil, fmt.Errorf("sim: task %v has invalid subsystem %d", t.ID, int(l))
+		}
+		opts, err := m.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		res.TotalEnergy += opts.At(l).Energy
+
+		plan, err := buildPlan(m, t, l, planResources{
+			devUp: devUp, devDown: devDown, devCPU: devCPU,
+			stWire: stWire, stWAN: stWAN, stCPU: stCPU, cloudCPU: cloudCPU,
+		})
+		if err != nil {
+			return nil, err
+		}
+		id := t.ID
+		analytic := opts.At(l).Time
+		deadline := t.Deadline
+		subsystem := l
+		release := releases[id]
+		if release < 0 || !release.IsFinite() {
+			return nil, fmt.Errorf("sim: task %v has invalid release %v", id, release)
+		}
+		plan.onDone = func(finish units.Duration) {
+			sojourn := finish - release
+			res.Outcomes[id] = TaskOutcome{
+				Subsystem:  subsystem,
+				Release:    release,
+				Completion: finish,
+				Sojourn:    sojourn,
+				Analytic:   analytic,
+				DeadlineOK: sojourn <= deadline,
+			}
+		}
+		eng.releaseAt(plan, release)
+	}
+
+	eng.run()
+
+	// Accumulate in task order so floating-point sums are deterministic
+	// run to run (map iteration order is not).
+	for _, t := range ts.All() {
+		o, ok := res.Outcomes[t.ID]
+		if !ok {
+			continue
+		}
+		res.TotalLatency += o.Sojourn
+		if o.Completion > res.Makespan {
+			res.Makespan = o.Completion
+		}
+		if !o.DeadlineOK {
+			res.DeadlineViolations++
+		}
+	}
+	if want := ts.Len() - res.Cancelled; len(res.Outcomes) != want {
+		return nil, fmt.Errorf("sim: %d outcomes for %d placed tasks", len(res.Outcomes), want)
+	}
+	return res, nil
+}
+
+// planResources groups the resource pools for plan construction.
+type planResources struct {
+	devUp, devDown, devCPU []*resource
+	stWire, stWAN, stCPU   []*resource
+	cloudCPU               *resource
+}
+
+// buildPlan translates the Section II transfer/compute structure of
+// placement l into a stage DAG.
+func buildPlan(m *costmodel.Model, t *task.Task, l costmodel.Subsystem, r planResources) (*plan, error) {
+	sys := m.System()
+	dev, err := sys.Device(t.ID.User)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	home := t.ID.User
+	station := dev.Station
+
+	var src int
+	sameCluster := true
+	if t.HasExternal() {
+		s, err := sys.Device(t.ExternalSource)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		src = t.ExternalSource
+		sameCluster = s.Station == station
+	}
+
+	input := t.InputSize()
+	cycles := m.Cycles(input)
+	result := m.ResultSize(input)
+	p := &plan{}
+
+	switch l {
+	case costmodel.SubsystemDevice:
+		var prev *stage
+		if t.HasExternal() {
+			beta := t.ExternalSize
+			srcDev := &sys.Devices[src]
+			prev = p.stage(r.devUp[src], srcDev.Link.UploadTime(beta))
+			if !sameCluster {
+				prev = p.stageAfter(r.stWire[srcDev.Station], sys.StationWire.TransferTime(beta), prev)
+			}
+			prev = p.stageAfter(r.devDown[home], dev.Link.DownloadTime(beta), prev)
+		}
+		p.stageAfter(r.devCPU[home], dev.Proc.ExecTime(cycles), prev)
+
+	case costmodel.SubsystemStation:
+		join := make([]*stage, 0, 2)
+		if t.HasExternal() {
+			beta := t.ExternalSize
+			srcDev := &sys.Devices[src]
+			ext := p.stage(r.devUp[src], srcDev.Link.UploadTime(beta))
+			if !sameCluster {
+				ext = p.stageAfter(r.stWire[srcDev.Station], sys.StationWire.TransferTime(beta), ext)
+			}
+			join = append(join, ext)
+		}
+		join = append(join, p.stage(r.devUp[home], dev.Link.UploadTime(t.LocalSize)))
+		exec := p.stageAfterAll(r.stCPU[station], sys.Stations[station].Proc.ExecTime(cycles), join)
+		p.stageAfter(r.devDown[home], dev.Link.DownloadTime(result), exec)
+
+	case costmodel.SubsystemCloud:
+		join := make([]*stage, 0, 2)
+		if t.HasExternal() {
+			beta := t.ExternalSize
+			srcDev := &sys.Devices[src]
+			join = append(join, p.stage(r.devUp[src], srcDev.Link.UploadTime(beta)))
+		}
+		join = append(join, p.stage(r.devUp[home], dev.Link.UploadTime(t.LocalSize)))
+		// Mirror the analytic t_B,C(α+β+η): one WAN crossing charged for
+		// the full round-trip volume.
+		wan := p.stageAfterAll(r.stWAN[station], sys.CloudWire.TransferTime(input+result), join)
+		exec := p.stageAfter(r.cloudCPU, sys.Cloud.Proc.ExecTime(cycles), wan)
+		p.stageAfter(r.devDown[home], dev.Link.DownloadTime(result), exec)
+
+	default:
+		return nil, fmt.Errorf("sim: task %v has invalid subsystem %d", t.ID, int(l))
+	}
+	return p, nil
+}

@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dsmec/internal/backhaul"
+	"dsmec/internal/compute"
+	"dsmec/internal/core"
+	"dsmec/internal/costmodel"
+	"dsmec/internal/mecnet"
+	"dsmec/internal/radio"
+	"dsmec/internal/rng"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+	"dsmec/internal/workload"
+)
+
+func testModel(t *testing.T) *costmodel.Model {
+	t.Helper()
+	sys := &mecnet.System{
+		Devices: []mecnet.Device{
+			{Station: 0, Link: radio.FourG, Proc: compute.DeviceProcessor(1 * units.Gigahertz), ResourceCap: 100},
+			{Station: 0, Link: radio.WiFi, Proc: compute.DeviceProcessor(2 * units.Gigahertz), ResourceCap: 100},
+			{Station: 1, Link: radio.FourG, Proc: compute.DeviceProcessor(1.5 * units.Gigahertz), ResourceCap: 100},
+		},
+		Stations: []mecnet.Station{
+			{Proc: compute.StationProcessor(), ResourceCap: 1000},
+			{Proc: compute.StationProcessor(), ResourceCap: 1000},
+		},
+		Cloud:       mecnet.Cloud{Proc: compute.CloudProcessor()},
+		StationWire: backhaul.DefaultStationToStation(),
+		CloudWire:   backhaul.DefaultStationToCloud(),
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := costmodel.New(sys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mkTask(user, index int, local, external units.ByteSize, source int) *task.Task {
+	return &task.Task{
+		ID: task.ID{User: user, Index: index}, Kind: task.Holistic,
+		OpSize:    units.Kilobyte,
+		LocalSize: local, ExternalSize: external, ExternalSource: source,
+		Resource: 1, Deadline: 100 * units.Second,
+	}
+}
+
+func TestUncontendedMatchesAnalytic(t *testing.T) {
+	// One task at a time: simulated completion must equal the closed-form
+	// t_ijl for every subsystem and data configuration.
+	m := testModel(t)
+	cases := []struct {
+		name string
+		task *task.Task
+		sub  costmodel.Subsystem
+	}{
+		{"local no-external device", mkTask(0, 0, 1000*units.Kilobyte, 0, task.NoExternalSource), costmodel.SubsystemDevice},
+		{"local no-external station", mkTask(0, 0, 1000*units.Kilobyte, 0, task.NoExternalSource), costmodel.SubsystemStation},
+		{"local no-external cloud", mkTask(0, 0, 1000*units.Kilobyte, 0, task.NoExternalSource), costmodel.SubsystemCloud},
+		{"same-cluster external device", mkTask(0, 0, 800*units.Kilobyte, 300*units.Kilobyte, 1), costmodel.SubsystemDevice},
+		{"same-cluster external station", mkTask(0, 0, 800*units.Kilobyte, 300*units.Kilobyte, 1), costmodel.SubsystemStation},
+		{"cross-cluster external device", mkTask(0, 0, 800*units.Kilobyte, 300*units.Kilobyte, 2), costmodel.SubsystemDevice},
+		{"cross-cluster external station", mkTask(0, 0, 800*units.Kilobyte, 300*units.Kilobyte, 2), costmodel.SubsystemStation},
+		{"cross-cluster external cloud", mkTask(0, 0, 800*units.Kilobyte, 300*units.Kilobyte, 2), costmodel.SubsystemCloud},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, err := task.NewSet(tc.task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := core.NewAssignment()
+			a.Place(tc.task.ID, tc.sub)
+
+			res, err := Run(m, ts, a, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := res.Outcomes[tc.task.ID]
+			if math.Abs(o.Completion.Seconds()-o.Analytic.Seconds()) > 1e-9 {
+				t.Errorf("completion %v != analytic %v", o.Completion, o.Analytic)
+			}
+			if o.Subsystem != tc.sub {
+				t.Errorf("subsystem %v, want %v", o.Subsystem, tc.sub)
+			}
+			if !o.DeadlineOK {
+				t.Error("generous deadline should be met")
+			}
+		})
+	}
+}
+
+func TestQueueingDelaysSecondTask(t *testing.T) {
+	// Two identical tasks on one device CPU: the second finishes at twice
+	// the exec time of the first.
+	m := testModel(t)
+	t1 := mkTask(0, 0, 1000*units.Kilobyte, 0, task.NoExternalSource)
+	t2 := mkTask(0, 1, 1000*units.Kilobyte, 0, task.NoExternalSource)
+	ts, err := task.NewSet(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAssignment()
+	a.Place(t1.ID, costmodel.SubsystemDevice)
+	a.Place(t2.ID, costmodel.SubsystemDevice)
+
+	res, err := Run(m, ts, a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := 0.33 // 330·1e6 cycles at 1 GHz
+	first := res.Outcomes[t1.ID].Completion.Seconds()
+	second := res.Outcomes[t2.ID].Completion.Seconds()
+	if math.Abs(first-exec) > 1e-9 {
+		t.Errorf("first completion %g, want %g", first, exec)
+	}
+	if math.Abs(second-2*exec) > 1e-9 {
+		t.Errorf("second completion %g, want %g (queued)", second, 2*exec)
+	}
+	if math.Abs(res.Makespan.Seconds()-2*exec) > 1e-9 {
+		t.Errorf("makespan %v, want %gs", res.Makespan, 2*exec)
+	}
+}
+
+func TestStationCoresAllowParallelism(t *testing.T) {
+	// Two station tasks with StationCores=2 compute in parallel; their
+	// uploads share nothing (different devices), so both match analytic.
+	// Sizes are tuned so the uploads finish within one exec time of each
+	// other: 1000 kB at 5.85 Mbps (1.368 s) vs 2200 kB at 12.88 Mbps
+	// (1.366 s), with the larger task computing for 0.18 s.
+	m := testModel(t)
+	t1 := mkTask(0, 0, 1000*units.Kilobyte, 0, task.NoExternalSource)
+	t2 := mkTask(1, 0, 2200*units.Kilobyte, 0, task.NoExternalSource)
+	ts, err := task.NewSet(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAssignment()
+	a.Place(t1.ID, costmodel.SubsystemStation)
+	a.Place(t2.ID, costmodel.SubsystemStation)
+
+	res, err := Run(m, ts, a, Config{StationCores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []task.ID{t1.ID, t2.ID} {
+		o := res.Outcomes[id]
+		if math.Abs(o.Completion.Seconds()-o.Analytic.Seconds()) > 1e-9 {
+			t.Errorf("task %v completion %v != analytic %v (should run in parallel)",
+				id, o.Completion, o.Analytic)
+		}
+	}
+
+	// With a single core the slower path must wait.
+	res1, err := Run(m, ts, a, Config{StationCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed := 0
+	for _, id := range []task.ID{t1.ID, t2.ID} {
+		if res1.Outcomes[id].Completion > res1.Outcomes[id].Analytic+1e-12 {
+			delayed++
+		}
+	}
+	if delayed == 0 {
+		t.Error("single-core station should delay at least one task")
+	}
+}
+
+func TestEnergyMatchesAnalyticModel(t *testing.T) {
+	sc, err := workload.GenerateHolistic(rng.NewSource(8), workload.Params{
+		NumDevices: 10, NumStations: 2, NumTasks: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := Run(sc.Model, sc.Tasks, res.Assignment, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simRes.TotalEnergy.Joules()-metrics.TotalEnergy.Joules()) > 1e-6 {
+		t.Errorf("sim energy %v != analytic %v", simRes.TotalEnergy, metrics.TotalEnergy)
+	}
+}
+
+func TestSimulatedLatencyDominatesAnalytic(t *testing.T) {
+	// FIFO queueing can only delay: every simulated completion is >= its
+	// analytic time.
+	sc, err := workload.GenerateHolistic(rng.NewSource(9), workload.Params{
+		NumDevices: 10, NumStations: 2, NumTasks: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hta, err := core.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc.Model, sc.Tasks, hta.Assignment, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, o := range res.Outcomes {
+		if o.Completion < o.Analytic-1e-9 {
+			t.Errorf("task %v simulated %v earlier than analytic %v", id, o.Completion, o.Analytic)
+		}
+	}
+	if res.Makespan <= 0 || res.MeanLatency() <= 0 {
+		t.Error("makespan and mean latency should be positive")
+	}
+}
+
+func TestCancelledTasksSkipped(t *testing.T) {
+	m := testModel(t)
+	t1 := mkTask(0, 0, 100*units.Kilobyte, 0, task.NoExternalSource)
+	t2 := mkTask(0, 1, 100*units.Kilobyte, 0, task.NoExternalSource)
+	ts, err := task.NewSet(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAssignment()
+	a.Place(t1.ID, costmodel.SubsystemDevice)
+	a.Cancel(t2.ID)
+
+	res, err := Run(m, ts, a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want 1", res.Cancelled)
+	}
+	if _, ok := res.Outcomes[t2.ID]; ok {
+		t.Error("cancelled task should have no outcome")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := testModel(t)
+	t1 := mkTask(0, 0, 100*units.Kilobyte, 0, task.NoExternalSource)
+	ts, err := task.NewSet(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, ts, core.NewAssignment(), Config{}); err == nil {
+		t.Error("missing task should fail")
+	}
+	bad := core.NewAssignment()
+	bad.Place(t1.ID, costmodel.Subsystem(9))
+	if _, err := Run(m, ts, bad, Config{}); err == nil {
+		t.Error("invalid subsystem should fail")
+	}
+}
+
+func TestDeadlineViolationsUnderContention(t *testing.T) {
+	// Tight deadlines met analytically but missed under queueing.
+	m := testModel(t)
+	exec := units.Duration(0.33)
+	t1 := mkTask(0, 0, 1000*units.Kilobyte, 0, task.NoExternalSource)
+	t2 := mkTask(0, 1, 1000*units.Kilobyte, 0, task.NoExternalSource)
+	t1.Deadline = exec + 10*units.Millisecond
+	t2.Deadline = exec + 10*units.Millisecond
+	ts, err := task.NewSet(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAssignment()
+	a.Place(t1.ID, costmodel.SubsystemDevice)
+	a.Place(t2.ID, costmodel.SubsystemDevice)
+
+	res, err := Run(m, ts, a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineViolations != 1 {
+		t.Errorf("DeadlineViolations = %d, want 1 (the queued task)", res.DeadlineViolations)
+	}
+}
+
+func TestMeanLatencyEmpty(t *testing.T) {
+	r := &Result{}
+	if r.MeanLatency() != 0 {
+		t.Error("empty result mean latency should be 0")
+	}
+}
+
+func TestRunReleasesStaggersLoad(t *testing.T) {
+	// Two identical tasks on the same device CPU: released together the
+	// second queues; released after the first finishes, both match the
+	// analytic time.
+	m := testModel(t)
+	t1 := mkTask(0, 0, 1000*units.Kilobyte, 0, task.NoExternalSource)
+	t2 := mkTask(0, 1, 1000*units.Kilobyte, 0, task.NoExternalSource)
+	ts, err := task.NewSet(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAssignment()
+	a.Place(t1.ID, costmodel.SubsystemDevice)
+	a.Place(t2.ID, costmodel.SubsystemDevice)
+
+	res, err := RunReleases(m, ts, a, Config{}, map[task.ID]units.Duration{
+		t2.ID: 0.5 * units.Second, // after t1's 0.33 s execution
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, o2 := res.Outcomes[t1.ID], res.Outcomes[t2.ID]
+	if math.Abs(o1.Sojourn.Seconds()-0.33) > 1e-9 {
+		t.Errorf("t1 sojourn = %v, want 0.33s", o1.Sojourn)
+	}
+	if math.Abs(o2.Sojourn.Seconds()-0.33) > 1e-9 {
+		t.Errorf("t2 sojourn = %v, want 0.33s (released after t1 finished)", o2.Sojourn)
+	}
+	if o2.Release != 0.5*units.Second {
+		t.Errorf("t2 release = %v, want 0.5s", o2.Release)
+	}
+	if math.Abs(o2.Completion.Seconds()-0.83) > 1e-9 {
+		t.Errorf("t2 completion = %v, want 0.83s absolute", o2.Completion)
+	}
+	if math.Abs(res.Makespan.Seconds()-0.83) > 1e-9 {
+		t.Errorf("makespan = %v, want 0.83s", res.Makespan)
+	}
+}
+
+func TestRunReleasesOverlapStillQueues(t *testing.T) {
+	m := testModel(t)
+	t1 := mkTask(0, 0, 1000*units.Kilobyte, 0, task.NoExternalSource)
+	t2 := mkTask(0, 1, 1000*units.Kilobyte, 0, task.NoExternalSource)
+	ts, err := task.NewSet(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAssignment()
+	a.Place(t1.ID, costmodel.SubsystemDevice)
+	a.Place(t2.ID, costmodel.SubsystemDevice)
+
+	// Released mid-execution of t1: waits 0.23 s, sojourn 0.56 s.
+	res, err := RunReleases(m, ts, a, Config{}, map[task.ID]units.Duration{
+		t2.ID: 0.1 * units.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := res.Outcomes[t2.ID]
+	if math.Abs(o2.Sojourn.Seconds()-0.56) > 1e-9 {
+		t.Errorf("t2 sojourn = %v, want 0.56s", o2.Sojourn)
+	}
+}
+
+func TestRunReleasesInvalid(t *testing.T) {
+	m := testModel(t)
+	t1 := mkTask(0, 0, 100*units.Kilobyte, 0, task.NoExternalSource)
+	ts, err := task.NewSet(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAssignment()
+	a.Place(t1.ID, costmodel.SubsystemDevice)
+	if _, err := RunReleases(m, ts, a, Config{}, map[task.ID]units.Duration{
+		t1.ID: -1,
+	}); err == nil {
+		t.Error("negative release should fail")
+	}
+	if _, err := RunReleases(m, ts, a, Config{}, map[task.ID]units.Duration{
+		t1.ID: units.Forever,
+	}); err == nil {
+		t.Error("infinite release should fail")
+	}
+}
+
+func TestSpreadingArrivalsReducesMisses(t *testing.T) {
+	// The quasi-static worst case (everything at once) versus the same
+	// workload spread over a window: spreading must not increase misses.
+	sc, err := workload.GenerateHolistic(rng.NewSource(55), workload.Params{
+		NumDevices: 15, NumStations: 3, NumTasks: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Run(sc.Model, sc.Tasks, res.Assignment, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	releases := make(map[task.ID]units.Duration, sc.Tasks.Len())
+	r := rng.NewSource(55).Stream("arrivals")
+	for _, tk := range sc.Tasks.All() {
+		releases[tk.ID] = units.Duration(r.Float64() * 60) // one minute window
+	}
+	spread, err := RunReleases(sc.Model, sc.Tasks, res.Assignment, Config{}, releases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.DeadlineViolations > batch.DeadlineViolations {
+		t.Errorf("spreading arrivals increased misses: %d vs %d",
+			spread.DeadlineViolations, batch.DeadlineViolations)
+	}
+	if spread.MeanLatency() > batch.MeanLatency() {
+		t.Errorf("spreading arrivals increased mean sojourn: %v vs %v",
+			spread.MeanLatency(), batch.MeanLatency())
+	}
+}

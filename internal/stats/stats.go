@@ -1,0 +1,117 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness needs: running accumulation of samples with mean,
+// standard deviation, extrema, and percentiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series accumulates float64 samples. The zero value is ready for use.
+type Series struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// AddAll appends several samples.
+func (s *Series) AddAll(vs ...float64) {
+	for _, v := range vs {
+		s.Add(v)
+	}
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Sum returns the total of all samples.
+func (s *Series) Sum() float64 {
+	total := 0.0
+	for _, v := range s.samples {
+		total += v
+	}
+	return total
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.samples))
+}
+
+// Std returns the sample standard deviation (0 with fewer than two
+// samples).
+func (s *Series) Std() float64 {
+	n := len(s.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, v := range s.samples {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Min returns the smallest sample (+Inf for an empty series).
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.samples {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest sample (-Inf for an empty series).
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.samples {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks. It returns an error for an empty
+// series or out-of-range p.
+func (s *Series) Percentile(p float64) (float64, error) {
+	if len(s.samples) == 0 {
+		return 0, fmt.Errorf("stats: percentile of empty series")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g outside [0,100]", p)
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if len(s.samples) == 1 {
+		return s.samples[0], nil
+	}
+	rank := p / 100 * float64(len(s.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.samples[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s.samples[lo]*(1-frac) + s.samples[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func (s *Series) Median() (float64, error) { return s.Percentile(50) }

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.Sum() != 0 || s.Mean() != 0 || s.Std() != 0 {
+		t.Error("empty series should report zeros")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty extrema should be infinities")
+	}
+	if _, err := s.Percentile(50); err == nil {
+		t.Error("percentile of empty series should fail")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var s Series
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.Len() != 8 {
+		t.Errorf("Len = %d, want 8", s.Len())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	// Sample std of this classic dataset: sqrt(32/7).
+	if got, want := s.Std(), math.Sqrt(32.0/7.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Std = %g, want %g", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("extrema = %g/%g, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var s Series
+	s.Add(42)
+	if s.Std() != 0 {
+		t.Error("single-sample std should be 0")
+	}
+	for _, p := range []float64{0, 50, 100} {
+		got, err := s.Percentile(p)
+		if err != nil || got != 42 {
+			t.Errorf("Percentile(%g) = %g,%v want 42,nil", p, got, err)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Series
+	s.AddAll(4, 1, 3, 2) // unsorted on purpose
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75}, {75, 3.25},
+	}
+	for _, tt := range tests {
+		got, err := s.Percentile(tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	med, err := s.Median()
+	if err != nil || med != 2.5 {
+		t.Errorf("Median = %g,%v want 2.5,nil", med, err)
+	}
+	if _, err := s.Percentile(-1); err == nil {
+		t.Error("negative percentile should fail")
+	}
+	if _, err := s.Percentile(101); err == nil {
+		t.Error("percentile > 100 should fail")
+	}
+}
+
+func TestAddAfterPercentileResorts(t *testing.T) {
+	var s Series
+	s.AddAll(3, 1)
+	if _, err := s.Median(); err != nil {
+		t.Fatal(err)
+	}
+	s.Add(0) // must invalidate the sorted cache
+	got, err := s.Percentile(0)
+	if err != nil || got != 0 {
+		t.Errorf("Percentile(0) after Add = %g,%v want 0,nil", got, err)
+	}
+}
+
+func TestStatProperties(t *testing.T) {
+	f := func(vs []float64) bool {
+		var s Series
+		clean := make([]float64, 0, len(vs))
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			clean = append(clean, v)
+			s.Add(v)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		mean := s.Mean()
+		if mean < s.Min()-1e-9 || mean > s.Max()+1e-9 {
+			return false
+		}
+		p0, err0 := s.Percentile(0)
+		p100, err100 := s.Percentile(100)
+		if err0 != nil || err100 != nil {
+			return false
+		}
+		return p0 == s.Min() && p100 == s.Max() && s.Std() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

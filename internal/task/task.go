@@ -1,0 +1,208 @@
+// Package task defines the computation tasks of a data-shared MEC system.
+//
+// A task T_ij = (op_ij, LD_ij, ED_ij, L_ij, C_ij, T_ij) is the j-th task
+// raised by user U_i. Its input splits into local data LD_ij (size α_ij,
+// held by the user's own device) and external data ED_ij (size β_ij, held
+// by device L_ij, possibly in another cluster). The task also carries a
+// resource demand C_ij (memory/threads/VM slots) and a deadline T_ij.
+//
+// Tasks come in two kinds (Sections III and IV of the paper):
+//
+//   - Holistic: all input must be gathered at a single subsystem before
+//     processing.
+//   - Divisible: the result can be computed from partial results over a
+//     partition of the input (Sum, Count, and similar aggregates), so the
+//     work can be rearranged to follow the data.
+package task
+
+import (
+	"fmt"
+
+	"dsmec/internal/datamap"
+	"dsmec/internal/units"
+)
+
+// ID identifies task T_ij: User is i (the raising user and its device),
+// Index is j.
+type ID struct {
+	User  int
+	Index int
+}
+
+// String renders the ID as "T[i,j]".
+func (id ID) String() string { return fmt.Sprintf("T[%d,%d]", id.User, id.Index) }
+
+// Less orders IDs lexicographically, for deterministic iteration.
+func (id ID) Less(other ID) bool {
+	if id.User != other.User {
+		return id.User < other.User
+	}
+	return id.Index < other.Index
+}
+
+// Kind distinguishes holistic from divisible tasks.
+type Kind int
+
+// Task kinds.
+const (
+	Holistic Kind = iota + 1
+	Divisible
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Holistic:
+		return "holistic"
+	case Divisible:
+		return "divisible"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// NoExternalSource marks a task whose input is entirely local (β_ij = 0).
+const NoExternalSource = -1
+
+// Task is one computation task. LocalSize and ExternalSize are α_ij and
+// β_ij. ExternalSource is L_ij, the device holding ED_ij (NoExternalSource
+// when β_ij = 0). Divisible tasks additionally carry the identities of
+// their input blocks so the Section IV algorithms can rearrange them.
+type Task struct {
+	ID   ID
+	Kind Kind
+
+	// OpSize is the size of the operation descriptor op_ij: the code or
+	// query that must be shipped to wherever the task (or a slice of it)
+	// runs. It is what the Task Rearrangement Method transmits instead of
+	// raw data.
+	OpSize units.ByteSize
+
+	LocalSize      units.ByteSize // α_ij
+	ExternalSize   units.ByteSize // β_ij
+	ExternalSource int            // L_ij
+
+	Resource float64        // C_ij
+	Deadline units.Duration // T_ij
+
+	// LocalBlocks and ExternalBlocks identify LD_ij and ED_ij for
+	// divisible tasks. Holistic tasks may leave them nil.
+	LocalBlocks    *datamap.Set
+	ExternalBlocks *datamap.Set
+}
+
+// InputSize returns α_ij + β_ij, the total input the task must see.
+func (t *Task) InputSize() units.ByteSize { return t.LocalSize + t.ExternalSize }
+
+// HasExternal reports whether the task needs data from another device.
+func (t *Task) HasExternal() bool { return t.ExternalSize > 0 }
+
+// InputBlocks returns LD_ij ∪ ED_ij as a fresh set. It is only meaningful
+// for divisible tasks.
+func (t *Task) InputBlocks() *datamap.Set {
+	return datamap.UnionOf(t.LocalBlocks, t.ExternalBlocks)
+}
+
+// Validate reports whether the task is internally consistent.
+func (t *Task) Validate() error {
+	switch {
+	case t.ID.User < 0 || t.ID.Index < 0:
+		return fmt.Errorf("task %v: negative id components", t.ID)
+	case t.Kind != Holistic && t.Kind != Divisible:
+		return fmt.Errorf("task %v: invalid kind %d", t.ID, int(t.Kind))
+	case t.OpSize < 0:
+		return fmt.Errorf("task %v: negative op size %v", t.ID, t.OpSize)
+	case t.LocalSize < 0:
+		return fmt.Errorf("task %v: negative local size %v", t.ID, t.LocalSize)
+	case t.ExternalSize < 0:
+		return fmt.Errorf("task %v: negative external size %v", t.ID, t.ExternalSize)
+	case t.ExternalSize > 0 && t.ExternalSource == NoExternalSource:
+		return fmt.Errorf("task %v: external data without a source device", t.ID)
+	case t.ExternalSize > 0 && t.ExternalSource == t.ID.User:
+		return fmt.Errorf("task %v: external source is the task's own device", t.ID)
+	case t.ExternalSize == 0 && t.ExternalSource != NoExternalSource:
+		return fmt.Errorf("task %v: source device %d given but no external data", t.ID, t.ExternalSource)
+	case t.Resource < 0:
+		return fmt.Errorf("task %v: negative resource demand %g", t.ID, t.Resource)
+	case t.Deadline <= 0:
+		return fmt.Errorf("task %v: deadline %v must be positive", t.ID, t.Deadline)
+	default:
+		return nil
+	}
+}
+
+// Set is an ordered collection of tasks with unique IDs.
+type Set struct {
+	tasks []*Task
+	index map[ID]int
+}
+
+// NewSet builds a task set, validating every task and rejecting duplicate
+// IDs.
+func NewSet(tasks ...*Task) (*Set, error) {
+	s := &Set{
+		tasks: make([]*Task, 0, len(tasks)),
+		index: make(map[ID]int, len(tasks)),
+	}
+	for _, t := range tasks {
+		if err := s.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Add validates t and appends it to the set.
+func (s *Set) Add(t *Task) error {
+	if t == nil {
+		return fmt.Errorf("task: nil task")
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, dup := s.index[t.ID]; dup {
+		return fmt.Errorf("task %v: duplicate id", t.ID)
+	}
+	if s.index == nil {
+		s.index = make(map[ID]int)
+	}
+	s.index[t.ID] = len(s.tasks)
+	s.tasks = append(s.tasks, t)
+	return nil
+}
+
+// Len returns the number of tasks.
+func (s *Set) Len() int { return len(s.tasks) }
+
+// All returns the tasks in insertion order. Callers must not mutate the
+// returned slice (the tasks themselves are shared).
+func (s *Set) All() []*Task { return s.tasks }
+
+// Get returns the task with the given ID, or false.
+func (s *Set) Get(id ID) (*Task, bool) {
+	i, ok := s.index[id]
+	if !ok {
+		return nil, false
+	}
+	return s.tasks[i], true
+}
+
+// ByUser groups the tasks by raising user. The map values preserve
+// insertion order.
+func (s *Set) ByUser() map[int][]*Task {
+	out := make(map[int][]*Task)
+	for _, t := range s.tasks {
+		out[t.ID.User] = append(out[t.ID.User], t)
+	}
+	return out
+}
+
+// Universe returns D = ∪_ij (LD_ij ∪ ED_ij), the total data the set needs,
+// as block identities. Only divisible tasks contribute blocks.
+func (s *Set) Universe() *datamap.Set {
+	u := datamap.NewSet()
+	for _, t := range s.tasks {
+		u.Union(t.LocalBlocks).Union(t.ExternalBlocks)
+	}
+	return u
+}

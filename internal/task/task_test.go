@@ -1,0 +1,210 @@
+package task
+
+import (
+	"strings"
+	"testing"
+
+	"dsmec/internal/datamap"
+	"dsmec/internal/units"
+)
+
+func validTask() *Task {
+	return &Task{
+		ID:             ID{User: 0, Index: 0},
+		Kind:           Holistic,
+		OpSize:         units.Kilobyte,
+		LocalSize:      100 * units.Kilobyte,
+		ExternalSize:   50 * units.Kilobyte,
+		ExternalSource: 3,
+		Resource:       2,
+		Deadline:       2 * units.Second,
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := (ID{User: 3, Index: 7}).String(); got != "T[3,7]" {
+		t.Errorf("String() = %q, want T[3,7]", got)
+	}
+}
+
+func TestIDLess(t *testing.T) {
+	tests := []struct {
+		a, b ID
+		want bool
+	}{
+		{ID{0, 0}, ID{0, 1}, true},
+		{ID{0, 1}, ID{0, 0}, false},
+		{ID{0, 9}, ID{1, 0}, true},
+		{ID{1, 0}, ID{0, 9}, false},
+		{ID{1, 1}, ID{1, 1}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Holistic.String() != "holistic" || Divisible.String() != "divisible" {
+		t.Error("kind names wrong")
+	}
+	if got := Kind(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestTaskAccessors(t *testing.T) {
+	tk := validTask()
+	if got := tk.InputSize(); got != 150*units.Kilobyte {
+		t.Errorf("InputSize = %v, want 150kB", got)
+	}
+	if !tk.HasExternal() {
+		t.Error("HasExternal = false, want true")
+	}
+	tk.ExternalSize = 0
+	tk.ExternalSource = NoExternalSource
+	if tk.HasExternal() {
+		t.Error("HasExternal = true for local-only task")
+	}
+}
+
+func TestInputBlocks(t *testing.T) {
+	tk := validTask()
+	tk.Kind = Divisible
+	tk.LocalBlocks = datamap.NewSet(1, 2)
+	tk.ExternalBlocks = datamap.NewSet(2, 3)
+	if got := tk.InputBlocks(); !got.Equal(datamap.NewSet(1, 2, 3)) {
+		t.Errorf("InputBlocks = %v, want {1,2,3}", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Task)
+	}{
+		{"negative user", func(tk *Task) { tk.ID.User = -1 }},
+		{"negative index", func(tk *Task) { tk.ID.Index = -1 }},
+		{"bad kind", func(tk *Task) { tk.Kind = 0 }},
+		{"negative op size", func(tk *Task) { tk.OpSize = -1 }},
+		{"negative local", func(tk *Task) { tk.LocalSize = -1 }},
+		{"negative external", func(tk *Task) { tk.ExternalSize = -1 }},
+		{"external without source", func(tk *Task) { tk.ExternalSource = NoExternalSource }},
+		{"external from self", func(tk *Task) { tk.ExternalSource = tk.ID.User }},
+		{"source without external", func(tk *Task) {
+			tk.ExternalSize = 0 // keeps ExternalSource = 3
+		}},
+		{"negative resource", func(tk *Task) { tk.Resource = -1 }},
+		{"zero deadline", func(tk *Task) { tk.Deadline = 0 }},
+	}
+	if err := validTask().Validate(); err != nil {
+		t.Fatalf("base task invalid: %v", err)
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tk := validTask()
+			tt.mutate(tk)
+			if err := tk.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestValidateLocalOnlyTask(t *testing.T) {
+	tk := validTask()
+	tk.ExternalSize = 0
+	tk.ExternalSource = NoExternalSource
+	if err := tk.Validate(); err != nil {
+		t.Errorf("local-only task should validate, got %v", err)
+	}
+}
+
+func TestNewSet(t *testing.T) {
+	a := validTask()
+	b := validTask()
+	b.ID = ID{User: 1, Index: 0}
+	s, err := NewSet(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	got, ok := s.Get(ID{User: 1, Index: 0})
+	if !ok || got != b {
+		t.Error("Get failed to find inserted task")
+	}
+	if _, ok := s.Get(ID{User: 9, Index: 9}); ok {
+		t.Error("Get found a task that was never added")
+	}
+}
+
+func TestNewSetRejectsDuplicatesAndInvalid(t *testing.T) {
+	a := validTask()
+	dup := validTask()
+	if _, err := NewSet(a, dup); err == nil {
+		t.Error("duplicate IDs should be rejected")
+	}
+	bad := validTask()
+	bad.Deadline = 0
+	if _, err := NewSet(bad); err == nil {
+		t.Error("invalid task should be rejected")
+	}
+	if _, err := NewSet(nil); err == nil {
+		t.Error("nil task should be rejected")
+	}
+}
+
+func TestSetAddOnZeroValue(t *testing.T) {
+	var s Set
+	if err := s.Add(validTask()); err != nil {
+		t.Fatalf("Add on zero-value Set: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Error("Add did not insert")
+	}
+}
+
+func TestByUser(t *testing.T) {
+	mk := func(u, j int) *Task {
+		tk := validTask()
+		tk.ID = ID{User: u, Index: j}
+		if u == tk.ExternalSource {
+			tk.ExternalSource = u + 1
+		}
+		return tk
+	}
+	s, err := NewSet(mk(0, 0), mk(1, 0), mk(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byUser := s.ByUser()
+	if len(byUser[0]) != 2 || len(byUser[1]) != 1 {
+		t.Errorf("ByUser sizes = %d,%d want 2,1", len(byUser[0]), len(byUser[1]))
+	}
+	if byUser[0][0].ID.Index != 0 || byUser[0][1].ID.Index != 1 {
+		t.Error("ByUser must preserve insertion order")
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	a := validTask()
+	a.Kind = Divisible
+	a.LocalBlocks = datamap.NewSet(1, 2)
+	a.ExternalBlocks = datamap.NewSet(3)
+	b := validTask()
+	b.ID = ID{User: 1, Index: 0}
+	b.Kind = Divisible
+	b.LocalBlocks = datamap.NewSet(2, 4)
+	b.ExternalBlocks = nil
+
+	s, err := NewSet(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Universe(); !got.Equal(datamap.NewSet(1, 2, 3, 4)) {
+		t.Errorf("Universe = %v, want {1,2,3,4}", got)
+	}
+}

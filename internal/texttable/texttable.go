@@ -1,0 +1,141 @@
+// Package texttable renders aligned plain-text tables, the output format
+// of the benchmark harness (one table per reproduced figure).
+package texttable
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given column headers.
+func New(headers ...string) *Table {
+	h := make([]string, len(headers))
+	copy(h, headers)
+	return &Table{headers: h}
+}
+
+// AddRow appends a row. Rows shorter than the header are padded with empty
+// cells; longer rows extend the table width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// widths computes the column widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.headers))
+	grow := func(row []string) {
+		for i, c := range row {
+			if i >= len(w) {
+				w = append(w, 0)
+			}
+			if n := len([]rune(c)); n > w[i] {
+				w[i] = n
+			}
+		}
+	}
+	grow(t.headers)
+	for _, r := range t.rows {
+		grow(r)
+	}
+	return w
+}
+
+// WriteTo renders the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := t.widths()
+	var total int64
+
+	writeLine := func(cells []string) error {
+		var b strings.Builder
+		for i, width := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", width-len([]rune(cell))))
+		}
+		n, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		total += int64(n)
+		return err
+	}
+
+	if err := writeLine(t.headers); err != nil {
+		return total, err
+	}
+	sep := make([]string, len(widths))
+	for i, width := range widths {
+		sep[i] = strings.Repeat("-", width)
+	}
+	if err := writeLine(sep); err != nil {
+		return total, err
+	}
+	for _, r := range t.rows {
+		if err := writeLine(r); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	// strings.Builder never errors.
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values with a header line.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeLine(t.headers); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		row := r
+		if len(row) < len(t.headers) {
+			row = append(append([]string{}, r...), make([]string, len(t.headers)-len(r))...)
+		}
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "20000")
+	got := tb.String()
+	want := strings.Join([]string{
+		"name   value",
+		"-----  -----",
+		"alpha  1",
+		"b      20000",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("rendered table:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestShortAndLongRows(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddRow("1")           // short row pads
+	tb.AddRow("1", "2", "3") // long row extends
+	got := tb.String()
+	if !strings.Contains(got, "3") {
+		t.Error("long row cell missing")
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("x", "y")
+	tb.AddRowf(42, 3.5)
+	if !strings.Contains(tb.String(), "42") || !strings.Contains(tb.String(), "3.5") {
+		t.Error("formatted cells missing")
+	}
+	if tb.NumRows() != 1 {
+		t.Errorf("NumRows = %d, want 1", tb.NumRows())
+	}
+}
+
+func TestNoTrailingSpaces(t *testing.T) {
+	tb := New("col", "other")
+	tb.AddRow("x", "y")
+	for _, line := range strings.Split(tb.String(), "\n") {
+		if line != strings.TrimRight(line, " ") {
+			t.Errorf("line %q has trailing spaces", line)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("name", "note")
+	tb.AddRow("a", `plain`)
+	tb.AddRow("b", `has,comma`)
+	tb.AddRow("c", `has"quote`)
+	tb.AddRow("short") // padded to header width
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "name,note\na,plain\nb,\"has,comma\"\nc,\"has\"\"quote\"\nshort,\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tb := New("grüße", "x")
+	tb.AddRow("ä", "1")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// The separator must match the rune count of the header, not its byte
+	// length.
+	if len([]rune(strings.Fields(lines[1])[0])) != 5 {
+		t.Errorf("separator width mismatch: %q", lines[1])
+	}
+}

@@ -1,0 +1,193 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestByteSizeConversions(t *testing.T) {
+	tests := []struct {
+		name  string
+		size  ByteSize
+		bytes int64
+		bits  int64
+		kb    float64
+	}{
+		{"zero", 0, 0, 0, 0},
+		{"one byte", Byte, 1, 8, 0.001},
+		{"one kB", Kilobyte, 1000, 8000, 1},
+		{"3000 kB task input", 3000 * Kilobyte, 3_000_000, 24_000_000, 3000},
+		{"one MB", Megabyte, 1_000_000, 8_000_000, 1000},
+		{"one GB", Gigabyte, 1_000_000_000, 8_000_000_000, 1_000_000},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.size.Bytes(); got != tt.bytes {
+				t.Errorf("Bytes() = %d, want %d", got, tt.bytes)
+			}
+			if got := tt.size.Bits(); got != tt.bits {
+				t.Errorf("Bits() = %d, want %d", got, tt.bits)
+			}
+			if got := tt.size.Kilobytes(); got != tt.kb {
+				t.Errorf("Kilobytes() = %g, want %g", got, tt.kb)
+			}
+		})
+	}
+}
+
+func TestByteSizeScale(t *testing.T) {
+	tests := []struct {
+		name   string
+		size   ByteSize
+		factor float64
+		want   ByteSize
+	}{
+		{"identity", 1234, 1, 1234},
+		{"result ratio eta=0.2", 1000 * Kilobyte, 0.2, 200 * Kilobyte},
+		{"halving rounds", 5, 0.5, 3}, // 2.5 rounds to 3 (round half away from zero)
+		{"zero factor", 999, 0, 0},
+		{"growth", 100, 1.5, 150},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.size.Scale(tt.factor); got != tt.want {
+				t.Errorf("Scale(%g) = %d, want %d", tt.factor, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 1 MB over 8 Mbps is exactly one second.
+	d := Megabyte.TransferTime(8 * MbitPerSecond)
+	if math.Abs(d.Seconds()-1) > 1e-12 {
+		t.Errorf("1MB over 8Mbps = %v, want 1s", d)
+	}
+	// Table I: 3000 kB upload over 4G (5.85 Mbps) is about 4.1 s.
+	d = (3000 * Kilobyte).TransferTime(5.85 * MbitPerSecond)
+	if d.Seconds() < 4.0 || d.Seconds() > 4.2 {
+		t.Errorf("3000kB over 5.85Mbps = %v, want ~4.1s", d)
+	}
+	if got := Megabyte.TransferTime(0); got != Forever {
+		t.Errorf("zero rate should give Forever, got %v", got)
+	}
+	if got := Megabyte.TransferTime(-5); got != Forever {
+		t.Errorf("negative rate should give Forever, got %v", got)
+	}
+}
+
+func TestTransferTimeProportionality(t *testing.T) {
+	// Property: doubling the size doubles the time; doubling the rate
+	// halves it.
+	f := func(kb uint16, mbps uint8) bool {
+		size := ByteSize(kb) * Kilobyte
+		rate := BitRate(mbps+1) * MbitPerSecond
+		t1 := size.TransferTime(rate)
+		t2 := (2 * size).TransferTime(rate)
+		t3 := size.TransferTime(2 * rate)
+		tol := 1e-12 * (1 + t1.Seconds())
+		return math.Abs(t2.Seconds()-2*t1.Seconds()) < tol &&
+			math.Abs(t3.Seconds()-t1.Seconds()/2) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclesTimeAt(t *testing.T) {
+	// 330 cycles/byte on 3,000,000 bytes at 1.5 GHz: 0.66 s.
+	c := Cycles(330 * 3_000_000)
+	d := c.TimeAt(1.5 * Gigahertz)
+	if math.Abs(d.Seconds()-0.66) > 1e-9 {
+		t.Errorf("time = %v, want 0.66s", d)
+	}
+	if got := c.TimeAt(0); got != Forever {
+		t.Errorf("zero frequency should give Forever, got %v", got)
+	}
+}
+
+func TestEnergyOver(t *testing.T) {
+	e := Power(7.32).EnergyOver(2 * Second)
+	if math.Abs(e.Joules()-14.64) > 1e-12 {
+		t.Errorf("7.32W for 2s = %v, want 14.64J", e)
+	}
+	if e := Power(5).EnergyOver(Forever); !math.IsInf(e.Joules(), 1) {
+		t.Errorf("energy over Forever should be +Inf, got %v", e)
+	}
+}
+
+func TestDurationIsFinite(t *testing.T) {
+	tests := []struct {
+		name string
+		d    Duration
+		want bool
+	}{
+		{"zero", 0, true},
+		{"one second", Second, true},
+		{"forever", Forever, false},
+		{"negative inf", Duration(math.Inf(-1)), false},
+		{"nan", Duration(math.NaN()), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.d.IsFinite(); got != tt.want {
+				t.Errorf("IsFinite() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDurationStd(t *testing.T) {
+	if got := (250 * Millisecond).Std(); got != 250*time.Millisecond {
+		t.Errorf("Std() = %v, want 250ms", got)
+	}
+	if got := Forever.Std(); got != time.Duration(math.MaxInt64) {
+		t.Errorf("Forever.Std() should saturate, got %v", got)
+	}
+	if got := Duration(math.Inf(-1)).Std(); got != time.Duration(math.MinInt64) {
+		t.Errorf("-inf Std() should saturate low, got %v", got)
+	}
+}
+
+func TestDurationMax(t *testing.T) {
+	if got := DurationMax(Second, 2*Second); got != 2*Second {
+		t.Errorf("DurationMax = %v, want 2s", got)
+	}
+	if got := DurationMax(Forever, Second); got != Forever {
+		t.Errorf("DurationMax with Forever = %v, want Forever", got)
+	}
+	if got := DurationMax(-Second, 0); got != 0 {
+		t.Errorf("DurationMax(-1,0) = %v, want 0", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tests := []struct {
+		name string
+		got  string
+		want string
+	}{
+		{"bytes", (512 * Byte).String(), "512B"},
+		{"kilobytes", (1500 * Kilobyte).String(), "1.50MB"},
+		{"small kB", (2 * Kilobyte).String(), "2.0kB"},
+		{"gigabytes", (2 * Gigabyte).String(), "2.00GB"},
+		{"rate", (13.76 * MbitPerSecond).String(), "13.76Mbps"},
+		{"freq", (2.4 * Gigahertz).String(), "2.40GHz"},
+		{"power", Power(15.7).String(), "15.70W"},
+		{"duration s", (2 * Second).String(), "2.000s"},
+		{"duration ms", (15 * Millisecond).String(), "15.00ms"},
+		{"duration inf", Forever.String(), "inf"},
+		{"energy", Energy(14.64).String(), "14.640J"},
+		{"energy zero", Energy(0).String(), "0J"},
+		{"energy tiny", Energy(0.0001).String(), "0.0001J"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.got != tt.want {
+				t.Errorf("got %q, want %q", tt.got, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,323 @@
+// Package workload generates the synthetic scenarios of the paper's
+// evaluation (Section V.A): a MEC topology plus a task population with
+// the published parameter ranges — input sizes up to a configurable
+// maximum, external data between 0 and 0.5 times the local data, deadlines
+// tied to what the system can actually achieve, and per-edge resource
+// caps that become contended as the task count grows.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dsmec/internal/compute"
+	"dsmec/internal/costmodel"
+	"dsmec/internal/datamap"
+	"dsmec/internal/mecnet"
+	"dsmec/internal/rng"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// Params configures scenario generation. Zero values take the defaults
+// listed on each field.
+type Params struct {
+	NumDevices  int // default 50
+	NumStations int // default 5
+	NumTasks    int // default 100
+
+	// MaxInput is the maximum per-task input size (paper: 3000 kB in most
+	// figures). Task inputs are drawn uniformly in [MinInputFrac·MaxInput,
+	// MaxInput].
+	MaxInput     units.ByteSize // default 3000 kB
+	MinInputFrac float64        // default 0.1
+
+	// ExternalMaxRatio bounds β_ij/α_ij (paper: "0 to 0.5 times the local
+	// data").
+	ExternalMaxRatio float64 // default 0.5
+
+	// Deadline slack: T_ij = slack · min_l t_ijl with slack drawn
+	// uniformly from [DeadlineSlackMin, DeadlineSlackMax]. Values below 1
+	// produce tasks no subsystem can serve, which every algorithm must
+	// cancel; the default range keeps that population small.
+	DeadlineSlackMin float64 // default 0.95
+	DeadlineSlackMax float64 // default 2.2
+
+	// Resource demands C_ij ~ U[ResourceMin, ResourceMax].
+	ResourceMin float64 // default 1
+	ResourceMax float64 // default 4
+
+	// DeviceCap is max_i; StationCap is max_S. The defaults keep devices
+	// comfortable at light load (~100 tasks over 50 devices) and
+	// contended at heavy load (450 tasks).
+	DeviceCap  float64 // default 10
+	StationCap float64 // default 100
+
+	// OpSize is the descriptor size shipped by task rearrangement.
+	OpSize units.ByteSize // default 2 kB
+
+	// ResultModel overrides the η model (default: proportional 0.2).
+	ResultModel compute.ResultModel
+
+	// Divisible-scenario knobs.
+	BlockSize   units.ByteSize // default 100 kB
+	NumBlocks   int            // default: enough for ~2× the data demand
+	Replication int            // default 2: min devices holding each block
+}
+
+func (p Params) withDefaults() Params {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	deff := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&p.NumDevices, 50)
+	def(&p.NumStations, 5)
+	def(&p.NumTasks, 100)
+	if p.MaxInput == 0 {
+		p.MaxInput = 3000 * units.Kilobyte
+	}
+	deff(&p.MinInputFrac, 0.1)
+	deff(&p.ExternalMaxRatio, 0.5)
+	deff(&p.DeadlineSlackMin, 0.95)
+	deff(&p.DeadlineSlackMax, 2.2)
+	deff(&p.ResourceMin, 1)
+	deff(&p.ResourceMax, 4)
+	deff(&p.DeviceCap, 10)
+	deff(&p.StationCap, 100)
+	if p.OpSize == 0 {
+		p.OpSize = 2 * units.Kilobyte
+	}
+	if p.ResultModel == nil {
+		p.ResultModel = compute.DefaultResult()
+	}
+	if p.BlockSize == 0 {
+		p.BlockSize = 100 * units.Kilobyte
+	}
+	def(&p.Replication, 2)
+	return p
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.NumDevices <= 0 || p.NumStations <= 0 || p.NumTasks <= 0:
+		return fmt.Errorf("workload: counts must be positive")
+	case p.NumStations > p.NumDevices:
+		return fmt.Errorf("workload: more stations (%d) than devices (%d)", p.NumStations, p.NumDevices)
+	case p.MaxInput <= 0:
+		return fmt.Errorf("workload: MaxInput must be positive")
+	case p.MinInputFrac < 0 || p.MinInputFrac > 1:
+		return fmt.Errorf("workload: MinInputFrac %g outside [0,1]", p.MinInputFrac)
+	case p.ExternalMaxRatio < 0:
+		return fmt.Errorf("workload: negative ExternalMaxRatio")
+	case p.DeadlineSlackMin <= 0 || p.DeadlineSlackMax < p.DeadlineSlackMin:
+		return fmt.Errorf("workload: invalid deadline slack range [%g,%g]",
+			p.DeadlineSlackMin, p.DeadlineSlackMax)
+	case p.ResourceMin < 0 || p.ResourceMax < p.ResourceMin:
+		return fmt.Errorf("workload: invalid resource range [%g,%g]", p.ResourceMin, p.ResourceMax)
+	default:
+		return nil
+	}
+}
+
+// Scenario bundles a generated system, its cost model, the task set, and —
+// for divisible scenarios — the data placement.
+type Scenario struct {
+	System    *mecnet.System
+	Model     *costmodel.Model
+	Tasks     *task.Set
+	Placement *datamap.Placement // nil for holistic scenarios
+	Params    Params             // the effective (defaulted) parameters
+}
+
+// GenerateHolistic builds a Section V.B scenario: holistic tasks whose
+// external data is a random fraction (up to ExternalMaxRatio) of the local
+// data, held by a random other device.
+func GenerateHolistic(src *rng.Source, params Params) (*Scenario, error) {
+	p := params.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	sys, model, err := generateSystem(src, p)
+	if err != nil {
+		return nil, err
+	}
+
+	r := src.Stream("tasks")
+	ts := &task.Set{}
+	counter := make(map[int]int)
+	for n := 0; n < p.NumTasks; n++ {
+		dev := n % p.NumDevices // spread tasks evenly, as the paper assumes
+		alpha := drawInput(r, p)
+		beta := alpha.Scale(rng.Uniform(r, 0, p.ExternalMaxRatio))
+		source := task.NoExternalSource
+		if beta > 0 {
+			source = rng.UniformInt(r, 0, p.NumDevices-2)
+			if source >= dev {
+				source++ // uniform over devices other than dev
+			}
+		}
+		tk := &task.Task{
+			ID:             task.ID{User: dev, Index: counter[dev]},
+			Kind:           task.Holistic,
+			OpSize:         p.OpSize,
+			LocalSize:      alpha,
+			ExternalSize:   beta,
+			ExternalSource: source,
+			Resource:       rng.Uniform(r, p.ResourceMin, p.ResourceMax),
+		}
+		counter[dev]++
+		if err := setDeadline(model, tk, r, p); err != nil {
+			return nil, err
+		}
+		if err := ts.Add(tk); err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+	}
+	return &Scenario{System: sys, Model: model, Tasks: ts, Params: p}, nil
+}
+
+// GenerateDivisible builds a Section V.C scenario: a shared block universe
+// with overlapping per-device holdings, and divisible tasks whose inputs
+// are contiguous block windows — local where the window overlaps the
+// raising device's holding, external elsewhere.
+func GenerateDivisible(src *rng.Source, params Params) (*Scenario, error) {
+	p := params.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	sys, model, err := generateSystem(src, p)
+	if err != nil {
+		return nil, err
+	}
+
+	blocksPerTask := int(math.Ceil(float64(p.MaxInput) / float64(p.BlockSize)))
+	if p.NumBlocks == 0 {
+		// Size the universe so distinct tasks overlap but do not all hit
+		// the same blocks: about one task-window per two tasks.
+		p.NumBlocks = blocksPerTask * (p.NumTasks/2 + 1)
+	}
+	placement, err := datamap.NewPlacement(p.NumDevices, p.NumBlocks, p.BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	perDevice := p.NumBlocks * p.Replication / p.NumDevices
+	if perDevice < blocksPerTask {
+		perDevice = blocksPerTask
+	}
+	if err := placement.GenerateOverlapping(src.Stream("placement"), datamap.OverlapParams{
+		BlocksPerDevice: perDevice,
+		Replication:     p.Replication,
+	}); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+
+	r := src.Stream("tasks")
+	ts := &task.Set{}
+	counter := make(map[int]int)
+	for n := 0; n < p.NumTasks; n++ {
+		dev := n % p.NumDevices
+		size := drawInput(r, p)
+		window := int(math.Ceil(float64(size) / float64(p.BlockSize)))
+		if window > p.NumBlocks {
+			window = p.NumBlocks
+		}
+		start := r.Intn(p.NumBlocks)
+		input := datamap.NewSet()
+		for off := 0; off < window; off++ {
+			input.Add(datamap.BlockID((start + off) % p.NumBlocks))
+		}
+
+		holding, err := placement.Holding(dev)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		local := input.Intersect(holding)
+		external := input.Clone().Subtract(local)
+
+		source := task.NoExternalSource
+		if !external.IsEmpty() {
+			owners := placement.Owners(external.Blocks()[0])
+			for _, o := range owners {
+				if o != dev {
+					source = o
+					break
+				}
+			}
+			if source == task.NoExternalSource {
+				// Replication ≥ 2 makes this unreachable; keep the
+				// scenario valid regardless by treating the data as local.
+				local.Union(external)
+				external = datamap.NewSet()
+			}
+		}
+
+		tk := &task.Task{
+			ID:             task.ID{User: dev, Index: counter[dev]},
+			Kind:           task.Divisible,
+			OpSize:         p.OpSize,
+			LocalSize:      placement.SizeOf(local),
+			ExternalSize:   placement.SizeOf(external),
+			ExternalSource: source,
+			Resource:       rng.Uniform(r, p.ResourceMin, p.ResourceMax),
+			LocalBlocks:    local,
+			ExternalBlocks: external,
+		}
+		counter[dev]++
+		if err := setDeadline(model, tk, r, p); err != nil {
+			return nil, err
+		}
+		if err := ts.Add(tk); err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+	}
+	return &Scenario{System: sys, Model: model, Tasks: ts, Placement: placement, Params: p}, nil
+}
+
+// generateSystem builds the topology and cost model shared by both
+// scenario kinds.
+func generateSystem(src *rng.Source, p Params) (*mecnet.System, *costmodel.Model, error) {
+	sys, err := mecnet.Generate(src.Stream("system"), mecnet.GenerateParams{
+		NumDevices:         p.NumDevices,
+		NumStations:        p.NumStations,
+		DeviceResourceCap:  p.DeviceCap,
+		StationResourceCap: p.StationCap,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: %w", err)
+	}
+	model, err := costmodel.New(sys, nil, p.ResultModel)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: %w", err)
+	}
+	return sys, model, nil
+}
+
+// drawInput draws one task's total input size.
+func drawInput(r interface{ Float64() float64 }, p Params) units.ByteSize {
+	f := p.MinInputFrac + r.Float64()*(1-p.MinInputFrac)
+	return p.MaxInput.Scale(f)
+}
+
+// setDeadline sets T_ij = slack · min_l t_ijl.
+func setDeadline(model *costmodel.Model, tk *task.Task, r interface{ Float64() float64 }, p Params) error {
+	tk.Deadline = units.Second // placeholder so Eval's validation passes
+	opts, err := model.Eval(tk)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	minT := units.Forever
+	for _, l := range costmodel.Subsystems {
+		if t := opts.At(l).Time; t < minT {
+			minT = t
+		}
+	}
+	slack := p.DeadlineSlackMin + r.Float64()*(p.DeadlineSlackMax-p.DeadlineSlackMin)
+	tk.Deadline = units.Duration(slack) * minT
+	return nil
+}

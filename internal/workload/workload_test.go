@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"testing"
+
+	"dsmec/internal/costmodel"
+	"dsmec/internal/rng"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+func TestGenerateHolisticDefaults(t *testing.T) {
+	sc, err := GenerateHolistic(rng.NewSource(1), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.System.NumDevices() != 50 || sc.System.NumStations() != 5 {
+		t.Errorf("default topology %dx%d, want 50x5",
+			sc.System.NumDevices(), sc.System.NumStations())
+	}
+	if sc.Tasks.Len() != 100 {
+		t.Errorf("default task count = %d, want 100", sc.Tasks.Len())
+	}
+	if sc.Placement != nil {
+		t.Error("holistic scenario should have no placement")
+	}
+	if sc.Params.MaxInput != 3000*units.Kilobyte {
+		t.Errorf("effective MaxInput = %v, want 3000kB", sc.Params.MaxInput)
+	}
+}
+
+func TestGenerateHolisticTaskProperties(t *testing.T) {
+	p := Params{NumDevices: 20, NumStations: 4, NumTasks: 200}
+	sc, err := GenerateHolistic(rng.NewSource(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := sc.Params
+	sawExternal := false
+	for _, tk := range sc.Tasks.All() {
+		if err := tk.Validate(); err != nil {
+			t.Fatalf("generated task invalid: %v", err)
+		}
+		if tk.Kind != task.Holistic {
+			t.Fatalf("task %v kind = %v, want holistic", tk.ID, tk.Kind)
+		}
+		if tk.LocalSize > eff.MaxInput || tk.LocalSize < eff.MaxInput.Scale(eff.MinInputFrac) {
+			t.Errorf("task %v local size %v outside [%v, %v]",
+				tk.ID, tk.LocalSize, eff.MaxInput.Scale(eff.MinInputFrac), eff.MaxInput)
+		}
+		if float64(tk.ExternalSize) > 0.5*float64(tk.LocalSize)+1 {
+			t.Errorf("task %v external %v exceeds 0.5×local %v", tk.ID, tk.ExternalSize, tk.LocalSize)
+		}
+		if tk.HasExternal() {
+			sawExternal = true
+			if tk.ExternalSource == tk.ID.User {
+				t.Errorf("task %v sources external data from itself", tk.ID)
+			}
+		}
+		if tk.Resource < eff.ResourceMin || tk.Resource > eff.ResourceMax {
+			t.Errorf("task %v resource %g outside range", tk.ID, tk.Resource)
+		}
+		if tk.Deadline <= 0 || !tk.Deadline.IsFinite() {
+			t.Errorf("task %v deadline %v invalid", tk.ID, tk.Deadline)
+		}
+	}
+	if !sawExternal {
+		t.Error("200 tasks should include some with external data")
+	}
+	// Tasks spread across devices evenly: 200 tasks / 20 devices = 10 each.
+	byUser := sc.Tasks.ByUser()
+	for u, tasks := range byUser {
+		if len(tasks) != 10 {
+			t.Errorf("device %d has %d tasks, want 10", u, len(tasks))
+		}
+	}
+}
+
+func TestDeadlinesMostlyAchievable(t *testing.T) {
+	sc, err := GenerateHolistic(rng.NewSource(3), Params{NumTasks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	achievable := 0
+	for _, tk := range sc.Tasks.All() {
+		opts, err := sc.Model.Eval(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range costmodel.Subsystems {
+			if opts.At(l).Time <= tk.Deadline {
+				achievable++
+				break
+			}
+		}
+	}
+	// Slack spans [0.95, 2.2]: a small fraction lands below 1.0 and is
+	// unachievable by construction; most must be fine.
+	if frac := float64(achievable) / 200; frac < 0.9 {
+		t.Errorf("only %.0f%% of tasks achievable; deadlines too tight", frac*100)
+	}
+	if achievable == 200 {
+		t.Log("note: all tasks achievable this seed (slack floor 0.95 rarely binds)")
+	}
+}
+
+func TestGenerateHolisticDeterminism(t *testing.T) {
+	gen := func() *Scenario {
+		sc, err := GenerateHolistic(rng.NewSource(4), Params{NumTasks: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	a, b := gen(), gen()
+	for i, tk := range a.Tasks.All() {
+		other := b.Tasks.All()[i]
+		if tk.ID != other.ID || tk.LocalSize != other.LocalSize ||
+			tk.ExternalSize != other.ExternalSize || tk.Deadline != other.Deadline ||
+			tk.Resource != other.Resource {
+			t.Fatalf("task %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateDivisible(t *testing.T) {
+	sc, err := GenerateDivisible(rng.NewSource(5), Params{
+		NumDevices: 20, NumStations: 3, NumTasks: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Placement == nil {
+		t.Fatal("divisible scenario must carry a placement")
+	}
+	universe := sc.Tasks.Universe()
+	if universe.IsEmpty() {
+		t.Fatal("divisible tasks must reference blocks")
+	}
+	if !sc.Placement.Covered(universe) {
+		t.Error("every referenced block must be held by some device")
+	}
+	for _, tk := range sc.Tasks.All() {
+		if err := tk.Validate(); err != nil {
+			t.Fatalf("task %v invalid: %v", tk.ID, err)
+		}
+		if tk.Kind != task.Divisible {
+			t.Fatalf("task %v kind = %v, want divisible", tk.ID, tk.Kind)
+		}
+		// Block bookkeeping must match the declared sizes.
+		if got := sc.Placement.SizeOf(tk.LocalBlocks); got != tk.LocalSize {
+			t.Errorf("task %v local size %v != blocks %v", tk.ID, tk.LocalSize, got)
+		}
+		if got := sc.Placement.SizeOf(tk.ExternalBlocks); got != tk.ExternalSize {
+			t.Errorf("task %v external size %v != blocks %v", tk.ID, tk.ExternalSize, got)
+		}
+		// Local blocks must actually be held by the raising device.
+		holding, err := sc.Placement.Holding(tk.ID.User)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tk.LocalBlocks.SubsetOf(holding) {
+			t.Errorf("task %v local blocks not in the device's holding", tk.ID)
+		}
+		// External blocks must not be (they would be local otherwise).
+		if tk.ExternalBlocks.Intersects(holding) {
+			t.Errorf("task %v external blocks overlap the device's holding", tk.ID)
+		}
+		if tk.HasExternal() {
+			src, err := sc.Placement.Holding(tk.ExternalSource)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tk.ExternalBlocks.Intersects(src) {
+				t.Errorf("task %v external source %d holds none of the external blocks",
+					tk.ID, tk.ExternalSource)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		p    Params
+	}{
+		{"negative tasks", Params{NumTasks: -1}},
+		{"stations exceed devices", Params{NumDevices: 2, NumStations: 5}},
+		{"bad input frac", Params{MinInputFrac: 1.5}},
+		{"inverted slack", Params{DeadlineSlackMin: 2, DeadlineSlackMax: 1}},
+		{"inverted resources", Params{ResourceMin: 5, ResourceMax: 2}},
+		{"negative external ratio", Params{ExternalMaxRatio: -1}},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := GenerateHolistic(rng.NewSource(1), tt.p); err == nil {
+				t.Error("GenerateHolistic should reject")
+			}
+			if _, err := GenerateDivisible(rng.NewSource(1), tt.p); err == nil {
+				t.Error("GenerateDivisible should reject")
+			}
+		})
+	}
+}
+
+func TestResultModelOverride(t *testing.T) {
+	sc, err := GenerateHolistic(rng.NewSource(6), Params{
+		NumTasks:    10,
+		ResultModel: compileTimeConstResult{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Model.ResultSize(999 * units.Kilobyte); got != 7*units.Kilobyte {
+		t.Errorf("ResultSize = %v, want the 7kB constant override", got)
+	}
+}
+
+type compileTimeConstResult struct{}
+
+func (compileTimeConstResult) ResultSize(units.ByteSize) units.ByteSize {
+	return 7 * units.Kilobyte
+}

@@ -1,0 +1,27 @@
+# Development targets. `make verify` is the pre-commit gate: vet, build,
+# and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: verify build test vet race bench bench-obs
+
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Observability overhead check: disabled vs metrics-enabled pipelines.
+bench-obs:
+	$(GO) test -run xxx -bench 'Observed|CounterDisabled|CounterEnabled|HistogramDisabled|HistogramEnabled' -benchmem ./...

@@ -1,0 +1,83 @@
+package dsmec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmec"
+)
+
+// Observability overhead benchmarks: the same pipeline with
+// instrumentation disabled (nil handles, the default) and enabled (a live
+// registry). The acceptance bar is <5% slowdown enabled and no measurable
+// change disabled relative to the uninstrumented baselines above.
+//
+//	go test -bench 'LPHTAObserved|SimulatorObserved' -benchtime 2s .
+
+func BenchmarkLPHTAObserved(b *testing.B) {
+	for _, n := range []int{100, 450} {
+		sc := holisticScenario(b, n)
+		b.Run(fmt.Sprintf("tasks=%d/disabled", n), func(b *testing.B) {
+			opts := &dsmec.LPHTAOptions{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dsmec.LPHTA(sc.Model, sc.Tasks, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("tasks=%d/metrics", n), func(b *testing.B) {
+			opts := &dsmec.LPHTAOptions{Obs: dsmec.Instruments{Metrics: dsmec.NewMetricRegistry()}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dsmec.LPHTA(sc.Model, sc.Tasks, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("tasks=%d/metrics+trace", n), func(b *testing.B) {
+			trace := dsmec.NewTrace("bench")
+			root := trace.StartSpan("bench")
+			defer root.End()
+			opts := &dsmec.LPHTAOptions{Obs: dsmec.Instruments{
+				Metrics: dsmec.NewMetricRegistry(), Span: root,
+			}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dsmec.LPHTA(sc.Model, sc.Tasks, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimulatorObserved(b *testing.B) {
+	sc := holisticScenario(b, 450)
+	res, err := dsmec.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dsmec.Simulate(sc.Model, sc.Tasks, res.Assignment, dsmec.SimConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		cfg := dsmec.SimConfig{Obs: dsmec.Instruments{Metrics: dsmec.NewMetricRegistry()}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dsmec.Simulate(sc.Model, sc.Tasks, res.Assignment, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -10,17 +10,37 @@
 //	mecbench -experiment fig5a -trials 5 -seed 7
 //	mecbench -all -csv out/             # also write one CSV per figure
 //	mecbench -all -quick                # endpoints only (smoke test)
+//	mecbench -all -quick -metrics run.json -check budgets.json
+//
+// With -metrics, solver and simulator counters from deep inside the
+// experiment harness are collected into a run manifest (the experiments
+// record to the process-wide obs registry, so nothing needs threading).
+// With -check, the final metrics are compared against a budget file and
+// the command exits non-zero on any violation — a cheap performance
+// regression gate for CI:
+//
+//	{"budgets": [
+//	  {"metric": "lp.pivots", "max": 500000},
+//	  {"metric": "sim.events", "min": 1},
+//	  {"metric": "wall_seconds", "max": 300}
+//	]}
+//
+// A budget metric names a counter or gauge, the special "wall_seconds" /
+// "cpu_seconds" clocks, or a histogram with a .count/.sum/.mean suffix.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"dsmec"
+	"dsmec/internal/obs"
 )
 
 func main() {
@@ -33,14 +53,17 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mecbench", flag.ContinueOnError)
 	var (
-		expID    = fs.String("experiment", "", "experiment id to run (see -list)")
-		all      = fs.Bool("all", false, "run every experiment")
-		list     = fs.Bool("list", false, "list available experiments")
-		seed     = fs.Int64("seed", 1, "root random seed")
-		trials   = fs.Int("trials", 3, "seeded repetitions averaged per point")
-		quick    = fs.Bool("quick", false, "sweep endpoints only")
-		parallel = fs.Bool("parallel", true, "run the trials of each sweep point concurrently")
-		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files")
+		expID       = fs.String("experiment", "", "experiment id to run (see -list)")
+		all         = fs.Bool("all", false, "run every experiment")
+		list        = fs.Bool("list", false, "list available experiments")
+		seed        = fs.Int64("seed", 1, "root random seed")
+		trials      = fs.Int("trials", 3, "seeded repetitions averaged per point")
+		quick       = fs.Bool("quick", false, "sweep endpoints only")
+		parallel    = fs.Bool("parallel", true, "run the trials of each sweep point concurrently")
+		csvDir      = fs.String("csv", "", "directory to write per-figure CSV files")
+		metricsPath = fs.String("metrics", "", "write a run manifest (metrics + environment) to this JSON file")
+		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
+		checkPath   = fs.String("check", "", "budget JSON file; exit non-zero when a final metric is out of budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,17 +96,53 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Load budgets before any work so a malformed file fails fast.
+	var budgets []budget
+	if *checkPath != "" {
+		var err error
+		budgets, err = loadBudgets(*checkPath)
+		if err != nil {
+			return err
+		}
+	}
+
+	// The experiment harness builds its options internally, so metrics are
+	// collected through the process-wide registry rather than threading an
+	// Instruments value through every definition.
+	var (
+		reg      *obs.Registry
+		trace    *obs.Trace
+		manifest *obs.Manifest
+	)
+	if *metricsPath != "" || *tracePath != "" || *checkPath != "" {
+		reg = obs.NewRegistry()
+		obs.SetGlobal(reg)
+		defer obs.SetGlobal(nil)
+		manifest = obs.NewManifest("mecbench", args)
+		manifest.Seed = *seed
+		if *tracePath != "" {
+			trace = obs.NewTrace("mecbench")
+		}
+	}
+
 	opts := dsmec.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *parallel}
+	expSeconds := reg.Histogram("bench.experiment_seconds", obs.TimeBuckets)
 	for _, d := range defs {
+		span := trace.StartSpan("experiment:" + d.ID)
 		start := time.Now()
 		fig, err := d.Run(opts)
+		elapsed := time.Since(start)
+		span.Annotate("seconds", elapsed.Seconds())
+		span.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.ID, err)
 		}
+		reg.Counter("bench.experiments").Inc()
+		expSeconds.Observe(elapsed.Seconds())
 		if _, err := fig.WriteTo(stdout); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "(%s in %v)\n\n", d.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s in %v)\n\n", d.ID, elapsed.Round(time.Millisecond))
 
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, d.ID+".csv")
@@ -100,5 +159,128 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
+
+	if manifest == nil {
+		return nil
+	}
+	manifest.Finish(reg)
+	if *metricsPath != "" {
+		if err := manifest.WriteFile(*metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "run manifest: %s\n", *metricsPath)
+		if _, err := obs.SummaryTable(manifest.Metrics).WriteTo(stdout); err != nil {
+			return err
+		}
+	}
+	if *tracePath != "" {
+		if err := trace.WriteFile(*tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace: %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
+	if *checkPath != "" {
+		return checkBudgets(budgets, manifest, stdout)
+	}
 	return nil
+}
+
+// budget is one metric bound. Unset bounds do not apply.
+type budget struct {
+	Metric string   `json:"metric"`
+	Max    *float64 `json:"max,omitempty"`
+	Min    *float64 `json:"min,omitempty"`
+}
+
+type budgetFile struct {
+	Budgets []budget `json:"budgets"`
+}
+
+func loadBudgets(path string) ([]budget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf budgetFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parsing budgets %s: %w", path, err)
+	}
+	if len(bf.Budgets) == 0 {
+		return nil, fmt.Errorf("budgets %s: no budgets defined", path)
+	}
+	for _, b := range bf.Budgets {
+		if b.Metric == "" {
+			return nil, fmt.Errorf("budgets %s: budget with empty metric name", path)
+		}
+		if b.Max == nil && b.Min == nil {
+			return nil, fmt.Errorf("budgets %s: %s has neither min nor max", path, b.Metric)
+		}
+	}
+	return bf.Budgets, nil
+}
+
+// checkBudgets resolves every budget against the finished manifest and
+// reports violations; any violation (or unresolvable metric) is an error,
+// which main turns into a non-zero exit.
+func checkBudgets(budgets []budget, m *obs.Manifest, stdout io.Writer) error {
+	violations := 0
+	for _, b := range budgets {
+		v, ok := resolveMetric(b.Metric, m)
+		if !ok {
+			fmt.Fprintf(stdout, "budget FAIL %-32s metric not found in run\n", b.Metric)
+			violations++
+			continue
+		}
+		switch {
+		case b.Max != nil && v > *b.Max:
+			fmt.Fprintf(stdout, "budget FAIL %-32s %g > max %g\n", b.Metric, v, *b.Max)
+			violations++
+		case b.Min != nil && v < *b.Min:
+			fmt.Fprintf(stdout, "budget FAIL %-32s %g < min %g\n", b.Metric, v, *b.Min)
+			violations++
+		default:
+			fmt.Fprintf(stdout, "budget ok   %-32s %g\n", b.Metric, v)
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d budget violation(s)", violations)
+	}
+	return nil
+}
+
+// resolveMetric looks a budget metric up in the manifest: counters and
+// gauges by name, the wall_seconds/cpu_seconds clocks, and histograms via
+// a .count/.sum/.mean suffix.
+func resolveMetric(name string, m *obs.Manifest) (float64, bool) {
+	switch name {
+	case "wall_seconds":
+		return m.WallSeconds, true
+	case "cpu_seconds":
+		return m.CPUSeconds, true
+	}
+	if v, ok := m.Metrics.Counters[name]; ok {
+		return float64(v), true
+	}
+	if v, ok := m.Metrics.Gauges[name]; ok {
+		return v, true
+	}
+	for _, suffix := range []string{".count", ".sum", ".mean"} {
+		base, found := strings.CutSuffix(name, suffix)
+		if !found {
+			continue
+		}
+		h, ok := m.Metrics.Histograms[base]
+		if !ok {
+			continue
+		}
+		switch suffix {
+		case ".count":
+			return float64(h.Count), true
+		case ".sum":
+			return h.Sum, true
+		case ".mean":
+			return h.Mean(), true
+		}
+	}
+	return 0, false
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBudgets(t *testing.T, dir, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, "budgets.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMetricsCollectedFromExperiments(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "bench.json")
+	var out strings.Builder
+	err := run([]string{"-experiment", "fig2a", "-trials", "1", "-quick", "-metrics", mpath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Tool    string `json:"tool"`
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Tool != "mecbench" {
+		t.Errorf("tool = %q", m.Tool)
+	}
+	// The experiment harness carries no Instruments; these counters only
+	// appear if the global-registry fallback works end to end.
+	for _, c := range []string{"bench.experiments", "lp.solves", "lphta.runs"} {
+		if m.Metrics.Counters[c] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", c, m.Metrics.Counters[c])
+		}
+	}
+}
+
+func TestBudgetCheckPasses(t *testing.T) {
+	dir := t.TempDir()
+	bpath := writeBudgets(t, dir, `{"budgets": [
+		{"metric": "lp.solves", "min": 1},
+		{"metric": "lp.pivots", "max": 100000000},
+		{"metric": "wall_seconds", "max": 600},
+		{"metric": "bench.experiment_seconds.count", "min": 1}
+	]}`)
+	var out strings.Builder
+	err := run([]string{"-experiment", "fig2a", "-trials", "1", "-quick", "-check", bpath}, &out)
+	if err != nil {
+		t.Fatalf("in-budget run failed: %v\n%s", err, out.String())
+	}
+	if strings.Count(out.String(), "budget ok") != 4 {
+		t.Errorf("expected 4 'budget ok' lines:\n%s", out.String())
+	}
+}
+
+func TestBudgetCheckFails(t *testing.T) {
+	dir := t.TempDir()
+	bpath := writeBudgets(t, dir, `{"budgets": [
+		{"metric": "lp.solves", "max": 0},
+		{"metric": "no.such.metric", "min": 1}
+	]}`)
+	var out strings.Builder
+	err := run([]string{"-experiment", "fig2a", "-trials", "1", "-quick", "-check", bpath}, &out)
+	if err == nil {
+		t.Fatalf("out-of-budget run succeeded:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "2 budget violation") {
+		t.Errorf("error = %v, want 2 violations", err)
+	}
+	if !strings.Contains(out.String(), "budget FAIL") {
+		t.Errorf("violations not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "metric not found") {
+		t.Errorf("unknown metric not reported:\n%s", out.String())
+	}
+}
+
+func TestBudgetFileValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"malformed": `{not json`,
+		"empty":     `{"budgets": []}`,
+		"unnamed":   `{"budgets": [{"max": 1}]}`,
+		"unbounded": `{"budgets": [{"metric": "x"}]}`,
+	}
+	for name, content := range cases {
+		bpath := writeBudgets(t, dir, content)
+		var out strings.Builder
+		// Validation happens before any experiment runs, so even -list-less
+		// invalid invocations fail fast.
+		if err := run([]string{"-experiment", "fig2a", "-check", bpath}, &out); err == nil {
+			t.Errorf("%s budget file accepted", name)
+		}
+	}
+}
+
+func TestBenchTraceOutput(t *testing.T) {
+	dir := t.TempDir()
+	tpath := filepath.Join(dir, "bench.trace.json")
+	var out strings.Builder
+	err := run([]string{"-experiment", "fig2a", "-trials", "1", "-quick", "-trace", tpath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "experiment:fig2a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace missing experiment span: %+v", doc.TraceEvents)
+	}
+}

@@ -7,7 +7,12 @@
 //
 //	mecgen -tasks 100 > scenario.json
 //	mecgen -divisible -tasks 50 -seed 9 -o scenario.json
+//	mecgen -tasks 100 -metrics gen.json -o scenario.json
 //	mecsim -load scenario.json
+//
+// The scenario document goes to stdout (or -o); observability output —
+// the -metrics run manifest summary and the -trace file note — goes to
+// stderr so piping the scenario stays clean.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 
 	"dsmec"
+	"dsmec/internal/obs"
 	"dsmec/internal/scenarioio"
 )
 
@@ -30,16 +36,34 @@ func main() {
 func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("mecgen", flag.ContinueOnError)
 	var (
-		seed      = fs.Int64("seed", 1, "root random seed")
-		devices   = fs.Int("devices", 50, "number of mobile devices")
-		stations  = fs.Int("stations", 5, "number of base stations")
-		tasks     = fs.Int("tasks", 100, "number of tasks")
-		inputKB   = fs.Int("input", 3000, "maximum task input size (kB)")
-		divisible = fs.Bool("divisible", false, "generate divisible tasks with a data placement")
-		out       = fs.String("o", "", "output file (default stdout)")
+		seed        = fs.Int64("seed", 1, "root random seed")
+		devices     = fs.Int("devices", 50, "number of mobile devices")
+		stations    = fs.Int("stations", 5, "number of base stations")
+		tasks       = fs.Int("tasks", 100, "number of tasks")
+		inputKB     = fs.Int("input", 3000, "maximum task input size (kB)")
+		divisible   = fs.Bool("divisible", false, "generate divisible tasks with a data placement")
+		out         = fs.String("o", "", "output file (default stdout)")
+		metricsPath = fs.String("metrics", "", "write a run manifest to this JSON file (summary on stderr)")
+		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var (
+		reg      *obs.Registry
+		trace    *obs.Trace
+		root     *obs.Span
+		manifest *obs.Manifest
+	)
+	if *metricsPath != "" || *tracePath != "" {
+		reg = obs.NewRegistry()
+		manifest = obs.NewManifest("mecgen", args)
+		manifest.Seed = *seed
+		if *tracePath != "" {
+			trace = obs.NewTrace("mecgen")
+			root = trace.StartSpan("mecgen")
+		}
 	}
 
 	params := dsmec.WorkloadParams{
@@ -48,17 +72,29 @@ func run(args []string, stdout io.Writer) (err error) {
 		NumTasks:    *tasks,
 		MaxInput:    dsmec.ByteSize(*inputKB) * dsmec.Kilobyte,
 	}
+	if manifest != nil {
+		manifest.ScenarioHash = obs.HashJSON(struct {
+			Seed      int64
+			Params    dsmec.WorkloadParams
+			Divisible bool
+		}{*seed, params, *divisible})
+	}
 	src := dsmec.NewSeed(*seed)
 
+	gspan := root.Child("generate")
 	var sc *dsmec.Scenario
 	if *divisible {
 		sc, err = dsmec.GenerateDivisible(src, params)
 	} else {
 		sc, err = dsmec.GenerateHolistic(src, params)
 	}
+	gspan.End()
 	if err != nil {
 		return err
 	}
+	reg.Counter("gen.scenarios").Inc()
+	reg.Counter("gen.tasks").Add(int64(sc.Tasks.Len()))
+	reg.Counter("gen.devices").Add(int64(sc.System.NumDevices()))
 
 	w := stdout
 	if *out != "" {
@@ -73,5 +109,31 @@ func run(args []string, stdout io.Writer) (err error) {
 		}()
 		w = f
 	}
-	return scenarioio.Encode(w, sc)
+	espan := root.Child("encode")
+	err = scenarioio.Encode(w, sc)
+	espan.End()
+	if err != nil {
+		return err
+	}
+
+	if manifest != nil {
+		root.End()
+		manifest.Finish(reg)
+		if *metricsPath != "" {
+			if err := manifest.WriteFile(*metricsPath); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "run manifest: %s\n", *metricsPath)
+			if _, err := obs.SummaryTable(manifest.Metrics).WriteTo(os.Stderr); err != nil {
+				return err
+			}
+		}
+		if *tracePath != "" {
+			if err := trace.WriteFile(*tracePath); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace: %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateWithMetrics(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "gen.json")
+	tpath := filepath.Join(dir, "gen.trace.json")
+	opath := filepath.Join(dir, "sc.json")
+	var out strings.Builder
+	err := run([]string{"-tasks", "15", "-devices", "6", "-stations", "2",
+		"-o", opath, "-metrics", mpath, "-trace", tpath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stdout must stay clean: the scenario went to -o, observability
+	// chatter to stderr.
+	if out.Len() != 0 {
+		t.Errorf("stdout not clean: %q", out.String())
+	}
+
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Tool    string `json:"tool"`
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Tool != "mecgen" {
+		t.Errorf("tool = %q", m.Tool)
+	}
+	if m.Metrics.Counters["gen.scenarios"] != 1 || m.Metrics.Counters["gen.tasks"] != 15 {
+		t.Errorf("generator counters = %v", m.Metrics.Counters)
+	}
+
+	tdata, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tdata, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"mecgen", "generate", "encode"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+
+	// The generated scenario itself must be intact.
+	if _, err := os.Stat(opath); err != nil {
+		t.Errorf("scenario file: %v", err)
+	}
+}

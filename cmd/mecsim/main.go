@@ -9,87 +9,195 @@
 //	mecsim -divisible -tasks 200          # DTA pipeline on divisible tasks
 //	mecsim -seed 7 -tasks 450 -sim=false  # skip the simulator replay
 //	mecsim -load scenario.json            # replay a mecgen-saved scenario
+//	mecsim -tasks 100 -metrics run.json -trace run.trace.json
+//
+// With -metrics, the run writes a JSON manifest (seed, scenario hash,
+// toolchain, wall/CPU time, every counter/gauge/histogram) and prints a
+// metric summary table. With -trace, it writes a Chrome trace_event JSON
+// viewable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 scenario parse failure
+// (with a structured JSON error on stderr, so wrappers and budget checks
+// can distinguish malformed input from real regressions).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"dsmec"
+	"dsmec/internal/obs"
 	"dsmec/internal/scenarioio"
 	"dsmec/internal/texttable"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "mecsim:", err)
-		os.Exit(1)
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
 	}
+	var pe *scenarioParseError
+	if errors.As(err, &pe) {
+		// Structured, machine-readable parse failure: budget-check
+		// wrappers must be able to tell "bad input" from "regression".
+		_ = json.NewEncoder(os.Stderr).Encode(map[string]string{
+			"error":  "scenario_parse",
+			"path":   pe.Path,
+			"detail": pe.Err.Error(),
+		})
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "mecsim:", err)
+	os.Exit(1)
+}
+
+// scenarioParseError marks a malformed scenario document.
+type scenarioParseError struct {
+	Path string
+	Err  error
+}
+
+func (e *scenarioParseError) Error() string {
+	return fmt.Sprintf("parsing scenario %s: %v", e.Path, e.Err)
+}
+
+func (e *scenarioParseError) Unwrap() error { return e.Err }
+
+// instrumentation bundles the optional observability outputs of one run.
+type instrumentation struct {
+	reg      *obs.Registry
+	trace    *obs.Trace
+	root     *obs.Span
+	manifest *obs.Manifest
+
+	metricsPath, tracePath string
+}
+
+// enabled reports whether any observability flag was set.
+func (in *instrumentation) enabled() bool { return in != nil && in.reg != nil }
+
+// ins returns the Instruments value threaded through the pipeline.
+func (in *instrumentation) ins() obs.Instruments {
+	if !in.enabled() {
+		return obs.Instruments{}
+	}
+	return obs.Instruments{Metrics: in.reg, Span: in.root}
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mecsim", flag.ContinueOnError)
 	var (
-		seed      = fs.Int64("seed", 1, "root random seed")
-		devices   = fs.Int("devices", 50, "number of mobile devices")
-		stations  = fs.Int("stations", 5, "number of base stations")
-		tasks     = fs.Int("tasks", 100, "number of tasks")
-		inputKB   = fs.Int("input", 3000, "maximum task input size (kB)")
-		divisible = fs.Bool("divisible", false, "generate divisible tasks and run the DTA pipeline")
-		simulate  = fs.Bool("sim", true, "replay the LP-HTA assignment in the discrete-event simulator")
-		load      = fs.String("load", "", "load a scenario JSON document instead of generating one")
+		seed        = fs.Int64("seed", 1, "root random seed")
+		devices     = fs.Int("devices", 50, "number of mobile devices")
+		stations    = fs.Int("stations", 5, "number of base stations")
+		tasks       = fs.Int("tasks", 100, "number of tasks")
+		inputKB     = fs.Int("input", 3000, "maximum task input size (kB)")
+		divisible   = fs.Bool("divisible", false, "generate divisible tasks and run the DTA pipeline")
+		simulate    = fs.Bool("sim", true, "replay the LP-HTA assignment in the discrete-event simulator")
+		load        = fs.String("load", "", "load a scenario JSON document instead of generating one")
+		metricsPath = fs.String("metrics", "", "write a run manifest (metrics + environment) to this JSON file")
+		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *load != "" {
-		f, err := os.Open(*load)
+	var instr *instrumentation
+	if *metricsPath != "" || *tracePath != "" {
+		instr = &instrumentation{
+			reg:         obs.NewRegistry(),
+			manifest:    obs.NewManifest("mecsim", args),
+			metricsPath: *metricsPath,
+			tracePath:   *tracePath,
+		}
+		instr.manifest.Seed = *seed
+		if *tracePath != "" {
+			instr.trace = obs.NewTrace("mecsim")
+			instr.root = instr.trace.StartSpan("mecsim")
+		}
+	}
+
+	runErr := runScenario(instr, *load, *seed, *devices, *stations, *tasks, *inputKB,
+		*divisible, *simulate, stdout)
+	if instr.enabled() {
+		if err := finishInstrumentation(instr, stdout); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
+}
+
+// runScenario executes the selected pipeline under the (possibly nil)
+// instrumentation bundle.
+func runScenario(instr *instrumentation, load string, seed int64,
+	devices, stations, tasks, inputKB int, divisible, simulate bool, stdout io.Writer) error {
+	if load != "" {
+		data, err := os.ReadFile(load)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		sc, err := scenarioio.Decode(f)
+		if instr.enabled() {
+			instr.manifest.ScenarioHash = obs.HashBytes(data)
+			instr.manifest.Annotate("scenario_file", load)
+		}
+		sc, err := scenarioio.Decode(bytes.NewReader(data))
 		if err != nil {
-			return err
+			return &scenarioParseError{Path: load, Err: err}
 		}
 		if sc.Placement != nil {
-			return runDivisibleScenario(sc, stdout)
+			return runDivisibleScenario(sc, instr, stdout)
 		}
-		return runHolisticScenario(sc, *simulate, stdout)
+		return runHolisticScenario(sc, simulate, instr, stdout)
 	}
 
 	params := dsmec.WorkloadParams{
-		NumDevices:  *devices,
-		NumStations: *stations,
-		NumTasks:    *tasks,
-		MaxInput:    dsmec.ByteSize(*inputKB) * dsmec.Kilobyte,
+		NumDevices:  devices,
+		NumStations: stations,
+		NumTasks:    tasks,
+		MaxInput:    dsmec.ByteSize(inputKB) * dsmec.Kilobyte,
 	}
-	src := dsmec.NewSeed(*seed)
-
-	if *divisible {
-		return runDivisible(src, params, stdout)
+	if instr.enabled() {
+		instr.manifest.ScenarioHash = obs.HashJSON(struct {
+			Seed      int64
+			Params    dsmec.WorkloadParams
+			Divisible bool
+		}{seed, params, divisible})
 	}
-	return runHolistic(src, params, *simulate, stdout)
-}
+	src := dsmec.NewSeed(seed)
 
-func runHolistic(src *dsmec.Seed, params dsmec.WorkloadParams, simulate bool, stdout io.Writer) error {
-	sc, err := dsmec.GenerateHolistic(src, params)
+	gspan := instr.ins().Span.Child("generate")
+	var (
+		sc  *dsmec.Scenario
+		err error
+	)
+	if divisible {
+		sc, err = dsmec.GenerateDivisible(src, params)
+	} else {
+		sc, err = dsmec.GenerateHolistic(src, params)
+	}
+	gspan.End()
 	if err != nil {
 		return err
 	}
-	return runHolisticScenario(sc, simulate, stdout)
+	if divisible {
+		return runDivisibleScenario(sc, instr, stdout)
+	}
+	return runHolisticScenario(sc, simulate, instr, stdout)
 }
 
-func runHolisticScenario(sc *dsmec.Scenario, simulate bool, stdout io.Writer) error {
+func runHolisticScenario(sc *dsmec.Scenario, simulate bool, instr *instrumentation, stdout io.Writer) error {
+	ins := instr.ins()
 	fmt.Fprintf(stdout, "scenario: %d devices, %d stations, %d holistic tasks\n\n",
 		sc.System.NumDevices(), sc.System.NumStations(), sc.Tasks.Len())
 
 	tb := texttable.New("method", "energy (J)", "mean latency (s)", "unsatisfied", "device/station/cloud/cancel")
 
-	lph, err := dsmec.LPHTA(sc.Model, sc.Tasks, nil)
+	lph, err := dsmec.LPHTA(sc.Model, sc.Tasks, &dsmec.LPHTAOptions{Obs: ins})
 	if err != nil {
 		return err
 	}
@@ -100,6 +208,7 @@ func runHolisticScenario(sc *dsmec.Scenario, simulate bool, stdout io.Writer) er
 		return err
 	}
 
+	bspan := ins.Span.Child("baselines")
 	hgos, err := dsmec.HGOS(sc.Model, sc.Tasks)
 	if err != nil {
 		return err
@@ -111,6 +220,7 @@ func runHolisticScenario(sc *dsmec.Scenario, simulate bool, stdout io.Writer) er
 	if err != nil {
 		return err
 	}
+	bspan.End()
 	if err := addRow(tb, "AllOffload", sc, offload); err != nil {
 		return err
 	}
@@ -129,7 +239,7 @@ func runHolisticScenario(sc *dsmec.Scenario, simulate bool, stdout io.Writer) er
 	if !simulate {
 		return nil
 	}
-	simRes, err := dsmec.Simulate(sc.Model, sc.Tasks, lph.Assignment, dsmec.SimConfig{})
+	simRes, err := dsmec.Simulate(sc.Model, sc.Tasks, lph.Assignment, dsmec.SimConfig{Obs: ins})
 	if err != nil {
 		return err
 	}
@@ -143,20 +253,13 @@ func runHolisticScenario(sc *dsmec.Scenario, simulate bool, stdout io.Writer) er
 	return nil
 }
 
-func runDivisible(src *dsmec.Seed, params dsmec.WorkloadParams, stdout io.Writer) error {
-	sc, err := dsmec.GenerateDivisible(src, params)
-	if err != nil {
-		return err
-	}
-	return runDivisibleScenario(sc, stdout)
-}
-
-func runDivisibleScenario(sc *dsmec.Scenario, stdout io.Writer) error {
+func runDivisibleScenario(sc *dsmec.Scenario, instr *instrumentation, stdout io.Writer) error {
+	ins := instr.ins()
 	fmt.Fprintf(stdout, "scenario: %d devices, %d stations, %d divisible tasks over %d blocks of %v\n\n",
 		sc.System.NumDevices(), sc.System.NumStations(), sc.Tasks.Len(),
 		sc.Placement.NumBlocks(), sc.Placement.BlockSize())
 
-	hol, err := dsmec.LPHTA(sc.Model, sc.Tasks, nil)
+	hol, err := dsmec.LPHTA(sc.Model, sc.Tasks, &dsmec.LPHTAOptions{Obs: ins})
 	if err != nil {
 		return err
 	}
@@ -168,7 +271,7 @@ func runDivisibleScenario(sc *dsmec.Scenario, stdout io.Writer) error {
 	tb := texttable.New("method", "energy (J)", "processing time (s)", "involved devices", "new tasks")
 	tb.AddRowf("LP-HTA (holistic)", fmt.Sprintf("%.1f", hm.TotalEnergy.Joules()), "-", "-", "-")
 	for _, goal := range []dsmec.Goal{dsmec.GoalWorkload, dsmec.GoalNumber} {
-		res, err := dsmec.DTA(sc.Model, sc.Tasks, sc.Placement, dsmec.DTAOptions{Goal: goal})
+		res, err := dsmec.DTA(sc.Model, sc.Tasks, sc.Placement, dsmec.DTAOptions{Goal: goal, Obs: ins})
 		if err != nil {
 			return err
 		}
@@ -194,5 +297,28 @@ func addRow(tb *texttable.Table, name string, sc *dsmec.Scenario, a *dsmec.Assig
 		fmt.Sprintf("%d/%d/%d/%d",
 			m.CountByLevel[dsmec.OnDevice], m.CountByLevel[dsmec.OnStation],
 			m.CountByLevel[dsmec.OnCloud], m.CountByLevel[dsmec.Cancelled]))
+	return nil
+}
+
+// finishInstrumentation closes the trace, finalizes the manifest, writes
+// the requested files, and prints the metric summary table.
+func finishInstrumentation(instr *instrumentation, stdout io.Writer) error {
+	instr.root.End()
+	instr.manifest.Finish(instr.reg)
+	if instr.metricsPath != "" {
+		if err := instr.manifest.WriteFile(instr.metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nrun manifest: %s\n", instr.metricsPath)
+		if _, err := obs.SummaryTable(instr.manifest.Metrics).WriteTo(stdout); err != nil {
+			return err
+		}
+	}
+	if instr.tracePath != "" {
+		if err := instr.trace.WriteFile(instr.tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\ntrace: %s (open in chrome://tracing or ui.perfetto.dev)\n", instr.tracePath)
+	}
 	return nil
 }

@@ -36,6 +36,7 @@ import (
 	"dsmec/internal/datamap"
 	"dsmec/internal/experiment"
 	"dsmec/internal/mecnet"
+	"dsmec/internal/obs"
 	"dsmec/internal/rng"
 	"dsmec/internal/sim"
 	"dsmec/internal/task"
@@ -258,6 +259,47 @@ type (
 func PlanWithFeedback(m *CostModel, ts *TaskSet, opts FeedbackOptions) (*FeedbackResult, error) {
 	return sim.PlanWithFeedback(m, ts, opts)
 }
+
+// Observability: metrics, tracing, and run manifests.
+type (
+	// Instruments selects where an operation records metrics and trace
+	// spans; the zero value is disabled. Options types (LPHTAOptions,
+	// DTAOptions, SimConfig, FeedbackOptions) embed one as their Obs
+	// field.
+	Instruments = obs.Instruments
+	// MetricRegistry collects counters, gauges, and histograms.
+	MetricRegistry = obs.Registry
+	// MetricSnapshot is a point-in-time copy of a registry's values.
+	MetricSnapshot = obs.Snapshot
+	// Trace records spans in the Chrome trace_event format.
+	Trace = obs.Trace
+	// Span is one timed, annotatable operation inside a trace.
+	Span = obs.Span
+	// RunManifest is the machine-readable record of one run.
+	RunManifest = obs.Manifest
+)
+
+// NewMetricRegistry returns an empty metric registry.
+func NewMetricRegistry() *MetricRegistry { return obs.NewRegistry() }
+
+// NewTrace starts a span recorder; export with WriteJSON/WriteFile and
+// open the result in chrome://tracing or https://ui.perfetto.dev.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// NewRunManifest starts a run manifest stamped with the environment and
+// the wall/CPU clocks; Finish it with a registry before writing.
+func NewRunManifest(tool string, args []string) *RunManifest {
+	return obs.NewManifest(tool, args)
+}
+
+// SetGlobalMetrics installs the process-wide default registry that
+// instrumented code without an explicit Instruments value records to
+// (nil disables).
+func SetGlobalMetrics(reg *MetricRegistry) { obs.SetGlobal(reg) }
+
+// GlobalMetrics returns the process-wide default registry, nil when
+// disabled.
+func GlobalMetrics() *MetricRegistry { return obs.Global() }
 
 // BatteryReport is the per-device battery drain of an assignment.
 type BatteryReport = core.BatteryReport

@@ -8,6 +8,7 @@ import (
 	"dsmec/internal/costmodel"
 	"dsmec/internal/cover"
 	"dsmec/internal/datamap"
+	"dsmec/internal/obs"
 	"dsmec/internal/task"
 	"dsmec/internal/units"
 )
@@ -51,6 +52,11 @@ var ErrNoDivisibleData = errors.New("core: task set references no data blocks")
 type DTAOptions struct {
 	Goal  Goal
 	LPHTA LPHTAOptions
+	// Obs selects where metrics and trace spans are recorded. The zero
+	// value records metrics to the process-wide obs registry (if any)
+	// and disables tracing. The scheduling stage inherits it unless
+	// LPHTA.Obs carries its own registry.
+	Obs obs.Instruments
 }
 
 // DTAMetrics breaks down the cost of a DTA execution. TotalEnergy is what
@@ -121,12 +127,19 @@ func DTA(m *costmodel.Model, ts *task.Set, placement *datamap.Placement, opts DT
 			placement.NumDevices(), sys.NumDevices())
 	}
 
+	span := opts.Obs.Span.Child("dta")
+	defer span.End()
+	span.Annotate("goal", opts.Goal.String())
+	span.Annotate("tasks", ts.Len())
+	opts.Obs.Counter("dta.runs").Inc()
+
 	universe := ts.Universe()
 	if universe.IsEmpty() {
 		return nil, ErrNoDivisibleData
 	}
 	usable := placement.Usable(universe)
 
+	dspan := opts.Obs.Span.Child("dta.divide")
 	var (
 		cov *cover.Result
 		err error
@@ -141,24 +154,41 @@ func DTA(m *costmodel.Model, ts *task.Set, placement *datamap.Placement, opts DT
 	default:
 		return nil, fmt.Errorf("core: invalid DTA goal %d", int(opts.Goal))
 	}
+	dspan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: data division: %w", err)
 	}
+	opts.Obs.Counter("dta.involved_devices").Add(int64(len(cov.Involved)))
 
+	rspan := opts.Obs.Span.Child("dta.rearrange")
 	newTasks, links, err := rearrange(ts, placement, cov)
+	rspan.End()
 	if err != nil {
 		return nil, err
 	}
+	opts.Obs.Counter("dta.new_tasks").Add(int64(len(links)))
 
-	sched, err := LPHTA(m, newTasks, &opts.LPHTA)
+	sspan := opts.Obs.Span.Child("dta.schedule")
+	lopts := opts.LPHTA
+	if lopts.Obs.Metrics == nil {
+		lopts.Obs.Metrics = opts.Obs.Metrics
+	}
+	lopts.Obs.Span = sspan
+	sched, err := LPHTA(m, newTasks, &lopts)
+	sspan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: scheduling rearranged tasks: %w", err)
 	}
 
+	aspan := opts.Obs.Span.Child("dta.account")
 	metrics, battery, err := accountDTA(m, links, sched, cov)
+	aspan.End()
 	if err != nil {
 		return nil, err
 	}
+	opts.Obs.Counter("dta.cancelled_new_tasks").Add(int64(metrics.CancelledNewTasks))
+	span.Annotate("new_tasks", metrics.NewTasks)
+	span.Annotate("involved_devices", metrics.InvolvedDevices)
 
 	return &DTAResult{
 		Coverage: cov,

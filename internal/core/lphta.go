@@ -5,10 +5,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"dsmec/internal/costmodel"
 	"dsmec/internal/lp"
 	"dsmec/internal/mecnet"
+	"dsmec/internal/obs"
 	"dsmec/internal/task"
 	"dsmec/internal/units"
 )
@@ -46,6 +48,10 @@ type LPHTAOptions struct {
 	Repair   RepairOrder
 	// Rand is required only for RoundRandomized.
 	Rand *rand.Rand
+	// Obs selects where metrics and trace spans are recorded. The zero
+	// value records metrics to the process-wide obs registry (if any)
+	// and disables tracing.
+	Obs obs.Instruments
 }
 
 func (o *LPHTAOptions) withDefaults() (LPHTAOptions, error) {
@@ -58,6 +64,7 @@ func (o *LPHTAOptions) withDefaults() (LPHTAOptions, error) {
 			out.Repair = o.Repair
 		}
 		out.Rand = o.Rand
+		out.Obs = o.Obs
 	}
 	if out.Rounding == RoundRandomized && out.Rand == nil {
 		return out, fmt.Errorf("core: randomized rounding requires a rand source")
@@ -114,6 +121,12 @@ func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult,
 	if err != nil {
 		return nil, err
 	}
+	span := opts.Obs.Span.Child("lphta")
+	defer span.End()
+	span.Annotate("tasks", ts.Len())
+	opts.Obs.Counter("lphta.runs").Inc()
+	opts.Obs.Counter("lphta.tasks").Add(int64(ts.Len()))
+
 	sys := m.System()
 	res := &HTAResult{Assignment: NewAssignment()}
 
@@ -127,14 +140,29 @@ func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult,
 		perCluster[st] = append(perCluster[st], t)
 	}
 
+	clusterSeconds := opts.Obs.Histogram("lphta.cluster_seconds", obs.TimeBuckets)
+	clusterTasks := opts.Obs.Histogram("lphta.cluster_tasks", obs.CountBuckets)
 	for st, tasks := range perCluster {
 		if len(tasks) == 0 {
 			continue
 		}
-		if err := lphtaCluster(m, st, tasks, opts, res); err != nil {
+		opts.Obs.Counter("lphta.clusters").Inc()
+		clusterTasks.Observe(float64(len(tasks)))
+		cspan := span.Child("lphta.cluster")
+		cspan.Annotate("station", st)
+		cspan.Annotate("tasks", len(tasks))
+		copts := opts
+		copts.Obs = opts.Obs.WithSpan(cspan)
+		start := time.Now()
+		err := lphtaCluster(m, st, tasks, copts, res)
+		clusterSeconds.Observe(time.Since(start).Seconds())
+		cspan.End()
+		if err != nil {
 			return nil, fmt.Errorf("core: cluster %d: %w", st, err)
 		}
 	}
+	span.Annotate("fractional_tasks", res.FractionalTasks)
+	span.Annotate("lp_iterations", res.LPIterations)
 	return res, nil
 }
 
@@ -161,6 +189,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 		if !feasibleSomewhere {
 			res.Assignment.Cancel(t.ID)
 			res.PreCancelled++
+			opts.Obs.Counter("lphta.pre_cancelled").Inc()
 			continue
 		}
 		cts = append(cts, clusterTask{t: t, opts: o})
@@ -170,7 +199,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 	}
 
 	// Step 1: build and solve the relaxation P2.
-	frac, sol, err := solveClusterLP(sys, station, cts)
+	frac, sol, err := solveClusterLP(sys, station, cts, opts.Obs)
 	if err != nil {
 		return err
 	}
@@ -178,11 +207,14 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 	res.LPIterations += sol.Iterations
 
 	// Steps 2–3: round to x̂.
+	rspan := opts.Obs.Span.Child("lphta.round")
+	fractional := 0
 	chosen := make([]costmodel.Subsystem, len(cts))
 	for i := range cts {
 		x := frac[i]
 		if !isIntegral(x) {
 			res.FractionalTasks++
+			fractional++
 		}
 		switch opts.Rounding {
 		case RoundRandomized:
@@ -192,6 +224,13 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 		}
 		res.RoundedEnergy += cts[i].opts.At(chosen[i]).Energy
 	}
+	opts.Obs.Counter("lphta.fractional_tasks").Add(int64(fractional))
+	rspan.Annotate("tasks", len(cts))
+	rspan.Annotate("fractional", fractional)
+	rspan.End()
+
+	pspan := opts.Obs.Span.Child("lphta.repair")
+	defer pspan.End()
 
 	// Step 4: deadline repair.
 	for i, ct := range cts {
@@ -208,6 +247,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 		// A feasible subsystem always exists here: infeasible-everywhere
 		// tasks were cancelled before the LP.
 		chosen[i] = best
+		opts.Obs.Counter("lphta.deadline_repairs").Inc()
 	}
 
 	// Step 5: per-device capacity repair (device → station → cancel).
@@ -235,6 +275,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 			if cts[i].opts.At(costmodel.SubsystemStation).Time <= cts[i].t.Deadline {
 				chosen[i] = costmodel.SubsystemStation
 				load -= cts[i].t.Resource
+				opts.Obs.Counter("lphta.device_migrations").Inc()
 			}
 		}
 		// Second pass: cancel what still does not fit.
@@ -245,6 +286,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 			if chosen[i] == costmodel.SubsystemDevice {
 				chosen[i] = costmodel.SubsystemNone
 				load -= cts[i].t.Resource
+				opts.Obs.Counter("lphta.device_cancellations").Inc()
 			}
 		}
 	}
@@ -267,6 +309,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 			if cts[i].opts.At(costmodel.SubsystemCloud).Time <= cts[i].t.Deadline {
 				chosen[i] = costmodel.SubsystemCloud
 				stationLoad -= cts[i].t.Resource
+				opts.Obs.Counter("lphta.station_migrations").Inc()
 			}
 		}
 		for _, i := range order {
@@ -276,6 +319,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 			if chosen[i] == costmodel.SubsystemStation {
 				chosen[i] = costmodel.SubsystemNone
 				stationLoad -= cts[i].t.Resource
+				opts.Obs.Counter("lphta.station_cancellations").Inc()
 			}
 		}
 	}
@@ -310,7 +354,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 //	     0 ≤ x_ijl ≤ 1                  (relaxed C5)
 //
 // It returns the fractional assignment per task and the LP solution.
-func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask) ([][3]float64, *lp.Solution, error) {
+func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, ins obs.Instruments) ([][3]float64, *lp.Solution, error) {
 	nVars := 3 * len(cts)
 	p := &lp.Problem{
 		Minimize: make([]float64, nVars),
@@ -371,7 +415,7 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask) ([][3]fl
 		Coeffs: row, Sense: lp.LE, RHS: sys.Stations[station].ResourceCap,
 	})
 
-	sol, err := lp.Solve(p)
+	sol, err := lp.SolveObserved(p, ins)
 	if err != nil {
 		return nil, nil, fmt.Errorf("relaxation: %w", err)
 	}
@@ -380,10 +424,11 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask) ([][3]fl
 		// caps conflict in ways the pre-cancellation did not remove; fall
 		// back to dropping deadline bounds entirely (Step 4 repairs them)
 		// so every remaining task still gets a fractional placement.
+		ins.Counter("lphta.lp_fallbacks").Inc()
 		for v := range p.Upper {
 			p.Upper[v] = 1
 		}
-		sol, err = lp.Solve(p)
+		sol, err = lp.SolveObserved(p, ins)
 		if err != nil {
 			return nil, nil, fmt.Errorf("relaxation fallback: %w", err)
 		}

@@ -23,6 +23,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
+
+	"dsmec/internal/obs"
 )
 
 // Sense is the direction of a linear constraint.
@@ -138,6 +141,35 @@ type Solution struct {
 	X          []float64
 	Objective  float64
 	Iterations int
+	// Stats breaks the solve down for observability.
+	Stats SolveStats
+}
+
+// SolveStats counts what the simplex actually did. The dense tableau
+// never refactorizes a basis; the closest analog — full reduced-cost row
+// reinstallations (one per phase) — is counted as ObjectiveInstalls.
+type SolveStats struct {
+	// Pivots counts basis changes (excludes bound flips).
+	Pivots int
+	// BoundFlips counts nonbasic variables crossing to their other bound
+	// without a basis change.
+	BoundFlips int
+	// DegeneratePivots counts iterations with a ~zero step.
+	DegeneratePivots int
+	// RatioTestTies counts leaving-row ties within tolerance, where the
+	// anti-cycling index rule had to arbitrate.
+	RatioTestTies int
+	// BlandSwitches counts escalations to Bland's rule after a
+	// degenerate run.
+	BlandSwitches int
+	// ObjectiveInstalls counts reduced-cost row installations.
+	ObjectiveInstalls int
+	// Phase1Iterations and Phase2Iterations split Solution.Iterations.
+	Phase1Iterations int
+	Phase2Iterations int
+	// Phase1Seconds and Phase2Seconds are wall-clock phase timings.
+	Phase1Seconds float64
+	Phase2Seconds float64
 }
 
 // ErrIterationLimit is returned when the simplex fails to converge within
@@ -151,8 +183,17 @@ const (
 	pivotEps = 1e-7
 )
 
-// Solve solves the problem with the two-phase simplex method.
+// Solve solves the problem with the two-phase simplex method. Metrics
+// are recorded to the process-wide obs registry when one is installed;
+// use SolveObserved to direct them (and trace spans) explicitly.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveObserved(p, obs.Instruments{})
+}
+
+// SolveObserved solves the problem and records counters, timings, and a
+// trace span into ins. A zero ins falls back to the process-wide
+// registry and disables tracing.
+func SolveObserved(p *Problem, ins obs.Instruments) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,7 +201,54 @@ func Solve(p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.solve(p)
+	span := ins.Span.Child("lp.solve")
+	sol, err := t.solve(p, span)
+	record(ins, span, p, sol, err)
+	span.End()
+	return sol, err
+}
+
+// record publishes one solve's outcome. The counter lookups cost a few
+// nanoseconds each against a disabled (nil) registry.
+func record(ins obs.Instruments, span *obs.Span, p *Problem, sol *Solution, err error) {
+	reg := ins.Registry()
+	if span != nil {
+		span.Annotate("vars", p.NumVars())
+		span.Annotate("constraints", len(p.Constraints))
+	}
+	if reg == nil && span == nil {
+		return
+	}
+	reg.Counter("lp.solves").Inc()
+	if err != nil {
+		reg.Counter("lp.errors").Inc()
+		if span != nil {
+			span.Annotate("error", err.Error())
+		}
+		return
+	}
+	st := sol.Stats
+	reg.Counter("lp.pivots").Add(int64(st.Pivots))
+	reg.Counter("lp.bound_flips").Add(int64(st.BoundFlips))
+	reg.Counter("lp.degenerate_pivots").Add(int64(st.DegeneratePivots))
+	reg.Counter("lp.ratio_test_ties").Add(int64(st.RatioTestTies))
+	reg.Counter("lp.bland_switches").Add(int64(st.BlandSwitches))
+	reg.Counter("lp.objective_installs").Add(int64(st.ObjectiveInstalls))
+	reg.Counter("lp.phase1_iterations").Add(int64(st.Phase1Iterations))
+	reg.Counter("lp.phase2_iterations").Add(int64(st.Phase2Iterations))
+	switch sol.Status {
+	case Infeasible:
+		reg.Counter("lp.infeasible").Inc()
+	case Unbounded:
+		reg.Counter("lp.unbounded").Inc()
+	}
+	reg.Histogram("lp.solve_seconds", obs.TimeBuckets).Observe(st.Phase1Seconds + st.Phase2Seconds)
+	reg.Histogram("lp.pivots_per_solve", obs.CountBuckets).Observe(float64(st.Pivots))
+	if span != nil {
+		span.Annotate("status", sol.Status.String())
+		span.Annotate("iterations", sol.Iterations)
+		span.Annotate("pivots", st.Pivots)
+	}
 }
 
 // varStatus tracks where a nonbasic variable currently sits.
@@ -194,6 +282,7 @@ type tableau struct {
 
 	obj        []float64 // reduced-cost row
 	iterations int
+	stats      SolveStats
 }
 
 // newTableau converts p into bounded standard form.
@@ -286,6 +375,7 @@ func newTableau(p *Problem) (*tableau, error) {
 
 // setObjective installs the reduced-cost row for the given costs.
 func (t *tableau) setObjective(costs []float64) {
+	t.stats.ObjectiveInstalls++
 	t.obj = make([]float64, t.n)
 	copy(t.obj, costs)
 	for i, b := range t.basis {
@@ -335,6 +425,7 @@ func (t *tableau) pivot(row, col int) {
 	}
 	t.basis[row] = col
 	t.iterations++
+	t.stats.Pivots++
 }
 
 // errUnbounded signals an unbounded phase-2 objective.
@@ -408,7 +499,11 @@ func (t *tableau) runSimplex(allowed func(col int) bool) error {
 			a := sigma * w
 			switch {
 			case a > pivotEps: // basic value falls toward 0
-				if s := t.value[i] / a; s < step-eps ||
+				s := t.value[i] / a
+				if s < step+eps && s >= step-eps && leave >= 0 {
+					t.stats.RatioTestTies++
+				}
+				if s < step-eps ||
 					(s < step+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
 					step, leave, leaveAt = s, i, atLower
 				}
@@ -417,7 +512,11 @@ func (t *tableau) runSimplex(allowed func(col int) bool) error {
 				if math.IsInf(ub, 1) {
 					continue
 				}
-				if s := (ub - t.value[i]) / -a; s < step-eps ||
+				s := (ub - t.value[i]) / -a
+				if s < step+eps && s >= step-eps && leave >= 0 {
+					t.stats.RatioTestTies++
+				}
+				if s < step-eps ||
 					(s < step+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
 					step, leave, leaveAt = s, i, atUpper
 				}
@@ -432,7 +531,11 @@ func (t *tableau) runSimplex(allowed func(col int) bool) error {
 
 		if step < eps {
 			degenerate++
+			t.stats.DegeneratePivots++
 			if degenerate > t.m+t.n {
+				if !useBland {
+					t.stats.BlandSwitches++
+				}
 				useBland = true
 			}
 		} else {
@@ -454,6 +557,7 @@ func (t *tableau) runSimplex(allowed func(col int) bool) error {
 				t.status[enter] = atLower
 			}
 			t.iterations++
+			t.stats.BoundFlips++
 			continue
 		}
 
@@ -477,18 +581,25 @@ func (t *tableau) runSimplex(allowed func(col int) bool) error {
 	return ErrIterationLimit
 }
 
-// solve runs the two phases and extracts the solution.
-func (t *tableau) solve(p *Problem) (*Solution, error) {
+// solve runs the two phases and extracts the solution. span, when
+// non-nil, receives one child span per phase.
+func (t *tableau) solve(p *Problem, span *obs.Span) (*Solution, error) {
 	allowAll := func(int) bool { return true }
 	artStart := t.n - t.nArt
 
 	if t.nArt > 0 {
+		p1Span := span.Child("lp.phase1")
+		p1Start := time.Now()
 		phase1 := make([]float64, t.n)
 		for j := artStart; j < t.n; j++ {
 			phase1[j] = 1
 		}
 		t.setObjective(phase1)
 		err := t.runSimplex(allowAll)
+		t.stats.Phase1Iterations = t.iterations
+		t.stats.Phase1Seconds = time.Since(p1Start).Seconds()
+		p1Span.Annotate("iterations", t.iterations)
+		p1Span.End()
 		if errors.Is(err, errUnbounded) {
 			return nil, errors.New("lp: phase-1 simplex reported unbounded")
 		}
@@ -502,7 +613,7 @@ func (t *tableau) solve(p *Problem) (*Solution, error) {
 			}
 		}
 		if infeas > 1e-6 {
-			return &Solution{Status: Infeasible, Iterations: t.iterations}, nil
+			return &Solution{Status: Infeasible, Iterations: t.iterations, Stats: t.stats}, nil
 		}
 		// Drive surviving artificials out of the basis, or retire their
 		// rows as redundant.
@@ -534,13 +645,19 @@ func (t *tableau) solve(p *Problem) (*Solution, error) {
 		}
 	}
 
+	p2Span := span.Child("lp.phase2")
+	p2Start := time.Now()
 	costs := make([]float64, t.n)
 	copy(costs, p.Minimize)
 	t.setObjective(costs)
 	noArt := func(col int) bool { return col < artStart }
 	err := t.runSimplex(noArt)
+	t.stats.Phase2Iterations = t.iterations - t.stats.Phase1Iterations
+	t.stats.Phase2Seconds = time.Since(p2Start).Seconds()
+	p2Span.Annotate("iterations", t.stats.Phase2Iterations)
+	p2Span.End()
 	if errors.Is(err, errUnbounded) {
-		return &Solution{Status: Unbounded, Iterations: t.iterations}, nil
+		return &Solution{Status: Unbounded, Iterations: t.iterations, Stats: t.stats}, nil
 	}
 	if err != nil {
 		return nil, err
@@ -565,5 +682,5 @@ func (t *tableau) solve(p *Problem) (*Solution, error) {
 	for j, c := range p.Minimize {
 		obj += c * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: t.iterations}, nil
+	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: t.iterations, Stats: t.stats}, nil
 }

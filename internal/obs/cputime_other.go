@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPUTime is unavailable off unix; manifests then omit
+// cpu_seconds.
+func processCPUTime() (time.Duration, bool) { return 0, false }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the process's user+system CPU time via
+// getrusage. The bool is false when the syscall fails.
+func processCPUTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return time.Duration(ru.Utime.Nano()+ru.Stime.Nano()) * time.Nanosecond, true
+}

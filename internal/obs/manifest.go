@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Manifest is the machine-readable record of one run: what was executed
+// (tool, args, seed, scenario hash, toolchain), what it cost (wall and
+// CPU time), and every final metric value. One manifest JSON document
+// per run gives regression checkers (cmd/mecbench -check) and future
+// scaling work a comparable baseline.
+type Manifest struct {
+	Tool         string         `json:"tool"`
+	Args         []string       `json:"args,omitempty"`
+	Seed         int64          `json:"seed"`
+	ScenarioHash string         `json:"scenario_hash,omitempty"`
+	GoVersion    string         `json:"go_version"`
+	OS           string         `json:"os"`
+	Arch         string         `json:"arch"`
+	NumCPU       int            `json:"num_cpu"`
+	StartedAt    time.Time      `json:"started_at"`
+	WallSeconds  float64        `json:"wall_seconds"`
+	CPUSeconds   float64        `json:"cpu_seconds,omitempty"`
+	Extra        map[string]any `json:"extra,omitempty"`
+	Metrics      Snapshot       `json:"metrics"`
+
+	startWall time.Time
+	startCPU  time.Duration
+	cpuKnown  bool
+}
+
+// NewManifest starts a manifest, stamping the environment and the wall
+// and CPU clocks.
+func NewManifest(tool string, args []string) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		Args:      append([]string(nil), args...),
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		StartedAt: time.Now(),
+		startWall: time.Now(),
+	}
+	m.startCPU, m.cpuKnown = processCPUTime()
+	return m
+}
+
+// Annotate attaches an extra key/value to the manifest.
+func (m *Manifest) Annotate(key string, value any) {
+	if m.Extra == nil {
+		m.Extra = make(map[string]any)
+	}
+	m.Extra[key] = value
+}
+
+// Finish stops the clocks and snapshots reg (which may be nil) into the
+// manifest. Call it once, just before writing.
+func (m *Manifest) Finish(reg *Registry) {
+	m.WallSeconds = time.Since(m.startWall).Seconds()
+	if m.cpuKnown {
+		if cpu, ok := processCPUTime(); ok {
+			m.CPUSeconds = (cpu - m.startCPU).Seconds()
+		}
+	}
+	m.Metrics = reg.Snapshot()
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// HashBytes returns a short stable FNV-1a hex digest of b, used to
+// fingerprint scenario files.
+func HashBytes(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// HashJSON fingerprints any JSON-serializable value (generation
+// parameters, configs). Marshalling failures yield "unhashable", never
+// an error: the hash is diagnostic, not load-bearing.
+func HashJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "unhashable"
+	}
+	return HashBytes(b)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func readFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func TestManifestFinishAndWrite(t *testing.T) {
+	m := NewManifest("testtool", []string{"-tasks", "10"})
+	m.Seed = 42
+	m.ScenarioHash = HashBytes([]byte("scenario"))
+	m.Annotate("note", "hello")
+
+	reg := NewRegistry()
+	reg.Counter("lp.solves").Add(3)
+	reg.Gauge("feedback.best_round").Set(2)
+	reg.Histogram("lp.solve_seconds", TimeBuckets).Observe(0.01)
+	m.Finish(reg)
+
+	if m.GoVersion != runtime.Version() || m.OS != runtime.GOOS || m.Arch != runtime.GOARCH {
+		t.Errorf("environment stamp = %s/%s/%s", m.GoVersion, m.OS, m.Arch)
+	}
+	if m.WallSeconds < 0 {
+		t.Errorf("wall = %g", m.WallSeconds)
+	}
+	if m.Metrics.Counters["lp.solves"] != 3 {
+		t.Errorf("metrics snapshot = %+v", m.Metrics)
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Tool != "testtool" || back.Seed != 42 {
+		t.Errorf("round trip tool/seed = %s/%d", back.Tool, back.Seed)
+	}
+	if back.Metrics.Counters["lp.solves"] != 3 {
+		t.Errorf("round trip counters = %v", back.Metrics.Counters)
+	}
+	if back.Metrics.Histograms["lp.solve_seconds"].Count != 1 {
+		t.Errorf("round trip histograms = %v", back.Metrics.Histograms)
+	}
+	if back.Extra["note"] != "hello" {
+		t.Errorf("round trip extra = %v", back.Extra)
+	}
+}
+
+func TestManifestNilRegistry(t *testing.T) {
+	m := NewManifest("t", nil)
+	m.Finish(nil)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	if HashBytes([]byte("a")) == HashBytes([]byte("b")) {
+		t.Error("different inputs hash equal")
+	}
+	if HashBytes([]byte("a")) != HashBytes([]byte("a")) {
+		t.Error("equal inputs hash differently")
+	}
+	if len(HashBytes(nil)) != 16 {
+		t.Errorf("hash length = %d, want 16 hex digits", len(HashBytes(nil)))
+	}
+	type params struct{ Seed int64 }
+	if HashJSON(params{1}) != HashJSON(params{1}) {
+		t.Error("equal values hash differently")
+	}
+	if HashJSON(params{1}) == HashJSON(params{2}) {
+		t.Error("different values hash equal")
+	}
+	if HashJSON(make(chan int)) != "unhashable" {
+		t.Error("unmarshalable value did not yield the sentinel")
+	}
+}

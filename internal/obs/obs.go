@@ -1,0 +1,90 @@
+// Package obs is the zero-dependency observability layer of the dsmec
+// pipeline: metric registries (counters, gauges, fixed-bucket
+// histograms), a span/trace recorder that exports Chrome trace_event
+// JSON viewable in chrome://tracing or Perfetto, and run manifests that
+// capture everything needed to reproduce and compare runs.
+//
+// The layer is designed so instrumented code pays ~nothing when
+// observability is off: every handle type (*Counter, *Gauge, *Histogram,
+// *Span, *Trace) treats a nil receiver as a disabled no-op, and the
+// *Registry accessors return nil handles from a nil registry. Hot paths
+// therefore never branch on an "enabled" flag — they just call methods
+// on possibly-nil handles.
+//
+// Instrumented layers receive an Instruments value through their options
+// structs. A zero Instruments is fully disabled, except that metric
+// lookups fall back to the process-wide registry installed with
+// SetGlobal — this is how cmd/mecbench collects solver and simulator
+// counters from deep inside the experiment harness without threading a
+// registry through every experiment definition.
+package obs
+
+import "sync/atomic"
+
+// global is the process-wide default registry (nil = disabled).
+var global atomic.Pointer[Registry]
+
+// SetGlobal installs reg as the process-wide default metric registry.
+// Instrumented code whose options carry no explicit registry records
+// here. Pass nil to disable.
+func SetGlobal(reg *Registry) {
+	if reg == nil {
+		global.Store(nil)
+		return
+	}
+	global.Store(reg)
+}
+
+// Global returns the process-wide default registry (nil when disabled).
+func Global() *Registry { return global.Load() }
+
+// Instruments bundles the optional metric registry and parent trace span
+// an instrumented operation records into. The zero value is disabled
+// (modulo the SetGlobal fallback for metrics); copies are cheap and the
+// struct is meant to be embedded by value in options types.
+type Instruments struct {
+	// Metrics receives counters, gauges, and histograms. When nil the
+	// process-wide Global registry (if any) is used instead.
+	Metrics *Registry
+	// Span is the parent span for this operation's child spans. Nil
+	// disables tracing.
+	Span *Span
+}
+
+// Registry resolves the effective registry: the explicit one, else the
+// process-wide default, else nil (disabled).
+func (in Instruments) Registry() *Registry {
+	if in.Metrics != nil {
+		return in.Metrics
+	}
+	return Global()
+}
+
+// Counter returns the named counter from the effective registry
+// (nil when disabled).
+func (in Instruments) Counter(name string) *Counter { return in.Registry().Counter(name) }
+
+// Gauge returns the named gauge from the effective registry.
+func (in Instruments) Gauge(name string) *Gauge { return in.Registry().Gauge(name) }
+
+// Histogram returns the named histogram from the effective registry.
+func (in Instruments) Histogram(name string, bounds []float64) *Histogram {
+	return in.Registry().Histogram(name, bounds)
+}
+
+// WithSpan returns a copy of in whose parent span is s, keeping the same
+// metric destination. Use it to hand a child operation its own span.
+func (in Instruments) WithSpan(s *Span) Instruments {
+	in.Span = s
+	return in
+}
+
+// Default histogram bucket bounds.
+var (
+	// TimeBuckets spans 1µs to 100s, exponential-ish: right for phase
+	// timings and queue waits.
+	TimeBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+	// CountBuckets spans 1 to 1e6: right for per-solve pivot counts,
+	// per-cluster task counts, queue depths.
+	CountBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000, 10000, 100000, 1000000}
+)

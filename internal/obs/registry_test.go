@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"dsmec/internal/stats"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %g, want 2", got)
+	}
+	g.SetMax(1) // below current: no change
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge after SetMax(1) = %g, want 2", got)
+	}
+	g.SetMax(7)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge after SetMax(7) = %g, want 7", got)
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Buckets: (-inf,1], (1,2], (2,5], overflow.
+	want := []int64{2, 1, 1, 1}
+	for i, c := range want {
+		if s.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], c, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 16 {
+		t.Errorf("count/sum = %d/%g, want 5/16", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramBoundsSortedDeduped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{5, 1, 2, 2, 1})
+	s := h.Snapshot()
+	wantBounds := []float64{1, 2, 5}
+	if len(s.Bounds) != len(wantBounds) {
+		t.Fatalf("bounds = %v, want %v", s.Bounds, wantBounds)
+	}
+	for i, b := range wantBounds {
+		if s.Bounds[i] != b {
+			t.Fatalf("bounds = %v, want %v", s.Bounds, wantBounds)
+		}
+	}
+}
+
+func TestHistogramFirstRegistrationWins(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("h", []float64{1, 2})
+	h2 := r.Histogram("h", []float64{10, 20, 30})
+	if h1 != h2 {
+		t.Fatal("same name returned different histograms")
+	}
+	if got := len(h1.Snapshot().Bounds); got != 2 {
+		t.Errorf("bounds len = %d, want the first registration's 2", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2})
+	h.Observe(0.5)
+
+	var series stats.Series
+	series.AddAll(1.5, 3)
+	if err := h.Merge(series.Histogram([]float64{1, 2})); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	s := h.Snapshot()
+	if s.Count != 3 || s.Sum != 5 {
+		t.Errorf("after merge count/sum = %d/%g, want 3/5", s.Count, s.Sum)
+	}
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Errorf("after merge counts = %v, want [1 1 1]", s.Counts)
+	}
+
+	if err := h.Merge(series.Histogram([]float64{7})); err == nil {
+		t.Error("merging mismatched bounds succeeded, want error")
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g := r.Gauge("g")
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	h := r.Histogram("h", TimeBuckets)
+	h.Observe(1)
+	if err := h.Merge(stats.HistogramCounts{}); err != nil {
+		t.Errorf("nil histogram Merge: %v", err)
+	}
+	if h.Snapshot().Count != 0 {
+		t.Error("nil histogram has samples")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestInstrumentsGlobalFallback(t *testing.T) {
+	defer SetGlobal(nil)
+
+	var ins Instruments
+	ins.Counter("x").Inc() // disabled: no global, no explicit
+	if Global() != nil {
+		t.Fatal("global registry set unexpectedly")
+	}
+
+	g := NewRegistry()
+	SetGlobal(g)
+	ins.Counter("x").Inc()
+	if got := g.Counter("x").Value(); got != 1 {
+		t.Errorf("global counter = %d, want 1", got)
+	}
+
+	// An explicit registry takes precedence over the global one.
+	own := NewRegistry()
+	ins.Metrics = own
+	ins.Counter("x").Inc()
+	if got := own.Counter("x").Value(); got != 1 {
+		t.Errorf("explicit counter = %d, want 1", got)
+	}
+	if got := g.Counter("x").Value(); got != 1 {
+		t.Errorf("global counter moved to %d, want 1", got)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines; run
+// with -race. Each goroutine mixes get-or-create lookups with updates so
+// both the sync.Map paths and the atomic value paths are exercised.
+func TestRegistryConcurrency(t *testing.T) {
+	const goroutines = 16
+	const perG = 1000
+
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				r.Counter("shared.counter").Inc()
+				r.Gauge("shared.gauge").Add(1)
+				r.Gauge("shared.max").SetMax(float64(j))
+				r.Histogram("shared.hist", []float64{250, 500, 750}).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(goroutines * perG)
+	if got := r.Counter("shared.counter").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != float64(total) {
+		t.Errorf("gauge = %g, want %d", got, total)
+	}
+	if got := r.Gauge("shared.max").Value(); got != perG-1 {
+		t.Errorf("max gauge = %g, want %d", got, perG-1)
+	}
+	h := r.Histogram("shared.hist", []float64{250, 500, 750}).Snapshot()
+	if h.Count != total {
+		t.Errorf("histogram count = %d, want %d", h.Count, total)
+	}
+	// Each goroutine observes 0..999: 251 ≤ 250, 250 in (250,500], etc.
+	want := []int64{251 * goroutines, 250 * goroutines, 250 * goroutines, 249 * goroutines}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], c)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if s.Counters["a"] != 3 || s.Gauges["b"] != 1.5 || s.Histograms["c"].Count != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.counter").Add(7)
+	r.Gauge("a.gauge").Set(0.25)
+	r.Histogram("m.hist", []float64{1, 2}).Observe(1.5)
+	out := SummaryTable(r.Snapshot()).String()
+	for _, want := range []string{"z.counter", "a.gauge", "m.hist", "counter", "gauge", "histogram", "7", "0.25"} {
+		if !contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Disabled-path micro-benchmarks: the acceptance bar is that nil handles
+// cost ~a branch, so instrumentation can stay unconditionally in place.
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("x", TimeBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("x", TimeBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmec/internal/texttable"
+)
+
+// SummaryTable renders a snapshot as a sorted, human-readable table —
+// the thing the cmd binaries print next to the machine-readable
+// manifest. Counters and gauges print their value; histograms print
+// count, mean, and the 50th/99th percentiles.
+func SummaryTable(s Snapshot) *texttable.Table {
+	tb := texttable.New("metric", "type", "value")
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tb.AddRowf(n, "counter", s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tb.AddRowf(n, "gauge", trimFloat(s.Gauges[n]))
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		tb.AddRowf(n, "histogram", fmt.Sprintf("count=%d mean=%s p50=%s p99=%s",
+			h.Count, trimFloat(h.Mean()), trimFloat(h.Quantile(50)), trimFloat(h.Quantile(99))))
+	}
+	return tb
+}
+
+// trimFloat formats v compactly: integers without a fraction, everything
+// else with enough significant digits to be useful.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

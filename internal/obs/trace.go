@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Trace records spans and exports them in the Chrome trace_event JSON
+// format, so a solver or simulator run opens directly in
+// chrome://tracing or https://ui.perfetto.dev. A nil *Trace is a valid
+// disabled recorder. All methods are safe for concurrent use.
+type Trace struct {
+	name  string
+	start time.Time
+
+	mu      sync.Mutex
+	events  []traceEvent
+	nextTID int
+}
+
+// traceEvent is one entry of the trace_event "JSON Object Format".
+// Complete events (ph "X") carry a microsecond timestamp and duration;
+// metadata events (ph "M") name the process.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTrace starts a recorder; name labels the process in the viewer.
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now()}
+}
+
+// StartSpan opens a root span on its own track (thread id). End the span
+// to record it. Returns nil on a nil trace.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextTID++
+	tid := t.nextTID
+	t.mu.Unlock()
+	return &Span{t: t, name: name, tid: tid, start: time.Now()}
+}
+
+// Len returns the number of recorded (ended) spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+func (t *Trace) add(ev traceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// WriteJSON exports the trace. The output is a single JSON object with a
+// traceEvents array, the format both chrome://tracing and Perfetto load.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ms"}
+	if t != nil {
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", PID: 1,
+			Args: map[string]any{"name": t.name},
+		})
+		t.mu.Lock()
+		doc.TraceEvents = append(doc.TraceEvents, t.events...)
+		t.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteFile exports the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Span is one timed operation. Spans nest: Child spans share the
+// parent's track and render inside it in the viewer as long as their
+// lifetimes nest (which they do when callers End children before
+// parents). A nil *Span is a valid disabled span; all methods, including
+// Child, are no-ops that keep returning nil.
+type Span struct {
+	t     *Trace
+	name  string
+	tid   int
+	start time.Time
+
+	mu    sync.Mutex
+	args  map[string]any
+	ended bool
+}
+
+// Child opens a sub-span on the same track. Returns nil on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, name: name, tid: s.tid, start: time.Now()}
+}
+
+// Annotate attaches a key/value argument shown in the viewer's span
+// details. Values must be JSON-serializable.
+func (s *Span) Annotate(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.args == nil {
+		s.args = make(map[string]any)
+	}
+	s.args[key] = value
+	s.mu.Unlock()
+}
+
+// End closes the span and records it. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	args := s.args
+	s.mu.Unlock()
+	s.t.add(traceEvent{
+		Name: s.name,
+		Cat:  "dsmec",
+		Ph:   "X",
+		TS:   float64(s.start.Sub(s.t.start)) / float64(time.Microsecond),
+		Dur:  float64(end.Sub(s.start)) / float64(time.Microsecond),
+		PID:  1,
+		TID:  s.tid,
+		Args: args,
+	})
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// traceDoc mirrors the trace_event JSON Object Format for decoding in
+// tests.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func decodeTrace(t *testing.T, tr *Trace) traceDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestTraceExport(t *testing.T) {
+	tr := NewTrace("test-process")
+	root := tr.StartSpan("root")
+	child := root.Child("child")
+	child.Annotate("tasks", 7)
+	child.End()
+	root.End()
+
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	doc := decodeTrace(t, tr)
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	// Metadata event + two complete events.
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(doc.TraceEvents), doc.TraceEvents)
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "process_name" || meta.Args["name"] != "test-process" {
+		t.Errorf("metadata event = %+v", meta)
+	}
+	byName := map[string]int{}
+	for i, ev := range doc.TraceEvents[1:] {
+		if ev.Ph != "X" {
+			t.Errorf("event %d phase = %q, want X", i, ev.Ph)
+		}
+		byName[ev.Name] = i + 1
+	}
+	c, r := doc.TraceEvents[byName["child"]], doc.TraceEvents[byName["root"]]
+	if c.TID != r.TID {
+		t.Errorf("child tid %d != root tid %d; children must share the parent's track", c.TID, r.TID)
+	}
+	// Nesting: the child's [ts, ts+dur] interval lies inside the root's.
+	if c.TS < r.TS || c.TS+c.Dur > r.TS+r.Dur {
+		t.Errorf("child [%g, %g] not contained in root [%g, %g]", c.TS, c.TS+c.Dur, r.TS, r.TS+r.Dur)
+	}
+	if c.Args["tasks"] != float64(7) {
+		t.Errorf("child args = %v", c.Args)
+	}
+}
+
+func TestTraceRootSpansGetOwnTracks(t *testing.T) {
+	tr := NewTrace("p")
+	a := tr.StartSpan("a")
+	b := tr.StartSpan("b")
+	a.End()
+	b.End()
+	doc := decodeTrace(t, tr)
+	tids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			tids[ev.TID] = true
+		}
+	}
+	if len(tids) != 2 {
+		t.Errorf("root spans share a track: tids %v", tids)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace("p")
+	s := tr.StartSpan("s")
+	s.End()
+	s.End()
+	if tr.Len() != 1 {
+		t.Errorf("double End recorded %d events, want 1", tr.Len())
+	}
+}
+
+func TestUnendedSpanNotExported(t *testing.T) {
+	tr := NewTrace("p")
+	tr.StartSpan("open")
+	done := tr.StartSpan("done")
+	done.End()
+	doc := decodeTrace(t, tr)
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "open" {
+			t.Error("unended span was exported")
+		}
+	}
+}
+
+func TestNilTraceAndSpan(t *testing.T) {
+	var tr *Trace
+	s := tr.StartSpan("x")
+	if s != nil {
+		t.Fatal("nil trace returned a live span")
+	}
+	c := s.Child("y")
+	if c != nil {
+		t.Fatal("nil span returned a live child")
+	}
+	s.Annotate("k", 1)
+	s.End()
+	if tr.Len() != 0 {
+		t.Error("nil trace has events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil trace WriteJSON: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace output invalid: %v", err)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("p")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s := tr.StartSpan("work")
+				c := s.Child("inner")
+				c.Annotate("j", j)
+				c.End()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 1600 {
+		t.Errorf("Len = %d, want 1600", got)
+	}
+}
+
+func TestTraceWriteFile(t *testing.T) {
+	tr := NewTrace("p")
+	s := tr.StartSpan("s")
+	s.End()
+	path := filepath.Join(t.TempDir(), "out.trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("file is not valid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Errorf("file has %d events, want 2", len(doc.TraceEvents))
+	}
+}

@@ -2,7 +2,10 @@ package sim
 
 import (
 	"container/heap"
+	"sort"
 
+	"dsmec/internal/obs"
+	"dsmec/internal/stats"
 	"dsmec/internal/units"
 )
 
@@ -10,11 +13,12 @@ import (
 // all its dependencies finish; it then queues on its resource and occupies
 // one server for its service time.
 type stage struct {
-	res       *resource
-	service   units.Duration
-	next      []*stage // stages depending on this one
-	waitingOn int      // unmet dependency count
-	plan      *plan
+	res        *resource
+	service    units.Duration
+	next       []*stage // stages depending on this one
+	waitingOn  int      // unmet dependency count
+	plan       *plan
+	enqueuedAt units.Duration // when the stage became eligible
 }
 
 // plan is the stage DAG of a single task. The plan completes when its last
@@ -53,26 +57,71 @@ func (p *plan) stageAfterAll(res *resource, service units.Duration, deps []*stag
 	return s
 }
 
-// resource is a k-server FIFO queue.
+// resource is a k-server FIFO queue. Besides serving stages it keeps the
+// accounting the observability layer exports: total busy time (the
+// integral of occupied servers over time), total and per-start queueing
+// wait, start count, and the peak queue depth.
 type resource struct {
 	eng     *engine
+	class   string // metric label, e.g. "dev.up", "st.cpu"
 	servers int
 	busy    int
 	queue   []*stage
+
+	busyTime  units.Duration // Σ service time of started stages
+	queueWait units.Duration // Σ (start - enqueue) over started stages
+	started   int64
+	peakQueue int
+	// waits bins per-start queue waits, shared by every resource of the
+	// same class. The engine is single-threaded, so plain counts here
+	// cost ~nothing per start; recordMetrics merges them into the
+	// registry once per run. Nil when metrics are disabled.
+	waits *waitBins
+}
+
+// waitBins is one class's local queue-wait histogram (obs.TimeBuckets
+// binning plus overflow).
+type waitBins struct {
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+func (w *waitBins) observe(wait units.Duration) {
+	// Uncontended starts wait exactly zero; skip the bucket search for
+	// them — they land in the first bucket.
+	idx := 0
+	if wait > 0 {
+		idx = stats.Bucketize(wait.Seconds(), obs.TimeBuckets)
+	}
+	w.counts[idx]++
+	w.sum += wait.Seconds()
+	w.n++
 }
 
 // enqueue adds an eligible stage; it starts immediately if a server is
 // free.
 func (r *resource) enqueue(s *stage, now units.Duration) {
+	s.enqueuedAt = now
 	if r.busy < r.servers {
 		r.start(s, now)
 		return
 	}
 	r.queue = append(r.queue, s)
+	if len(r.queue) > r.peakQueue {
+		r.peakQueue = len(r.queue)
+	}
 }
 
 func (r *resource) start(s *stage, now units.Duration) {
 	r.busy++
+	r.started++
+	r.busyTime += s.service
+	wait := now - s.enqueuedAt
+	r.queueWait += wait
+	if r.waits != nil {
+		r.waits.observe(wait)
+	}
 	r.eng.schedule(now+s.service, s)
 }
 
@@ -112,14 +161,32 @@ func (h eventHeap) Peek() event   { return h[0] }
 
 // engine drives the event loop.
 type engine struct {
-	now    units.Duration
-	events eventHeap
-	seq    int
+	now        units.Duration
+	events     eventHeap
+	seq        int
+	dispatched int64
+	resources  []*resource
+	waits      map[string]*waitBins // per class; nil when disabled
+	ins        obs.Instruments
 }
 
-// newResource registers a k-server resource with the engine.
-func (e *engine) newResource(servers int) *resource {
-	return &resource{eng: e, servers: servers}
+// newResource registers a k-server resource with the engine under a
+// metric class label.
+func (e *engine) newResource(servers int, class string) *resource {
+	r := &resource{eng: e, servers: servers, class: class}
+	if e.ins.Registry() != nil {
+		wb := e.waits[class]
+		if wb == nil {
+			wb = &waitBins{counts: make([]int64, len(obs.TimeBuckets)+1)}
+			if e.waits == nil {
+				e.waits = make(map[string]*waitBins)
+			}
+			e.waits[class] = wb
+		}
+		r.waits = wb
+	}
+	e.resources = append(e.resources, r)
+	return r
 }
 
 // schedule arms a completion event.
@@ -157,6 +224,7 @@ func (e *engine) run() {
 	for e.events.Len() > 0 {
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.at
+		e.dispatched++
 		if ev.plan != nil {
 			e.release(ev.plan)
 			continue
@@ -177,6 +245,62 @@ func (e *engine) run() {
 			if nxt.waitingOn == 0 {
 				nxt.res.enqueue(nxt, e.now)
 			}
+		}
+	}
+}
+
+// recordMetrics publishes the run's engine-level accounting: events
+// dispatched, and per-class start counts, busy time, queueing wait, and
+// peak queue depth, plus a per-resource busy-time distribution.
+func (e *engine) recordMetrics() {
+	reg := e.ins.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("sim.events").Add(e.dispatched)
+
+	type agg struct {
+		started   int64
+		busy      units.Duration
+		wait      units.Duration
+		peakQueue int
+	}
+	byClass := make(map[string]*agg)
+	busyHist := reg.Histogram("sim.busy_seconds_per_resource", obs.TimeBuckets)
+	for _, r := range e.resources {
+		a := byClass[r.class]
+		if a == nil {
+			a = &agg{}
+			byClass[r.class] = a
+		}
+		a.started += r.started
+		a.busy += r.busyTime
+		a.wait += r.queueWait
+		if r.peakQueue > a.peakQueue {
+			a.peakQueue = r.peakQueue
+		}
+		if r.started > 0 {
+			busyHist.Observe(r.busyTime.Seconds())
+		}
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		a := byClass[c]
+		reg.Counter("sim.starts." + c).Add(a.started)
+		reg.Gauge("sim.busy_seconds." + c).Add(a.busy.Seconds())
+		reg.Gauge("sim.queue_wait_seconds_total." + c).Add(a.wait.Seconds())
+		reg.Gauge("sim.queue_peak." + c).SetMax(float64(a.peakQueue))
+		if wb := e.waits[c]; wb != nil {
+			_ = reg.Histogram("sim.queue_wait_seconds."+c, obs.TimeBuckets).Merge(stats.HistogramCounts{
+				Bounds: obs.TimeBuckets,
+				Counts: wb.counts,
+				Count:  wb.n,
+				Sum:    wb.sum,
+			})
 		}
 	}
 }

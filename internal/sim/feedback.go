@@ -5,6 +5,7 @@ import (
 
 	"dsmec/internal/core"
 	"dsmec/internal/costmodel"
+	"dsmec/internal/obs"
 	"dsmec/internal/task"
 	"dsmec/internal/units"
 )
@@ -22,6 +23,9 @@ type FeedbackOptions struct {
 	// relative to its real deadline (default 8: plan as if the deadline
 	// were up to 8x tighter).
 	MaxTightening float64
+	// Obs selects where metrics and trace spans are recorded; the
+	// planner and simulator stages inherit it per round.
+	Obs obs.Instruments
 }
 
 func (o FeedbackOptions) withDefaults() FeedbackOptions {
@@ -70,6 +74,20 @@ type FeedbackResult struct {
 func PlanWithFeedback(m *costmodel.Model, ts *task.Set, opts FeedbackOptions) (*FeedbackResult, error) {
 	opts = opts.withDefaults()
 
+	span := opts.Obs.Span.Child("feedback")
+	defer span.End()
+	opts.Obs.Counter("feedback.runs").Inc()
+	// Every stage below records under a per-round child span.
+	roundSpan := span.Child("feedback.round0")
+	if opts.LPHTA.Obs.Metrics == nil {
+		opts.LPHTA.Obs.Metrics = opts.Obs.Metrics
+	}
+	if opts.Sim.Obs.Metrics == nil {
+		opts.Sim.Obs.Metrics = opts.Obs.Metrics
+	}
+	opts.LPHTA.Obs.Span = roundSpan
+	opts.Sim.Obs.Span = roundSpan
+
 	res := &FeedbackResult{}
 	record := func(a *core.Assignment) (*Result, error) {
 		simRes, err := Run(m, ts, a, opts.Sim)
@@ -104,11 +122,13 @@ func PlanWithFeedback(m *costmodel.Model, ts *task.Set, opts FeedbackOptions) (*
 		return nil, fmt.Errorf("sim: feedback round 0: %w", err)
 	}
 	simRes, err := record(base.Assignment)
+	roundSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Assignment = base.Assignment
 	res.Best = 0
+	opts.Obs.Counter("feedback.rounds").Inc()
 
 	// Per-task tightening factors, refined each round.
 	tighten := make(map[task.ID]float64, ts.Len())
@@ -117,6 +137,9 @@ func PlanWithFeedback(m *costmodel.Model, ts *task.Set, opts FeedbackOptions) (*
 	}
 
 	for round := 1; round <= opts.Rounds; round++ {
+		roundSpan := span.Child(fmt.Sprintf("feedback.round%d", round))
+		opts.LPHTA.Obs.Span = roundSpan
+		opts.Sim.Obs.Span = roundSpan
 		// Update tightening from the latest simulation: a task that ran
 		// f times slower than planned needs an f-times tighter plan.
 		for id, o := range simRes.Outcomes {
@@ -145,13 +168,21 @@ func PlanWithFeedback(m *costmodel.Model, ts *task.Set, opts FeedbackOptions) (*
 			return nil, fmt.Errorf("sim: feedback round %d: %w", round, err)
 		}
 		simRes, err = record(replanned.Assignment)
+		roundSpan.End()
 		if err != nil {
 			return nil, err
 		}
+		opts.Obs.Counter("feedback.rounds").Inc()
+		opts.Obs.Counter("feedback.replans").Inc()
 		if better(len(res.Rounds)-1, res.Best) {
 			res.Best = len(res.Rounds) - 1
 			res.Assignment = replanned.Assignment
 		}
 	}
+	best := res.Rounds[res.Best]
+	opts.Obs.Gauge("feedback.best_round").Set(float64(res.Best))
+	opts.Obs.Gauge("feedback.best_unsatisfied").Set(float64(best.Misses + best.Cancelled))
+	span.Annotate("best_round", res.Best)
+	span.Annotate("rounds", len(res.Rounds))
 	return res, nil
 }

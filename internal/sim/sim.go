@@ -16,6 +16,8 @@ import (
 
 	"dsmec/internal/core"
 	"dsmec/internal/costmodel"
+	"dsmec/internal/obs"
+	"dsmec/internal/stats"
 	"dsmec/internal/task"
 	"dsmec/internal/units"
 )
@@ -27,6 +29,10 @@ type Config struct {
 	StationCores int
 	// CloudCores is the cloud's parallelism. Default 64.
 	CloudCores int
+	// Obs selects where metrics and trace spans are recorded. The zero
+	// value records metrics to the process-wide obs registry (if any)
+	// and disables tracing.
+	Obs obs.Instruments
 }
 
 func (c Config) withDefaults() Config {
@@ -94,7 +100,13 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 	cfg = cfg.withDefaults()
 	sys := m.System()
 
-	eng := &engine{}
+	span := cfg.Obs.Span.Child("sim.run")
+	defer span.End()
+	span.Annotate("tasks", ts.Len())
+	cfg.Obs.Counter("sim.runs").Inc()
+
+	buildSpan := span.Child("sim.build")
+	eng := &engine{ins: cfg.Obs}
 	res := &Result{Outcomes: make(map[task.ID]TaskOutcome, ts.Len())}
 
 	// Build resources.
@@ -102,19 +114,19 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 	devDown := make([]*resource, sys.NumDevices())
 	devCPU := make([]*resource, sys.NumDevices())
 	for i := range devUp {
-		devUp[i] = eng.newResource(1)
-		devDown[i] = eng.newResource(1)
-		devCPU[i] = eng.newResource(1)
+		devUp[i] = eng.newResource(1, "dev.up")
+		devDown[i] = eng.newResource(1, "dev.down")
+		devCPU[i] = eng.newResource(1, "dev.cpu")
 	}
 	stWire := make([]*resource, sys.NumStations())
 	stWAN := make([]*resource, sys.NumStations())
 	stCPU := make([]*resource, sys.NumStations())
 	for s := range stWire {
-		stWire[s] = eng.newResource(1)
-		stWAN[s] = eng.newResource(1)
-		stCPU[s] = eng.newResource(cfg.StationCores)
+		stWire[s] = eng.newResource(1, "st.wire")
+		stWAN[s] = eng.newResource(1, "st.wan")
+		stCPU[s] = eng.newResource(cfg.StationCores, "st.cpu")
 	}
-	cloudCPU := eng.newResource(cfg.CloudCores)
+	cloudCPU := eng.newResource(cfg.CloudCores, "cloud.cpu")
 
 	for _, t := range ts.All() {
 		l, ok := a.Placement[t.ID]
@@ -163,17 +175,34 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 		}
 		eng.releaseAt(plan, release)
 	}
+	buildSpan.End()
 
+	runSpan := span.Child("sim.events")
 	eng.run()
+	runSpan.Annotate("events", eng.dispatched)
+	runSpan.End()
 
 	// Accumulate in task order so floating-point sums are deterministic
-	// run to run (map iteration order is not).
+	// run to run (map iteration order is not). Sojourns bin into local
+	// counts and merge into the registry once, off the per-task path.
+	var sojourns stats.HistogramCounts
+	if cfg.Obs.Registry() != nil {
+		sojourns = stats.HistogramCounts{
+			Bounds: obs.TimeBuckets,
+			Counts: make([]int64, len(obs.TimeBuckets)+1),
+		}
+	}
 	for _, t := range ts.All() {
 		o, ok := res.Outcomes[t.ID]
 		if !ok {
 			continue
 		}
 		res.TotalLatency += o.Sojourn
+		if sojourns.Counts != nil {
+			sojourns.Counts[stats.Bucketize(o.Sojourn.Seconds(), sojourns.Bounds)]++
+			sojourns.Count++
+			sojourns.Sum += o.Sojourn.Seconds()
+		}
 		if o.Completion > res.Makespan {
 			res.Makespan = o.Completion
 		}
@@ -184,6 +213,15 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 	if want := ts.Len() - res.Cancelled; len(res.Outcomes) != want {
 		return nil, fmt.Errorf("sim: %d outcomes for %d placed tasks", len(res.Outcomes), want)
 	}
+	eng.recordMetrics()
+	if sojourns.Count > 0 {
+		_ = cfg.Obs.Histogram("sim.sojourn_seconds", obs.TimeBuckets).Merge(sojourns)
+	}
+	cfg.Obs.Counter("sim.tasks_placed").Add(int64(len(res.Outcomes)))
+	cfg.Obs.Counter("sim.tasks_cancelled").Add(int64(res.Cancelled))
+	cfg.Obs.Counter("sim.deadline_misses").Add(int64(res.DeadlineViolations))
+	span.Annotate("makespan_seconds", res.Makespan.Seconds())
+	span.Annotate("deadline_misses", res.DeadlineViolations)
 	return res, nil
 }
 

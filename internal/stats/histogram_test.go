@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketize(t *testing.T) {
+	bounds := []float64{1, 2, 5}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {1, 0}, // (-inf, 1]
+		{1.0001, 1}, {2, 1}, // (1, 2]
+		{3, 2}, {5, 2}, // (2, 5]
+		{5.0001, 3}, {100, 3}, // overflow
+	}
+	for _, c := range cases {
+		if got := Bucketize(c.v, bounds); got != c.want {
+			t.Errorf("Bucketize(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := Bucketize(1, nil); got != 0 {
+		t.Errorf("Bucketize with no bounds = %d, want 0", got)
+	}
+}
+
+func TestSeriesHistogram(t *testing.T) {
+	var s Series
+	s.AddAll(0.5, 1, 1.5, 3, 10)
+	h := s.Histogram([]float64{1, 2, 5})
+	want := []int64{2, 1, 1, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+	if h.Count != 5 || h.Sum != 16 {
+		t.Errorf("count/sum = %d/%g, want 5/16", h.Count, h.Sum)
+	}
+	if got, want := h.Mean(), 3.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramCountsMerge(t *testing.T) {
+	var a, b Series
+	a.AddAll(0.5, 3)
+	b.AddAll(1.5, 10)
+	bounds := []float64{1, 2, 5}
+	ha := a.Histogram(bounds)
+	hb := b.Histogram(bounds)
+	if err := ha.Merge(hb); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if ha.Count != 4 || ha.Sum != 15 {
+		t.Errorf("merged count/sum = %d/%g, want 4/15", ha.Count, ha.Sum)
+	}
+	want := []int64{1, 1, 1, 1}
+	for i, c := range want {
+		if ha.Counts[i] != c {
+			t.Errorf("merged bucket %d = %d, want %d", i, ha.Counts[i], c)
+		}
+	}
+
+	// Merged histogram equals the histogram of the concatenated samples.
+	var all Series
+	all.AddAll(0.5, 3, 1.5, 10)
+	hc := all.Histogram(bounds)
+	for i := range hc.Counts {
+		if hc.Counts[i] != ha.Counts[i] {
+			t.Errorf("merge is not concatenation at bucket %d: %d vs %d", i, ha.Counts[i], hc.Counts[i])
+		}
+	}
+
+	if err := ha.Merge(all.Histogram([]float64{1, 2})); err == nil {
+		t.Error("merging different bound counts succeeded")
+	}
+	if err := ha.Merge(all.Histogram([]float64{1, 2, 6})); err == nil {
+		t.Error("merging different bound values succeeded")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	h := s.Histogram([]float64{25, 50, 75, 100})
+	// Uniform 1..100: the quantile should land near its rank.
+	for _, q := range []float64{10, 25, 50, 75, 90} {
+		got := h.Quantile(q)
+		if math.Abs(got-q) > 1 {
+			t.Errorf("Quantile(%g) = %g, want within 1 of %g", q, got, q)
+		}
+	}
+	if got := h.Quantile(0); got < 0 || got > 25 {
+		t.Errorf("Quantile(0) = %g, want in first bucket", got)
+	}
+	if got := h.Quantile(100); got != 100 {
+		t.Errorf("Quantile(100) = %g, want 100", got)
+	}
+
+	// Overflow samples clamp to the last bound.
+	var o Series
+	o.AddAll(1000, 2000)
+	ho := o.Histogram([]float64{25, 50})
+	if got := ho.Quantile(50); got != 50 {
+		t.Errorf("overflow Quantile(50) = %g, want last bound 50", got)
+	}
+
+	var empty HistogramCounts
+	if got := empty.Quantile(50); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+}
+
+// TestPercentileSmallN pins the linear-interpolation behavior at small
+// sample counts: a nearest-rank implementation would collapse {1,2} to
+// one of its endpoints.
+func TestPercentileSmallN(t *testing.T) {
+	var s Series
+	s.AddAll(1, 2)
+	if got, err := s.Percentile(50); err != nil || got != 1.5 {
+		t.Errorf("median of {1,2} = %g (%v), want 1.5", got, err)
+	}
+	if got, err := s.Percentile(25); err != nil || got != 1.25 {
+		t.Errorf("p25 of {1,2} = %g (%v), want 1.25", got, err)
+	}
+	if got, err := s.Percentile(0); err != nil || got != 1 {
+		t.Errorf("p0 of {1,2} = %g (%v), want 1", got, err)
+	}
+	if got, err := s.Percentile(100); err != nil || got != 2 {
+		t.Errorf("p100 of {1,2} = %g (%v), want 2", got, err)
+	}
+
+	var three Series
+	three.AddAll(10, 20, 40)
+	if got, err := three.Percentile(50); err != nil || got != 20 {
+		t.Errorf("median of {10,20,40} = %g (%v), want 20", got, err)
+	}
+	if got, err := three.Percentile(75); err != nil || got != 30 {
+		t.Errorf("p75 of {10,20,40} = %g (%v), want 30", got, err)
+	}
+}

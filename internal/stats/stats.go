@@ -87,8 +87,10 @@ func (s *Series) Max() float64 {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
-// interpolation between closest ranks. It returns an error for an empty
-// series or out-of-range p.
+// interpolation between closest ranks (the C = 1 variant), so small
+// series never collapse to a nearest-rank jump: for {1, 2} the median is
+// 1.5, not 1 or 2. It returns an error for an empty series or
+// out-of-range p.
 func (s *Series) Percentile(p float64) (float64, error) {
 	if len(s.samples) == 0 {
 		return 0, fmt.Errorf("stats: percentile of empty series")
@@ -115,3 +117,118 @@ func (s *Series) Percentile(p float64) (float64, error) {
 
 // Median returns the 50th percentile.
 func (s *Series) Median() (float64, error) { return s.Percentile(50) }
+
+// Bucketize returns the index of the histogram bucket v falls into for
+// the given ascending upper bounds: bucket i covers (bounds[i-1],
+// bounds[i]], and index len(bounds) is the overflow bucket. This is the
+// single binning rule shared by Series.Histogram and the live
+// internal/obs histograms, so their counts are always comparable.
+func Bucketize(v float64, bounds []float64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// HistogramCounts is a fixed-bucket histogram in exportable form:
+// Counts[i] samples fell into bucket i per Bucketize, with the final
+// entry counting overflow beyond the last bound.
+type HistogramCounts struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Histogram bins the series into the given ascending bucket bounds.
+func (s *Series) Histogram(bounds []float64) HistogramCounts {
+	h := HistogramCounts{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]int64, len(bounds)+1),
+	}
+	for _, v := range s.samples {
+		h.Counts[Bucketize(v, h.Bounds)]++
+		h.Count++
+		h.Sum += v
+	}
+	return h
+}
+
+// Mean returns the histogram's mean sample (0 when empty).
+func (h *HistogramCounts) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Merge adds the counts of o into h. The two histograms must share the
+// same bucket bounds.
+func (h *HistogramCounts) Merge(o HistogramCounts) error {
+	if len(h.Bounds) != len(o.Bounds) {
+		return fmt.Errorf("stats: merging histograms with %d and %d bounds", len(h.Bounds), len(o.Bounds))
+	}
+	for i, b := range h.Bounds {
+		if b != o.Bounds[i] {
+			return fmt.Errorf("stats: merging histograms with different bounds at %d: %g vs %g", i, b, o.Bounds[i])
+		}
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	return nil
+}
+
+// Quantile estimates the q-th percentile (0 ≤ q ≤ 100) from the bucket
+// counts, interpolating linearly inside the bucket that contains the
+// target rank. Samples are assumed non-negative (every metric the
+// simulator and solver record is). Overflow-bucket quantiles clamp to the
+// largest bound. It returns 0 for an empty histogram.
+func (h *HistogramCounts) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 100 {
+		q = 100
+	}
+	rank := q / 100 * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - float64(prev)) / float64(c)
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}

@@ -1,11 +1,12 @@
 # Development targets. `make verify` is the pre-commit gate: vet, build,
-# and the full test suite under the race detector.
+# the full test suite under the race detector, and a single-iteration
+# benchmark smoke run so the perf harness can't rot.
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-obs
+.PHONY: verify build test vet race bench bench-go bench-smoke bench-obs
 
-verify: vet build race
+verify: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,8 +20,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Record the performance baseline into BENCH_lphta.json (see
+# docs/PERFORMANCE.md). bench-go runs the raw testing.B suite instead.
 bench:
-	$(GO) test -bench . -benchmem .
+	$(GO) run ./cmd/mecperf -out BENCH_lphta.json
+
+bench-go:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# One iteration of every benchmark: catches bitrot without the cost of a
+# real measurement run.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Observability overhead check: disabled vs metrics-enabled pipelines.
 bench-obs:

@@ -59,7 +59,7 @@ func run(args []string, stdout io.Writer) error {
 		seed        = fs.Int64("seed", 1, "root random seed")
 		trials      = fs.Int("trials", 3, "seeded repetitions averaged per point")
 		quick       = fs.Bool("quick", false, "sweep endpoints only")
-		parallel    = fs.Bool("parallel", true, "run the trials of each sweep point concurrently")
+		parallel    = fs.Int("parallel", 0, "worker count for sweep points and trials (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
 		csvDir      = fs.String("csv", "", "directory to write per-figure CSV files")
 		metricsPath = fs.String("metrics", "", "write a run manifest (metrics + environment) to this JSON file")
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
@@ -125,7 +125,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	opts := dsmec.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *parallel}
+	opts := dsmec.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick, Parallelism: *parallel}
 	expSeconds := reg.Histogram("bench.experiment_seconds", obs.TimeBuckets)
 	for _, d := range defs {
 		span := trace.StartSpan("experiment:" + d.ID)

@@ -68,3 +68,34 @@ func TestBadFlag(t *testing.T) {
 		t.Error("bad flag should fail")
 	}
 }
+
+func TestParallelOutputByteIdentical(t *testing.T) {
+	// The determinism guarantee of the parallel pipeline: the rendered
+	// figure is byte-for-byte the same for any -parallel value.
+	runWith := func(parallel string) string {
+		var out strings.Builder
+		err := run([]string{
+			"-experiment", "fig2a", "-quick", "-trials", "2", "-parallel", parallel,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drop the wall-clock footer: timing is the one line allowed to
+		// change between runs.
+		var lines []string
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(l, "(fig2a in ") {
+				continue
+			}
+			lines = append(lines, l)
+		}
+		return strings.Join(lines, "\n")
+	}
+	seq := runWith("1")
+	for _, p := range []string{"4", "0"} {
+		if par := runWith(p); par != seq {
+			t.Errorf("-parallel %s output differs from -parallel 1:\n--- sequential ---\n%s--- parallel ---\n%s",
+				p, seq, par)
+		}
+	}
+}

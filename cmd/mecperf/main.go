@@ -1,0 +1,234 @@
+// Command mecperf records the repository's performance baseline. It runs
+// the same instances as the testing.B benchmarks (via internal/perfbench)
+// under testing.Benchmark and writes the results, plus the machine
+// context needed to interpret them, to a JSON file — by convention
+// BENCH_lphta.json at the repository root (see docs/PERFORMANCE.md).
+//
+// Usage:
+//
+//	mecperf                      # write BENCH_lphta.json in the cwd
+//	mecperf -out perf/today.json
+//	mecperf -quick               # smaller instances, for smoke tests
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dsmec/internal/core"
+	"dsmec/internal/experiment"
+	"dsmec/internal/lp"
+	"dsmec/internal/perfbench"
+	"dsmec/internal/sim"
+)
+
+// benchResult is one recorded measurement.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// sweepResult compares the sequential and parallel experiment pipeline on
+// wall-clock time; the outputs themselves are byte-identical.
+type sweepResult struct {
+	Experiment        string  `json:"experiment"`
+	Trials            int     `json:"trials"`
+	Quick             bool    `json:"quick"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	ParallelWorkers   int     `json:"parallel_workers"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// baseline is the document written to BENCH_lphta.json.
+type baseline struct {
+	GeneratedBy string        `json:"generated_by"`
+	Date        string        `json:"date"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+	Sweep       sweepResult   `json:"sweep"`
+	Notes       []string      `json:"notes"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mecperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out   = flag.String("out", "BENCH_lphta.json", "output JSON path")
+		quick = flag.Bool("quick", false, "smaller instances (smoke test)")
+	)
+	flag.Parse()
+
+	lpBuildTasks, lpSolveTasks, htaTasks, simTasks := 300, 90, 450, 450
+	if *quick {
+		lpBuildTasks, lpSolveTasks, htaTasks, simTasks = 90, 30, 100, 100
+	}
+
+	doc := baseline{
+		GeneratedBy: "mecperf",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Notes: []string{
+			"lp build/solve compare dense vs sparse constraint rows on identical instances",
+			"lphta compares Parallelism=1 vs one worker per core on the same scenario; outputs are byte-identical",
+			"sweep compares mecbench-style experiment wall-clock, sequential vs parallel pipeline",
+			"parallel speedups require multiple cores; on a single-core machine they measure pool overhead only",
+		},
+	}
+
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		doc.Benchmarks = append(doc.Benchmarks, benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Printf("%-40s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			name, doc.Benchmarks[len(doc.Benchmarks)-1].NsPerOp,
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	// LP constraint build: the sparse-row memory win.
+	for _, sparse := range []bool{false, true} {
+		form := map[bool]string{false: "dense", true: "sparse"}[sparse]
+		record(fmt.Sprintf("lp_build/tasks=%d/%s", lpBuildTasks, form), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := perfbench.ClusterLP(lpBuildTasks, sparse)
+				if len(p.Constraints) == 0 {
+					b.Fatal("empty problem")
+				}
+			}
+		})
+	}
+
+	// LP solve: build + tableau lowering + simplex.
+	for _, sparse := range []bool{false, true} {
+		form := map[bool]string{false: "dense", true: "sparse"}[sparse]
+		record(fmt.Sprintf("lp_solve/tasks=%d/%s", lpSolveTasks, form), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := lp.Solve(perfbench.ClusterLP(lpSolveTasks, sparse))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Status != lp.Optimal {
+					b.Fatalf("status %v", s.Status)
+				}
+			}
+		})
+	}
+
+	// LP-HTA: sequential vs one worker per core.
+	sc, err := perfbench.HolisticScenario(htaTasks)
+	if err != nil {
+		return err
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		record(fmt.Sprintf("lphta/tasks=%d/workers=%d", htaTasks, workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LPHTA(sc.Model, sc.Tasks, &core.LPHTAOptions{Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// DES engine: one full replay of the LP-HTA assignment.
+	simSc, err := perfbench.HolisticScenario(simTasks)
+	if err != nil {
+		return err
+	}
+	assign, err := perfbench.Assign(simSc.Model, simSc.Tasks)
+	if err != nil {
+		return err
+	}
+	record(fmt.Sprintf("sim_engine/tasks=%d", simTasks), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(simSc.Model, simSc.Tasks, assign, sim.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Experiment sweep wall-clock: sequential vs parallel pipeline.
+	trials := 3
+	if *quick {
+		trials = 1
+	}
+	sweep := func(parallelism int) (float64, error) {
+		start := time.Now()
+		fig, err := experiment.Fig2a(experiment.Options{Seed: 1, Trials: trials, Quick: *quick, Parallelism: parallelism})
+		if err != nil {
+			return 0, err
+		}
+		if len(fig.Rows) == 0 {
+			return 0, fmt.Errorf("empty figure")
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	seqSec, err := sweep(1)
+	if err != nil {
+		return err
+	}
+	parSec, err := sweep(0)
+	if err != nil {
+		return err
+	}
+	doc.Sweep = sweepResult{
+		Experiment:        "fig2a",
+		Trials:            trials,
+		Quick:             *quick,
+		SequentialSeconds: seqSec,
+		ParallelSeconds:   parSec,
+		ParallelWorkers:   runtime.GOMAXPROCS(0),
+		Speedup:           seqSec / parSec,
+	}
+	fmt.Printf("%-40s %12.3f s sequential, %.3f s parallel (%.2fx, %d workers)\n",
+		"sweep/fig2a", seqSec, parSec, doc.Sweep.Speedup, doc.Sweep.ParallelWorkers)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

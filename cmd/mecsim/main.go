@@ -100,6 +100,7 @@ func run(args []string, stdout io.Writer) error {
 		divisible   = fs.Bool("divisible", false, "generate divisible tasks and run the DTA pipeline")
 		simulate    = fs.Bool("sim", true, "replay the LP-HTA assignment in the discrete-event simulator")
 		load        = fs.String("load", "", "load a scenario JSON document instead of generating one")
+		parallel    = fs.Int("parallel", 0, "LP-HTA cluster worker count (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
 		metricsPath = fs.String("metrics", "", "write a run manifest (metrics + environment) to this JSON file")
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
 	)
@@ -123,7 +124,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	runErr := runScenario(instr, *load, *seed, *devices, *stations, *tasks, *inputKB,
-		*divisible, *simulate, stdout)
+		*parallel, *divisible, *simulate, stdout)
 	if instr.enabled() {
 		if err := finishInstrumentation(instr, stdout); err != nil && runErr == nil {
 			runErr = err
@@ -135,7 +136,7 @@ func run(args []string, stdout io.Writer) error {
 // runScenario executes the selected pipeline under the (possibly nil)
 // instrumentation bundle.
 func runScenario(instr *instrumentation, load string, seed int64,
-	devices, stations, tasks, inputKB int, divisible, simulate bool, stdout io.Writer) error {
+	devices, stations, tasks, inputKB, parallel int, divisible, simulate bool, stdout io.Writer) error {
 	if load != "" {
 		data, err := os.ReadFile(load)
 		if err != nil {
@@ -152,7 +153,7 @@ func runScenario(instr *instrumentation, load string, seed int64,
 		if sc.Placement != nil {
 			return runDivisibleScenario(sc, instr, stdout)
 		}
-		return runHolisticScenario(sc, simulate, instr, stdout)
+		return runHolisticScenario(sc, parallel, simulate, instr, stdout)
 	}
 
 	params := dsmec.WorkloadParams{
@@ -187,17 +188,17 @@ func runScenario(instr *instrumentation, load string, seed int64,
 	if divisible {
 		return runDivisibleScenario(sc, instr, stdout)
 	}
-	return runHolisticScenario(sc, simulate, instr, stdout)
+	return runHolisticScenario(sc, parallel, simulate, instr, stdout)
 }
 
-func runHolisticScenario(sc *dsmec.Scenario, simulate bool, instr *instrumentation, stdout io.Writer) error {
+func runHolisticScenario(sc *dsmec.Scenario, parallel int, simulate bool, instr *instrumentation, stdout io.Writer) error {
 	ins := instr.ins()
 	fmt.Fprintf(stdout, "scenario: %d devices, %d stations, %d holistic tasks\n\n",
 		sc.System.NumDevices(), sc.System.NumStations(), sc.Tasks.Len())
 
 	tb := texttable.New("method", "energy (J)", "mean latency (s)", "unsatisfied", "device/station/cloud/cancel")
 
-	lph, err := dsmec.LPHTA(sc.Model, sc.Tasks, &dsmec.LPHTAOptions{Obs: ins})
+	lph, err := dsmec.LPHTA(sc.Model, sc.Tasks, &dsmec.LPHTAOptions{Obs: ins, Parallelism: parallel})
 	if err != nil {
 		return err
 	}

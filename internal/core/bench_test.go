@@ -1,0 +1,33 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"dsmec/internal/rng"
+	"dsmec/internal/workload"
+)
+
+// BenchmarkLPHTAWorkers measures the cluster worker pool: the same
+// scenario solved sequentially and with one worker per core. Output is
+// identical either way (see TestLPHTAParallelMatchesSequential); only the
+// wall-clock should move.
+func BenchmarkLPHTAWorkers(b *testing.B) {
+	sc, err := workload.GenerateHolistic(rng.NewSource(1), workload.Params{
+		NumDevices: 50, NumStations: 5, NumTasks: 450,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := LPHTA(sc.Model, sc.Tasks, &LPHTAOptions{Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

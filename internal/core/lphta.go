@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"dsmec/internal/costmodel"
@@ -48,6 +50,14 @@ type LPHTAOptions struct {
 	Repair   RepairOrder
 	// Rand is required only for RoundRandomized.
 	Rand *rand.Rand
+	// Parallelism bounds how many clusters are solved concurrently. The
+	// paper's decomposition argument (Section III) makes clusters
+	// independent, so they parallelize without changing any result:
+	// outcomes are merged in station order regardless of worker count.
+	// Zero means GOMAXPROCS; 1 solves sequentially. RoundRandomized
+	// consumes a single shared Rand stream and therefore always runs
+	// sequentially.
+	Parallelism int
 	// Obs selects where metrics and trace spans are recorded. The zero
 	// value records metrics to the process-wide obs registry (if any)
 	// and disables tracing.
@@ -65,9 +75,16 @@ func (o *LPHTAOptions) withDefaults() (LPHTAOptions, error) {
 		}
 		out.Rand = o.Rand
 		out.Obs = o.Obs
+		out.Parallelism = o.Parallelism
 	}
 	if out.Rounding == RoundRandomized && out.Rand == nil {
 		return out, fmt.Errorf("core: randomized rounding requires a rand source")
+	}
+	if out.Parallelism <= 0 {
+		out.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if out.Rounding == RoundRandomized {
+		out.Parallelism = 1
 	}
 	return out, nil
 }
@@ -112,10 +129,31 @@ type clusterTask struct {
 	opts costmodel.Options
 }
 
+// taskPlacement is one task's final placement (SubsystemNone = cancelled).
+type taskPlacement struct {
+	id    task.ID
+	level costmodel.Subsystem
+}
+
+// clusterOutcome is everything one cluster contributes to the HTAResult.
+// Workers fill outcomes independently; the merge walks them in station
+// order, task by task, so the accumulated floating-point sums are
+// byte-identical to a sequential run regardless of worker count.
+type clusterOutcome struct {
+	placements   []taskPlacement
+	rounded      []units.Energy // Step 3 energy per surviving task, input order
+	lpObjective  units.Energy
+	delta        units.Energy
+	lpIterations int
+	fractional   int
+	preCancelled int
+}
+
 // LPHTA runs the Holistic Task Assignment algorithm of Section III on the
 // whole system, treating each cluster independently (as the paper argues
 // is possible, since a task can only run on its own device, its own
-// station, or the cloud).
+// station, or the cloud). Clusters are solved over a bounded worker pool
+// sized by LPHTAOptions.Parallelism.
 func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult, error) {
 	opts, err := options.withDefaults()
 	if err != nil {
@@ -139,26 +177,103 @@ func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult,
 		}
 		perCluster[st] = append(perCluster[st], t)
 	}
+	type cluster struct {
+		station int
+		tasks   []*task.Task
+	}
+	var clusters []cluster
+	for st, tasks := range perCluster {
+		if len(tasks) > 0 {
+			clusters = append(clusters, cluster{station: st, tasks: tasks})
+		}
+	}
+
+	workers := opts.Parallelism
+	if workers > len(clusters) {
+		workers = len(clusters)
+	}
+	span.Annotate("clusters", len(clusters))
+	span.Annotate("workers", workers)
 
 	clusterSeconds := opts.Obs.Histogram("lphta.cluster_seconds", obs.TimeBuckets)
 	clusterTasks := opts.Obs.Histogram("lphta.cluster_tasks", obs.CountBuckets)
-	for st, tasks := range perCluster {
-		if len(tasks) == 0 {
-			continue
-		}
+	runCluster := func(ci int) (*clusterOutcome, error) {
+		c := clusters[ci]
 		opts.Obs.Counter("lphta.clusters").Inc()
-		clusterTasks.Observe(float64(len(tasks)))
-		cspan := span.Child("lphta.cluster")
-		cspan.Annotate("station", st)
-		cspan.Annotate("tasks", len(tasks))
+		clusterTasks.Observe(float64(len(c.tasks)))
+		var cspan *obs.Span
+		if workers > 1 {
+			// Concurrent siblings cannot share the parent's trace track.
+			cspan = span.Fork("lphta.cluster")
+		} else {
+			cspan = span.Child("lphta.cluster")
+		}
+		cspan.Annotate("station", c.station)
+		cspan.Annotate("tasks", len(c.tasks))
 		copts := opts
 		copts.Obs = opts.Obs.WithSpan(cspan)
 		start := time.Now()
-		err := lphtaCluster(m, st, tasks, copts, res)
+		out, err := lphtaCluster(m, c.station, c.tasks, copts)
 		clusterSeconds.Observe(time.Since(start).Seconds())
 		cspan.End()
 		if err != nil {
-			return nil, fmt.Errorf("core: cluster %d: %w", st, err)
+			return nil, fmt.Errorf("core: cluster %d: %w", c.station, err)
+		}
+		return out, nil
+	}
+
+	outcomes := make([]*clusterOutcome, len(clusters))
+	errs := make([]error, len(clusters))
+	if workers <= 1 {
+		for ci := range clusters {
+			outcomes[ci], errs[ci] = runCluster(ci)
+			if errs[ci] != nil {
+				return nil, errs[ci]
+			}
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range idx {
+					outcomes[ci], errs[ci] = runCluster(ci)
+				}
+			}()
+		}
+		for ci := range clusters {
+			idx <- ci
+		}
+		close(idx)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Merge in station order: the accumulation sequence is exactly the
+	// sequential one, so output does not depend on the worker count.
+	for _, o := range outcomes {
+		res.LPObjective += o.lpObjective
+		res.LPIterations += o.lpIterations
+		res.FractionalTasks += o.fractional
+		res.PreCancelled += o.preCancelled
+		for _, e := range o.rounded {
+			res.RoundedEnergy += e
+		}
+		if o.delta > 0 {
+			res.Delta += o.delta
+		}
+		for _, p := range o.placements {
+			if p.level == costmodel.SubsystemNone {
+				res.Assignment.Cancel(p.id)
+			} else {
+				res.Assignment.Place(p.id, p.level)
+			}
 		}
 	}
 	span.Annotate("fractional_tasks", res.FractionalTasks)
@@ -166,9 +281,10 @@ func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult,
 	return res, nil
 }
 
-// lphtaCluster runs Steps 1–6 for one cluster, accumulating into res.
-func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHTAOptions, res *HTAResult) error {
+// lphtaCluster runs Steps 1–6 for one cluster and returns its outcome.
+func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHTAOptions) (*clusterOutcome, error) {
 	sys := m.System()
+	out := &clusterOutcome{placements: make([]taskPlacement, 0, len(tasks))}
 
 	// Evaluate costs, cancelling upfront any task no subsystem can serve
 	// within its deadline (the LP would be infeasible with it, and Step 4
@@ -177,7 +293,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 	for _, t := range tasks {
 		o, err := m.Eval(t)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		feasibleSomewhere := false
 		for _, l := range costmodel.Subsystems {
@@ -187,34 +303,33 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 			}
 		}
 		if !feasibleSomewhere {
-			res.Assignment.Cancel(t.ID)
-			res.PreCancelled++
+			out.placements = append(out.placements, taskPlacement{id: t.ID, level: costmodel.SubsystemNone})
+			out.preCancelled++
 			opts.Obs.Counter("lphta.pre_cancelled").Inc()
 			continue
 		}
 		cts = append(cts, clusterTask{t: t, opts: o})
 	}
 	if len(cts) == 0 {
-		return nil
+		return out, nil
 	}
 
 	// Step 1: build and solve the relaxation P2.
 	frac, sol, err := solveClusterLP(sys, station, cts, opts.Obs)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	res.LPObjective += units.Energy(sol.Objective)
-	res.LPIterations += sol.Iterations
+	out.lpObjective = units.Energy(sol.Objective)
+	out.lpIterations = sol.Iterations
 
 	// Steps 2–3: round to x̂.
 	rspan := opts.Obs.Span.Child("lphta.round")
-	fractional := 0
 	chosen := make([]costmodel.Subsystem, len(cts))
+	out.rounded = make([]units.Energy, len(cts))
 	for i := range cts {
 		x := frac[i]
 		if !isIntegral(x) {
-			res.FractionalTasks++
-			fractional++
+			out.fractional++
 		}
 		switch opts.Rounding {
 		case RoundRandomized:
@@ -222,11 +337,11 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 		default:
 			chosen[i] = argmaxLevel(x)
 		}
-		res.RoundedEnergy += cts[i].opts.At(chosen[i]).Energy
+		out.rounded[i] = cts[i].opts.At(chosen[i]).Energy
 	}
-	opts.Obs.Counter("lphta.fractional_tasks").Add(int64(fractional))
+	opts.Obs.Counter("lphta.fractional_tasks").Add(int64(out.fractional))
 	rspan.Annotate("tasks", len(cts))
-	rspan.Annotate("fractional", fractional)
+	rspan.Annotate("fractional", out.fractional)
 	rspan.End()
 
 	pspan := opts.Obs.Span.Child("lphta.repair")
@@ -250,6 +365,10 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 		opts.Obs.Counter("lphta.deadline_repairs").Inc()
 	}
 
+	// The migration order comparator is shared by Steps 5 and 6; one
+	// sorter's scratch slice is reused across every overloaded device.
+	sorter := repairSorter{cts: cts, order: opts.Repair}
+
 	// Step 5: per-device capacity repair (device → station → cancel).
 	byDevice := make(map[int][]int) // device -> indices into cts
 	for i, ct := range cts {
@@ -266,7 +385,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 		if load <= cap {
 			continue
 		}
-		order := sortByResource(cts, idxs, opts.Repair)
+		order := sorter.sorted(idxs)
 		// First pass: migrate station-feasible tasks.
 		for _, i := range order {
 			if load <= cap {
@@ -301,7 +420,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 		}
 	}
 	if cap := sys.Stations[station].ResourceCap; stationLoad > cap {
-		order := sortByResource(cts, stationIdxs, opts.Repair)
+		order := sorter.sorted(stationIdxs)
 		for _, i := range order {
 			if stationLoad <= cap {
 				break
@@ -327,21 +446,16 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 	// Record the final assignment and Δ, the energy growth the Steps 4–6
 	// migrations caused relative to the Step 3 rounding (over tasks that
 	// remain placed).
-	var delta units.Energy
 	for i, ct := range cts {
 		l := chosen[i]
+		out.placements = append(out.placements, taskPlacement{id: ct.t.ID, level: l})
 		if l == costmodel.SubsystemNone {
-			res.Assignment.Cancel(ct.t.ID)
 			continue
 		}
-		res.Assignment.Place(ct.t.ID, l)
 		step3 := ct.opts.At(argmaxLevel(frac[i])).Energy
-		delta += ct.opts.At(l).Energy - step3
+		out.delta += ct.opts.At(l).Energy - step3
 	}
-	if delta > 0 {
-		res.Delta += delta
-	}
-	return nil
+	return out, nil
 }
 
 // solveClusterLP builds and solves the relaxation P2 for one cluster:
@@ -353,6 +467,10 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 //	     Σ_l x_ijl = 1                  (C4)
 //	     0 ≤ x_ijl ≤ 1                  (relaxed C5)
 //
+// Rows are built in sparse form: a C4 row has 3 nonzeros and a C2 row one
+// nonzero per task on that device, so build memory is linear in the
+// cluster size instead of O(rows × 3n).
+//
 // It returns the fractional assignment per task and the LP solution.
 func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, ins obs.Instruments) ([][3]float64, *lp.Solution, error) {
 	nVars := 3 * len(cts)
@@ -361,6 +479,10 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, ins obs.
 		Upper:    make([]float64, nVars),
 	}
 
+	// reachable marks variables whose subsystem can serve the task at all;
+	// the infeasibility fallback below may only relax the deadline-derived
+	// bounds, never re-enable an unreachable subsystem.
+	reachable := make([]bool, nVars)
 	for i, ct := range cts {
 		for li, l := range costmodel.Subsystems {
 			v := 3*i + li
@@ -369,10 +491,13 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, ins obs.
 			bound := 1.0
 			if !c.Time.IsFinite() {
 				bound = 0
-			} else if c.Time > 0 {
-				// t_ijl·x ≤ T_ij  ⇒  x ≤ T_ij/t_ijl.
-				if b := float64(ct.t.Deadline) / float64(c.Time); b < bound {
-					bound = b
+			} else {
+				reachable[v] = true
+				if c.Time > 0 {
+					// t_ijl·x ≤ T_ij  ⇒  x ≤ T_ij/t_ijl.
+					if b := float64(ct.t.Deadline) / float64(c.Time); b < bound {
+						bound = b
+					}
 				}
 			}
 			p.Upper[v] = bound
@@ -381,9 +506,8 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, ins obs.
 
 	// C4: one equality row per task.
 	for i := range cts {
-		row := make([]float64, nVars)
-		row[3*i], row[3*i+1], row[3*i+2] = 1, 1, 1
-		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Sense: lp.EQ, RHS: 1})
+		p.Constraints = append(p.Constraints, lp.Sparse(
+			[]int{3 * i, 3*i + 1, 3*i + 2}, []float64{1, 1, 1}, lp.EQ, 1))
 	}
 
 	// C2: one row per device that raises tasks in this cluster.
@@ -397,23 +521,26 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, ins obs.
 	}
 	sort.Ints(devices)
 	for _, dev := range devices {
-		row := make([]float64, nVars)
-		for _, i := range byDevice[dev] {
-			row[3*i] = cts[i].t.Resource
+		idxs := byDevice[dev]
+		cols := make([]int, len(idxs))
+		vals := make([]float64, len(idxs))
+		for k, i := range idxs {
+			cols[k] = 3 * i
+			vals[k] = cts[i].t.Resource
 		}
-		p.Constraints = append(p.Constraints, lp.Constraint{
-			Coeffs: row, Sense: lp.LE, RHS: sys.Devices[dev].ResourceCap,
-		})
+		p.Constraints = append(p.Constraints, lp.Sparse(
+			cols, vals, lp.LE, sys.Devices[dev].ResourceCap))
 	}
 
 	// C3: the station row.
-	row := make([]float64, nVars)
+	cols := make([]int, len(cts))
+	vals := make([]float64, len(cts))
 	for i := range cts {
-		row[3*i+1] = cts[i].t.Resource
+		cols[i] = 3*i + 1
+		vals[i] = cts[i].t.Resource
 	}
-	p.Constraints = append(p.Constraints, lp.Constraint{
-		Coeffs: row, Sense: lp.LE, RHS: sys.Stations[station].ResourceCap,
-	})
+	p.Constraints = append(p.Constraints, lp.Sparse(
+		cols, vals, lp.LE, sys.Stations[station].ResourceCap))
 
 	sol, err := lp.SolveObserved(p, ins)
 	if err != nil {
@@ -422,11 +549,16 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, ins obs.
 	if sol.Status != lp.Optimal {
 		// The relaxation can only be infeasible when deadline bounds and
 		// caps conflict in ways the pre-cancellation did not remove; fall
-		// back to dropping deadline bounds entirely (Step 4 repairs them)
-		// so every remaining task still gets a fractional placement.
+		// back to dropping the deadline-derived bounds (Step 4 repairs
+		// them) so every remaining task still gets a fractional placement.
+		// Zero bounds stay: they mark subsystems that cannot serve the
+		// task at all, and re-enabling them would let the rounding place a
+		// task somewhere it can never run.
 		ins.Counter("lphta.lp_fallbacks").Inc()
 		for v := range p.Upper {
-			p.Upper[v] = 1
+			if reachable[v] {
+				p.Upper[v] = 1
+			}
 		}
 		sol, err = lp.SolveObserved(p, ins)
 		if err != nil {
@@ -485,21 +617,38 @@ func sampleLevel(r *rand.Rand, x [3]float64) costmodel.Subsystem {
 	}
 }
 
-// sortByResource returns the indices ordered for repair migration:
-// largest C_ij first for the paper's rule, smallest first for the
-// ablation. Ties break by task ID for determinism.
-func sortByResource(cts []clusterTask, idxs []int, order RepairOrder) []int {
-	out := make([]int, len(idxs))
-	copy(out, idxs)
-	sort.Slice(out, func(a, b int) bool {
-		ra, rb := cts[out[a]].t.Resource, cts[out[b]].t.Resource
-		if ra != rb {
-			if order == RepairSmallestFirst {
-				return ra < rb
-			}
-			return ra > rb
+// repairSorter orders task indices for repair migration: largest C_ij
+// first for the paper's rule, smallest first for the ablation. Ties break
+// by task ID for determinism. One sorter serves every overloaded device of
+// a cluster, reusing its scratch slice instead of re-allocating and
+// re-capturing a comparator per sort.
+type repairSorter struct {
+	cts     []clusterTask
+	order   RepairOrder
+	scratch []int
+}
+
+// sorted returns idxs in migration order. The result aliases the sorter's
+// scratch slice and is valid until the next call.
+func (s *repairSorter) sorted(idxs []int) []int {
+	s.scratch = append(s.scratch[:0], idxs...)
+	sort.Sort(s)
+	return s.scratch
+}
+
+func (s *repairSorter) Len() int { return len(s.scratch) }
+
+func (s *repairSorter) Swap(i, j int) {
+	s.scratch[i], s.scratch[j] = s.scratch[j], s.scratch[i]
+}
+
+func (s *repairSorter) Less(i, j int) bool {
+	ra, rb := s.cts[s.scratch[i]].t.Resource, s.cts[s.scratch[j]].t.Resource
+	if ra != rb {
+		if s.order == RepairSmallestFirst {
+			return ra < rb
 		}
-		return cts[out[a]].t.ID.Less(cts[out[b]].t.ID)
-	})
-	return out
+		return ra > rb
+	}
+	return s.cts[s.scratch[i]].t.ID.Less(s.cts[s.scratch[j]].t.ID)
 }

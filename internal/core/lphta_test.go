@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dsmec/internal/costmodel"
+	"dsmec/internal/obs"
 	"dsmec/internal/rng"
 	"dsmec/internal/task"
 	"dsmec/internal/units"
@@ -316,5 +317,114 @@ func TestRatioBoundEstimateEmptyResult(t *testing.T) {
 	r := &HTAResult{}
 	if got := r.RatioBoundEstimate(); !(got > 1e18) {
 		t.Errorf("empty result ratio bound = %g, want +Inf", got)
+	}
+}
+
+func TestLPHTAParallelMatchesSequential(t *testing.T) {
+	// The tentpole guarantee: cluster outcomes merge in station order, so
+	// the result is byte-identical however many workers solve them.
+	sc, err := workload.GenerateHolistic(rng.NewSource(21), workload.Params{
+		NumDevices: 24, NumStations: 4, NumTasks: 80,
+		DeviceCap: 4, StationCap: 20, // tight caps exercise the repair steps too
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := LPHTA(sc.Model, sc.Tasks, &LPHTAOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := LPHTA(sc.Model, sc.Tasks, &LPHTAOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.LPObjective != par.LPObjective || seq.RoundedEnergy != par.RoundedEnergy ||
+		seq.Delta != par.Delta || seq.LPIterations != par.LPIterations ||
+		seq.FractionalTasks != par.FractionalTasks || seq.PreCancelled != par.PreCancelled {
+		t.Errorf("parallel result differs from sequential:\nseq %+v\npar %+v", seq, par)
+	}
+	for id, l := range seq.Assignment.Placement {
+		if par.Assignment.Placement[id] != l {
+			t.Fatalf("placement of %v differs: seq %v, par %v", id, l, par.Assignment.Placement[id])
+		}
+	}
+	if len(par.Assignment.Placement) != len(seq.Assignment.Placement) {
+		t.Errorf("placement sizes differ: seq %d, par %d",
+			len(seq.Assignment.Placement), len(par.Assignment.Placement))
+	}
+}
+
+func TestLPHTARandomizedRoundingDeterministic(t *testing.T) {
+	// A fixed seed pins the sampled placements; Parallelism is forced to 1
+	// for RoundRandomized, so asking for workers must not change anything.
+	run := func(parallelism int) *HTAResult {
+		sc, err := workload.GenerateHolistic(rng.NewSource(42), workload.Params{
+			NumDevices: 10, NumStations: 2, NumTasks: 40,
+			DeviceCap: 4, StationCap: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := LPHTA(sc.Model, sc.Tasks, &LPHTAOptions{
+			Rounding:    RoundRandomized,
+			Rand:        rng.NewSource(42).Stream("rounding"),
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckFeasible(sc.Model, sc.Tasks, res.Assignment); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := run(1), run(1), run(8)
+	for _, other := range []*HTAResult{b, c} {
+		if a.RoundedEnergy != other.RoundedEnergy || a.Delta != other.Delta {
+			t.Error("randomized rounding not deterministic under a fixed seed")
+		}
+		for id, l := range a.Assignment.Placement {
+			if other.Assignment.Placement[id] != l {
+				t.Fatalf("placement of %v differs between fixed-seed runs", id)
+			}
+		}
+	}
+}
+
+func TestLPHTAFallbackKeepsUnreachableBounds(t *testing.T) {
+	// Regression: the infeasible-LP fallback used to reset every upper
+	// bound to 1, re-enabling variables whose bound was 0 because the
+	// subsystem cannot serve the task at all (infinite time). With the
+	// station unreachable but artificially cheap, the old fallback put the
+	// whole fractional mass there.
+	//
+	// Two resource-2 tasks on a cap-2 device can place at most one unit of
+	// combined device mass, but their cloud bounds (deadline/time = 0.2)
+	// only absorb 0.2 each, so the bounded LP is infeasible and the
+	// fallback must fire.
+	sys, _ := twoDeviceSystem(t, 2, 100)
+	unreachableStation := costmodel.Cost{Time: units.Forever, Energy: 0.1}
+	opts := costmodel.Options{ByLevel: [4]costmodel.Cost{
+		costmodel.SubsystemDevice:  {Time: 1 * units.Second, Energy: 5},
+		costmodel.SubsystemStation: unreachableStation,
+		costmodel.SubsystemCloud:   {Time: 10 * units.Second, Energy: 10},
+	}}
+	cts := []clusterTask{
+		{t: simpleTask(0, 0, 500*units.Kilobyte, 2, 2*units.Second), opts: opts},
+		{t: simpleTask(0, 1, 500*units.Kilobyte, 2, 2*units.Second), opts: opts},
+	}
+	frac, _, err := solveClusterLP(sys, 0, cts, obs.Instruments{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cts {
+		if frac[i][1] != 0 {
+			t.Errorf("task %d: fallback placed fraction %g on the unreachable station",
+				i, frac[i][1])
+		}
+		if frac[i][0]+frac[i][2] < 1-1e-6 {
+			t.Errorf("task %d: fractions %v do not sum to 1 over reachable subsystems",
+				i, frac[i])
+		}
 	}
 }

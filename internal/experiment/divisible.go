@@ -31,11 +31,11 @@ type divisibleTrial struct {
 }
 
 // runDivisiblePoint generates Trials divisible scenarios and runs LP-HTA
-// (holistic treatment) plus both DTA goals on each. Trials run
-// concurrently when opts.Parallel is set.
+// (holistic treatment) plus both DTA goals on each. Trials run over the
+// options' worker pool.
 func runDivisiblePoint(opts Options, params workload.Params) (*divisiblePoint, error) {
 	results := make([]divisibleTrial, opts.Trials)
-	err := forEachTrial(opts.Trials, opts.Parallel, func(trial int) error {
+	err := forEachIndexed(opts.Trials, opts.workers(), func(trial int) error {
 		src := rng.NewSource(opts.Seed).
 			Derive(fmt.Sprintf("divisible-%d-%d-%v", params.NumTasks, trial, params.MaxInput))
 		sc, err := workload.GenerateDivisible(src, params)
@@ -104,16 +104,23 @@ func Fig5a(opts Options) (*Figure, error) {
 		ID: "fig5a", Title: "energy of LP-HTA vs DTA variants, growing task count",
 		XLabel: "tasks", YLabel: "total energy (J)", Columns: methods,
 	}
-	for _, n := range taskCounts(opts.Quick) {
+	counts := taskCounts(opts.Quick)
+	rows, err := collectIndexed(len(counts), opts.workers(), func(i int) (Row, error) {
+		n := counts[i]
 		point, err := runDivisiblePoint(opts, workload.Params{NumTasks: n})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		f.AddRow(fmt.Sprintf("%d", n),
+		return Row{X: fmt.Sprintf("%d", n), Values: []float64{
 			point.energy[MethodLPHTA].Mean(),
 			point.energy[MethodDTAWorkload].Mean(),
-			point.energy[MethodDTANumber].Mean())
+			point.energy[MethodDTANumber].Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -142,19 +149,25 @@ func Fig5b(opts Options) (*Figure, error) {
 			model compute.ResultModel
 		}{resultModels[0], resultModels[len(resultModels)-1]}
 	}
-	for _, rm := range resultModels {
+	rows, err := collectIndexed(len(resultModels), opts.workers(), func(i int) (Row, error) {
+		rm := resultModels[i]
 		point, err := runDivisiblePoint(opts, workload.Params{
 			NumTasks:    100,
 			ResultModel: rm.model,
 		})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		f.AddRow(rm.label,
+		return Row{X: rm.label, Values: []float64{
 			point.energy[MethodLPHTA].Mean(),
 			point.energy[MethodDTAWorkload].Mean(),
-			point.energy[MethodDTANumber].Mean())
+			point.energy[MethodDTANumber].Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -174,15 +187,21 @@ func Fig6a(opts Options) (*Figure, error) {
 	if opts.Quick {
 		sizes = []units.ByteSize{sizes[0], sizes[len(sizes)-1]}
 	}
-	for _, size := range sizes {
+	rows, err := collectIndexed(len(sizes), opts.workers(), func(i int) (Row, error) {
+		size := sizes[i]
 		point, err := runDivisiblePoint(opts, workload.Params{NumTasks: 200, MaxInput: size})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		f.AddRow(fmt.Sprintf("%.0f", size.Kilobytes()),
+		return Row{X: fmt.Sprintf("%.0f", size.Kilobytes()), Values: []float64{
 			point.procTime[MethodDTAWorkload].Mean(),
-			point.procTime[MethodDTANumber].Mean())
+			point.procTime[MethodDTANumber].Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -199,16 +218,22 @@ func Fig6b(opts Options) (*Figure, error) {
 	if opts.Quick {
 		counts = []int{100, 900}
 	}
-	for _, n := range counts {
+	rows, err := collectIndexed(len(counts), opts.workers(), func(i int) (Row, error) {
+		n := counts[i]
 		point, err := runDivisiblePoint(opts, workload.Params{
 			NumTasks: n, MaxInput: 2000 * units.Kilobyte,
 		})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		f.AddRow(fmt.Sprintf("%d", n),
+		return Row{X: fmt.Sprintf("%d", n), Values: []float64{
 			point.involved[MethodDTAWorkload].Mean(),
-			point.involved[MethodDTANumber].Mean())
+			point.involved[MethodDTANumber].Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -26,33 +27,74 @@ type Options struct {
 	// Quick shrinks sweeps to their endpoints, for smoke tests and
 	// testing.B benchmarks.
 	Quick bool
-	// Parallel runs the trials of each sweep point concurrently. Results
-	// are aggregated in trial order, so figures are identical either way.
-	Parallel bool
+	// Parallelism bounds how many sweep points (and trials within each
+	// point) run concurrently. Zero means GOMAXPROCS; 1 runs everything
+	// sequentially. Results are always aggregated in index order, so
+	// figures are byte-identical regardless of the worker count.
+	Parallelism int
 }
 
-// forEachTrial runs fn for trials 0..n-1, concurrently when parallel is
-// set. It returns the first error encountered (all trials still run).
-func forEachTrial(n int, parallel bool, fn func(trial int) error) error {
-	if !parallel {
-		for trial := 0; trial < n; trial++ {
-			if err := fn(trial); err != nil {
-				return err
+// workers resolves Parallelism to a concrete worker count.
+func (o Options) workers() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+// forEachIndexed runs fn for indices 0..n-1 over a bounded pool of
+// workers; workers <= 1 runs inline. Every index runs even after a
+// failure, and the joined error lists failures in index order.
+func forEachIndexed(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		var errs []error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				errs = append(errs, err)
 			}
 		}
-		return nil
+		return errors.Join(errs...)
+	}
+	if workers > n {
+		workers = n
 	}
 	errs := make([]error, n)
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for trial := 0; trial < n; trial++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(trial int) {
+		go func() {
 			defer wg.Done()
-			errs[trial] = fn(trial)
-		}(trial)
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
 	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// collectIndexed runs fn for indices 0..n-1 over a bounded pool and
+// returns the results in index order, so downstream aggregation (and its
+// floating-point accumulation sequence) is independent of scheduling.
+func collectIndexed[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := forEachIndexed(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func (o Options) withDefaults() Options {

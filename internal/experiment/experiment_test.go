@@ -300,11 +300,11 @@ func TestFeedbackExperiment(t *testing.T) {
 }
 
 func TestParallelMatchesSequential(t *testing.T) {
-	seq, err := Fig2a(Options{Seed: 3, Trials: 3, Quick: true, Parallel: false})
+	seq, err := Fig2a(Options{Seed: 3, Trials: 3, Quick: true, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fig2a(Options{Seed: 3, Trials: 3, Quick: true, Parallel: true})
+	par, err := Fig2a(Options{Seed: 3, Trials: 3, Quick: true, Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,11 +317,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 		}
 	}
 
-	seqD, err := Fig5a(Options{Seed: 3, Trials: 2, Quick: true, Parallel: false})
+	seqD, err := Fig5a(Options{Seed: 3, Trials: 2, Quick: true, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parD, err := Fig5a(Options{Seed: 3, Trials: 2, Quick: true, Parallel: true})
+	parD, err := Fig5a(Options{Seed: 3, Trials: 2, Quick: true, Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

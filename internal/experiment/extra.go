@@ -31,40 +31,65 @@ func SimCheck(opts Options) (*Figure, error) {
 			"energy matches the analytic model exactly by construction; queueing shifts time only",
 		},
 	}
-	for _, n := range taskCounts(opts.Quick) {
-		var analytic, simulated, misses stats.Series
-		for trial := 0; trial < opts.Trials; trial++ {
+	type simTrial struct {
+		analytic, simulated, misses float64
+		placed                      bool
+	}
+	counts := taskCounts(opts.Quick)
+	rows, err := collectIndexed(len(counts), opts.workers(), func(pi int) (Row, error) {
+		n := counts[pi]
+		trials, err := collectIndexed(opts.Trials, opts.workers(), func(trial int) (simTrial, error) {
 			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("simcheck-%d-%d", n, trial))
 			sc, err := workload.GenerateHolistic(src, workload.Params{NumTasks: n})
 			if err != nil {
-				return nil, err
+				return simTrial{}, err
 			}
 			res, err := core.LPHTA(sc.Model, sc.Tasks, nil)
 			if err != nil {
-				return nil, err
+				return simTrial{}, err
 			}
 			m, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
 			if err != nil {
-				return nil, err
+				return simTrial{}, err
 			}
 			sm, err := sim.Run(sc.Model, sc.Tasks, res.Assignment, sim.Config{})
 			if err != nil {
-				return nil, err
+				return simTrial{}, err
 			}
-			analytic.Add(m.MeanLatency().Seconds())
-			simulated.Add(sm.MeanLatency().Seconds())
+			tr := simTrial{
+				analytic:  m.MeanLatency().Seconds(),
+				simulated: sm.MeanLatency().Seconds(),
+			}
 			placed := sc.Tasks.Len() - sm.Cancelled
 			if placed > 0 {
-				misses.Add(100 * float64(sm.DeadlineViolations) / float64(placed))
+				tr.placed = true
+				tr.misses = 100 * float64(sm.DeadlineViolations) / float64(placed)
+			}
+			return tr, nil
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		var analytic, simulated, misses stats.Series
+		for _, tr := range trials {
+			analytic.Add(tr.analytic)
+			simulated.Add(tr.simulated)
+			if tr.placed {
+				misses.Add(tr.misses)
 			}
 		}
 		inflation := 0.0
 		if analytic.Mean() > 0 {
 			inflation = simulated.Mean() / analytic.Mean()
 		}
-		f.AddRow(fmt.Sprintf("%d", n),
-			analytic.Mean(), simulated.Mean(), inflation, misses.Mean())
+		return Row{X: fmt.Sprintf("%d", n), Values: []float64{
+			analytic.Mean(), simulated.Mean(), inflation, misses.Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -83,11 +108,14 @@ func RatioStudy(opts Options) (*Figure, error) {
 	if opts.Quick {
 		counts = []int{8, 32}
 	}
+	type ratioTrial struct {
+		ok           bool
+		ratio, bound float64
+	}
 	trials := opts.Trials * 4 // small instances are cheap; average harder
-	for _, n := range counts {
-		var ratios, bounds stats.Series
-		feasible := 0
-		for trial := 0; trial < trials; trial++ {
+	rows, err := collectIndexed(len(counts), opts.workers(), func(pi int) (Row, error) {
+		n := counts[pi]
+		results, err := collectIndexed(trials, opts.workers(), func(trial int) (ratioTrial, error) {
 			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("ratio-%d-%d", n, trial))
 			// Deadlines span [2, 8]x the best achievable time so that
 			// capacity-forced offloads stay deadline-feasible and full
@@ -98,41 +126,60 @@ func RatioStudy(opts Options) (*Figure, error) {
 				DeadlineSlackMin: 2, DeadlineSlackMax: 8,
 			})
 			if err != nil {
-				return nil, err
+				return ratioTrial{}, err
 			}
 			opt, err := baseline.ILPOptimalHTA(sc.Model, sc.Tasks, 20000)
 			if errors.Is(err, core.ErrNoFeasible) || errors.Is(err, lp.ErrNodeLimit) {
-				continue // over-constrained or too hard to prove optimal
+				return ratioTrial{}, nil // over-constrained or too hard to prove optimal
 			}
 			if err != nil {
-				return nil, err
+				return ratioTrial{}, err
 			}
 			optM, err := core.Evaluate(sc.Model, sc.Tasks, opt)
 			if err != nil {
-				return nil, err
+				return ratioTrial{}, err
 			}
 			res, err := core.LPHTA(sc.Model, sc.Tasks, nil)
 			if err != nil {
-				return nil, err
+				return ratioTrial{}, err
 			}
 			lpM, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
 			if err != nil {
-				return nil, err
+				return ratioTrial{}, err
 			}
 			if lpM.Cancelled > 0 || optM.TotalEnergy <= 0 {
-				continue // ratio undefined when LP-HTA cancels
+				return ratioTrial{}, nil // ratio undefined when LP-HTA cancels
+			}
+			return ratioTrial{
+				ok:    true,
+				ratio: float64(lpM.TotalEnergy) / float64(optM.TotalEnergy),
+				bound: res.RatioBoundEstimate(),
+			}, nil
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		var ratios, bounds stats.Series
+		feasible := 0
+		for _, tr := range results {
+			if !tr.ok {
+				continue
 			}
 			feasible++
-			ratios.Add(float64(lpM.TotalEnergy) / float64(optM.TotalEnergy))
-			bounds.Add(res.RatioBoundEstimate())
+			ratios.Add(tr.ratio)
+			bounds.Add(tr.bound)
 		}
 		if feasible == 0 {
-			f.AddRow(fmt.Sprintf("%d", n), 0, 0, 0, 0)
-			continue
+			return Row{X: fmt.Sprintf("%d", n), Values: []float64{0, 0, 0, 0}}, nil
 		}
-		f.AddRow(fmt.Sprintf("%d", n),
-			ratios.Mean(), ratios.Max(), bounds.Mean(), float64(feasible))
+		return Row{X: fmt.Sprintf("%d", n), Values: []float64{
+			ratios.Mean(), ratios.Max(), bounds.Mean(), float64(feasible),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -145,14 +192,19 @@ func AblationRounding(opts Options) (*Figure, error) {
 		XLabel: "tasks", YLabel: "total energy (J) / cancelled",
 		Columns: []string{"largest-fraction (J)", "randomized (J)", "largest cancels", "randomized cancels"},
 	}
-	for _, n := range taskCounts(opts.Quick) {
-		var eL, eR, cL, cR stats.Series
-		for trial := 0; trial < opts.Trials; trial++ {
+	type roundTrial struct {
+		eL, eR, cL, cR float64
+	}
+	counts := taskCounts(opts.Quick)
+	rows, err := collectIndexed(len(counts), opts.workers(), func(pi int) (Row, error) {
+		n := counts[pi]
+		trials, err := collectIndexed(opts.Trials, opts.workers(), func(trial int) (roundTrial, error) {
 			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("ablr-%d-%d", n, trial))
 			sc, err := workload.GenerateHolistic(src, workload.Params{NumTasks: n})
 			if err != nil {
-				return nil, err
+				return roundTrial{}, err
 			}
+			var tr roundTrial
 			for _, randomized := range []bool{false, true} {
 				o := &core.LPHTAOptions{}
 				if randomized {
@@ -161,23 +213,40 @@ func AblationRounding(opts Options) (*Figure, error) {
 				}
 				res, err := core.LPHTA(sc.Model, sc.Tasks, o)
 				if err != nil {
-					return nil, err
+					return roundTrial{}, err
 				}
 				m, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
 				if err != nil {
-					return nil, err
+					return roundTrial{}, err
 				}
 				if randomized {
-					eR.Add(m.TotalEnergy.Joules())
-					cR.Add(float64(m.Cancelled))
+					tr.eR = m.TotalEnergy.Joules()
+					tr.cR = float64(m.Cancelled)
 				} else {
-					eL.Add(m.TotalEnergy.Joules())
-					cL.Add(float64(m.Cancelled))
+					tr.eL = m.TotalEnergy.Joules()
+					tr.cL = float64(m.Cancelled)
 				}
 			}
+			return tr, nil
+		})
+		if err != nil {
+			return Row{}, err
 		}
-		f.AddRow(fmt.Sprintf("%d", n), eL.Mean(), eR.Mean(), cL.Mean(), cR.Mean())
+		var eL, eR, cL, cR stats.Series
+		for _, tr := range trials {
+			eL.Add(tr.eL)
+			eR.Add(tr.eR)
+			cL.Add(tr.cL)
+			cR.Add(tr.cR)
+		}
+		return Row{X: fmt.Sprintf("%d", n), Values: []float64{
+			eL.Mean(), eR.Mean(), cL.Mean(), cR.Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -190,36 +259,58 @@ func AblationRepair(opts Options) (*Figure, error) {
 		XLabel: "tasks", YLabel: "total energy (J) / cancelled",
 		Columns: []string{"largest-first (J)", "smallest-first (J)", "largest cancels", "smallest cancels"},
 	}
-	for _, n := range taskCounts(opts.Quick) {
-		var eL, eS, cL, cS stats.Series
-		for trial := 0; trial < opts.Trials; trial++ {
+	type repairTrial struct {
+		eL, eS, cL, cS float64
+	}
+	counts := taskCounts(opts.Quick)
+	rows, err := collectIndexed(len(counts), opts.workers(), func(pi int) (Row, error) {
+		n := counts[pi]
+		trials, err := collectIndexed(opts.Trials, opts.workers(), func(trial int) (repairTrial, error) {
 			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("ablm-%d-%d", n, trial))
 			sc, err := workload.GenerateHolistic(src, workload.Params{
 				NumTasks: n, DeviceCap: 4, StationCap: 25,
 			})
 			if err != nil {
-				return nil, err
+				return repairTrial{}, err
 			}
+			var tr repairTrial
 			for _, order := range []core.RepairOrder{core.RepairLargestFirst, core.RepairSmallestFirst} {
 				res, err := core.LPHTA(sc.Model, sc.Tasks, &core.LPHTAOptions{Repair: order})
 				if err != nil {
-					return nil, err
+					return repairTrial{}, err
 				}
 				m, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
 				if err != nil {
-					return nil, err
+					return repairTrial{}, err
 				}
 				if order == core.RepairLargestFirst {
-					eL.Add(m.TotalEnergy.Joules())
-					cL.Add(float64(m.Cancelled))
+					tr.eL = m.TotalEnergy.Joules()
+					tr.cL = float64(m.Cancelled)
 				} else {
-					eS.Add(m.TotalEnergy.Joules())
-					cS.Add(float64(m.Cancelled))
+					tr.eS = m.TotalEnergy.Joules()
+					tr.cS = float64(m.Cancelled)
 				}
 			}
+			return tr, nil
+		})
+		if err != nil {
+			return Row{}, err
 		}
-		f.AddRow(fmt.Sprintf("%d", n), eL.Mean(), eS.Mean(), cL.Mean(), cS.Mean())
+		var eL, eS, cL, cS stats.Series
+		for _, tr := range trials {
+			eL.Add(tr.eL)
+			eS.Add(tr.eS)
+			cL.Add(tr.cL)
+			cS.Add(tr.cS)
+		}
+		return Row{X: fmt.Sprintf("%d", n), Values: []float64{
+			eL.Mean(), eS.Mean(), cL.Mean(), cS.Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -233,30 +324,52 @@ func AblationLPT(opts Options) (*Figure, error) {
 		XLabel: "tasks", YLabel: "max load (blocks) / processing time (s)",
 		Columns: []string{"paper max load", "LPT max load", "paper proc (s)", "LPT proc (s)"},
 	}
-	for _, n := range taskCounts(opts.Quick) {
-		var loadP, loadL, timeP, timeL stats.Series
-		for trial := 0; trial < opts.Trials; trial++ {
+	type lptTrial struct {
+		loadP, loadL, timeP, timeL float64
+	}
+	counts := taskCounts(opts.Quick)
+	rows, err := collectIndexed(len(counts), opts.workers(), func(pi int) (Row, error) {
+		n := counts[pi]
+		trials, err := collectIndexed(opts.Trials, opts.workers(), func(trial int) (lptTrial, error) {
 			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("abll-%d-%d", n, trial))
 			sc, err := workload.GenerateDivisible(src, workload.Params{NumTasks: n})
 			if err != nil {
-				return nil, err
+				return lptTrial{}, err
 			}
+			var tr lptTrial
 			for _, goal := range []core.Goal{core.GoalWorkload, core.GoalWorkloadLPT} {
 				res, err := core.DTA(sc.Model, sc.Tasks, sc.Placement, core.DTAOptions{Goal: goal})
 				if err != nil {
-					return nil, err
+					return lptTrial{}, err
 				}
 				if goal == core.GoalWorkload {
-					loadP.Add(float64(res.Coverage.MaxLoad))
-					timeP.Add(res.Metrics.ProcessingTime.Seconds())
+					tr.loadP = float64(res.Coverage.MaxLoad)
+					tr.timeP = res.Metrics.ProcessingTime.Seconds()
 				} else {
-					loadL.Add(float64(res.Coverage.MaxLoad))
-					timeL.Add(res.Metrics.ProcessingTime.Seconds())
+					tr.loadL = float64(res.Coverage.MaxLoad)
+					tr.timeL = res.Metrics.ProcessingTime.Seconds()
 				}
 			}
+			return tr, nil
+		})
+		if err != nil {
+			return Row{}, err
 		}
-		f.AddRow(fmt.Sprintf("%d", n), loadP.Mean(), loadL.Mean(), timeP.Mean(), timeL.Mean())
+		var loadP, loadL, timeP, timeL stats.Series
+		for _, tr := range trials {
+			loadP.Add(tr.loadP)
+			loadL.Add(tr.loadL)
+			timeP.Add(tr.timeP)
+			timeL.Add(tr.timeL)
+		}
+		return Row{X: fmt.Sprintf("%d", n), Values: []float64{
+			loadP.Mean(), loadL.Mean(), timeP.Mean(), timeL.Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -277,41 +390,64 @@ func DivisionRatio(opts Options) (*Figure, error) {
 	if opts.Quick {
 		sizes = []int{24, 96}
 	}
+	type divTrial struct {
+		ok     bool
+		rp, rl float64
+	}
 	trials := opts.Trials * 4
-	for _, blocks := range sizes {
-		var rp, rl stats.Series
-		instances := 0
-		for trial := 0; trial < trials; trial++ {
+	rows, err := collectIndexed(len(sizes), opts.workers(), func(pi int) (Row, error) {
+		blocks := sizes[pi]
+		results, err := collectIndexed(trials, opts.workers(), func(trial int) (divTrial, error) {
 			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("divratio-%d-%d", blocks, trial))
 			universe, usable, err := randomDivision(src, 8, blocks, blocks/3)
 			if err != nil {
-				return nil, err
+				return divTrial{}, err
 			}
 			opt, err := cover.OptimalMaxLoadILP(universe, usable, 20000)
 			if errors.Is(err, lp.ErrNodeLimit) {
-				continue
+				return divTrial{}, nil
 			}
 			if err != nil {
-				return nil, err
+				return divTrial{}, err
 			}
 			if opt == 0 {
-				continue
+				return divTrial{}, nil
 			}
 			paper, err := cover.BalancedPartition(universe, usable)
 			if err != nil {
-				return nil, err
+				return divTrial{}, err
 			}
 			lpt, err := cover.BalancedPartitionLPT(universe, usable)
 			if err != nil {
-				return nil, err
+				return divTrial{}, err
 			}
-			rp.Add(float64(paper.MaxLoad) / float64(opt))
-			rl.Add(float64(lpt.MaxLoad) / float64(opt))
-			instances++
+			return divTrial{
+				ok: true,
+				rp: float64(paper.MaxLoad) / float64(opt),
+				rl: float64(lpt.MaxLoad) / float64(opt),
+			}, nil
+		})
+		if err != nil {
+			return Row{}, err
 		}
-		f.AddRow(fmt.Sprintf("%d", blocks),
-			rp.Mean(), rp.Max(), rl.Mean(), rl.Max(), float64(instances))
+		var rp, rl stats.Series
+		instances := 0
+		for _, tr := range results {
+			if !tr.ok {
+				continue
+			}
+			instances++
+			rp.Add(tr.rp)
+			rl.Add(tr.rl)
+		}
+		return Row{X: fmt.Sprintf("%d", blocks), Values: []float64{
+			rp.Mean(), rp.Max(), rl.Mean(), rl.Max(), float64(instances),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -349,27 +485,49 @@ func Feedback(opts Options) (*Figure, error) {
 			"unsat = simulated deadline misses + cancellations; feedback replans with deadlines tightened by measured queueing inflation",
 		},
 	}
-	for _, n := range taskCounts(opts.Quick) {
-		var uB, uF, eB, eF stats.Series
-		for trial := 0; trial < opts.Trials; trial++ {
+	type fbTrial struct {
+		uB, uF, eB, eF float64
+	}
+	counts := taskCounts(opts.Quick)
+	rows, err := collectIndexed(len(counts), opts.workers(), func(pi int) (Row, error) {
+		n := counts[pi]
+		trials, err := collectIndexed(opts.Trials, opts.workers(), func(trial int) (fbTrial, error) {
 			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("fb-%d-%d", n, trial))
 			sc, err := workload.GenerateHolistic(src, workload.Params{NumTasks: n})
 			if err != nil {
-				return nil, err
+				return fbTrial{}, err
 			}
 			res, err := sim.PlanWithFeedback(sc.Model, sc.Tasks, sim.FeedbackOptions{Rounds: 3})
 			if err != nil {
-				return nil, err
+				return fbTrial{}, err
 			}
 			base := res.Rounds[0]
 			best := res.Rounds[res.Best]
-			uB.Add(float64(base.Misses + base.Cancelled))
-			uF.Add(float64(best.Misses + best.Cancelled))
-			eB.Add(base.Energy.Joules())
-			eF.Add(best.Energy.Joules())
+			return fbTrial{
+				uB: float64(base.Misses + base.Cancelled),
+				uF: float64(best.Misses + best.Cancelled),
+				eB: base.Energy.Joules(),
+				eF: best.Energy.Joules(),
+			}, nil
+		})
+		if err != nil {
+			return Row{}, err
 		}
-		f.AddRow(fmt.Sprintf("%d", n), uB.Mean(), uF.Mean(), eB.Mean(), eF.Mean())
+		var uB, uF, eB, eF stats.Series
+		for _, tr := range trials {
+			uB.Add(tr.uB)
+			uF.Add(tr.uF)
+			eB.Add(tr.eB)
+			eF.Add(tr.eF)
+		}
+		return Row{X: fmt.Sprintf("%d", n), Values: []float64{
+			uB.Mean(), uF.Mean(), eB.Mean(), eF.Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -387,35 +545,54 @@ func BatteryStudy(opts Options) (*Figure, error) {
 			"drained = devices spending any battery; spared = devices spending none (of 50)",
 		},
 	}
-	for _, n := range taskCounts(opts.Quick) {
-		var dW, dN, mW, mN, sW, sN stats.Series
-		for trial := 0; trial < opts.Trials; trial++ {
+	type batTrial struct {
+		dW, dN, mW, mN, sW, sN float64
+	}
+	counts := taskCounts(opts.Quick)
+	rows, err := collectIndexed(len(counts), opts.workers(), func(pi int) (Row, error) {
+		n := counts[pi]
+		trials, err := collectIndexed(opts.Trials, opts.workers(), func(trial int) (batTrial, error) {
 			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("bat-%d-%d", n, trial))
 			sc, err := workload.GenerateDivisible(src, workload.Params{NumTasks: n})
 			if err != nil {
-				return nil, err
+				return batTrial{}, err
 			}
+			var tr batTrial
 			for _, goal := range []core.Goal{core.GoalWorkload, core.GoalNumber} {
 				res, err := core.DTA(sc.Model, sc.Tasks, sc.Placement, core.DTAOptions{Goal: goal})
 				if err != nil {
-					return nil, err
+					return batTrial{}, err
 				}
 				drained := float64(res.Battery.Drained())
 				spared := float64(len(res.Battery.ByDevice)) - drained
 				if goal == core.GoalWorkload {
-					dW.Add(drained)
-					mW.Add(res.Battery.Max().Joules())
-					sW.Add(spared)
+					tr.dW, tr.mW, tr.sW = drained, res.Battery.Max().Joules(), spared
 				} else {
-					dN.Add(drained)
-					mN.Add(res.Battery.Max().Joules())
-					sN.Add(spared)
+					tr.dN, tr.mN, tr.sN = drained, res.Battery.Max().Joules(), spared
 				}
 			}
+			return tr, nil
+		})
+		if err != nil {
+			return Row{}, err
 		}
-		f.AddRow(fmt.Sprintf("%d", n),
-			dW.Mean(), dN.Mean(), mW.Mean(), mN.Mean(), sW.Mean(), sN.Mean())
+		var dW, dN, mW, mN, sW, sN stats.Series
+		for _, tr := range trials {
+			dW.Add(tr.dW)
+			dN.Add(tr.dN)
+			mW.Add(tr.mW)
+			mN.Add(tr.mN)
+			sW.Add(tr.sW)
+			sN.Add(tr.sN)
+		}
+		return Row{X: fmt.Sprintf("%d", n), Values: []float64{
+			dW.Mean(), dN.Mean(), mW.Mean(), mN.Mean(), sW.Mean(), sN.Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -435,21 +612,25 @@ func Arrivals(opts Options) (*Figure, error) {
 	if opts.Quick {
 		windows = []float64{0, 120}
 	}
-	for _, w := range windows {
-		var misses, sojourn, analytic stats.Series
-		for trial := 0; trial < opts.Trials; trial++ {
+	type arrTrial struct {
+		misses, sojourn, analytic float64
+		placed                    bool
+	}
+	rows, err := collectIndexed(len(windows), opts.workers(), func(pi int) (Row, error) {
+		w := windows[pi]
+		trials, err := collectIndexed(opts.Trials, opts.workers(), func(trial int) (arrTrial, error) {
 			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("arr-%d-%g", trial, w))
 			sc, err := workload.GenerateHolistic(src, workload.Params{NumTasks: 200})
 			if err != nil {
-				return nil, err
+				return arrTrial{}, err
 			}
 			res, err := core.LPHTA(sc.Model, sc.Tasks, nil)
 			if err != nil {
-				return nil, err
+				return arrTrial{}, err
 			}
 			m, err := core.Evaluate(sc.Model, sc.Tasks, res.Assignment)
 			if err != nil {
-				return nil, err
+				return arrTrial{}, err
 			}
 			releases := make(map[task.ID]units.Duration, sc.Tasks.Len())
 			if w > 0 {
@@ -460,16 +641,37 @@ func Arrivals(opts Options) (*Figure, error) {
 			}
 			simRes, err := sim.RunReleases(sc.Model, sc.Tasks, res.Assignment, sim.Config{}, releases)
 			if err != nil {
-				return nil, err
+				return arrTrial{}, err
+			}
+			tr := arrTrial{
+				sojourn:  simRes.MeanLatency().Seconds(),
+				analytic: m.MeanLatency().Seconds(),
 			}
 			placed := sc.Tasks.Len() - simRes.Cancelled
 			if placed > 0 {
-				misses.Add(100 * float64(simRes.DeadlineViolations) / float64(placed))
+				tr.placed = true
+				tr.misses = 100 * float64(simRes.DeadlineViolations) / float64(placed)
 			}
-			sojourn.Add(simRes.MeanLatency().Seconds())
-			analytic.Add(m.MeanLatency().Seconds())
+			return tr, nil
+		})
+		if err != nil {
+			return Row{}, err
 		}
-		f.AddRow(fmt.Sprintf("%.0f", w), misses.Mean(), sojourn.Mean(), analytic.Mean())
+		var misses, sojourn, analytic stats.Series
+		for _, tr := range trials {
+			if tr.placed {
+				misses.Add(tr.misses)
+			}
+			sojourn.Add(tr.sojourn)
+			analytic.Add(tr.analytic)
+		}
+		return Row{X: fmt.Sprintf("%.0f", w), Values: []float64{
+			misses.Mean(), sojourn.Mean(), analytic.Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }

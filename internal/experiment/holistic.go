@@ -33,11 +33,11 @@ type trialMetrics struct {
 }
 
 // runHolisticPoint generates Trials seeded scenarios for the given
-// parameters and evaluates every method on each. Trials run concurrently
-// when opts.Parallel is set; aggregation stays in trial order either way.
+// parameters and evaluates every method on each. Trials run over the
+// options' worker pool; aggregation stays in trial order either way.
 func runHolisticPoint(opts Options, params workload.Params, methods []string) (map[string]*holisticPoint, error) {
 	results := make([]map[string]trialMetrics, opts.Trials)
-	err := forEachTrial(opts.Trials, opts.Parallel, func(trial int) error {
+	err := forEachIndexed(opts.Trials, opts.workers(), func(trial int) error {
 		src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("holistic-%d-%d", params.NumTasks, trial)).
 			Derive(params.MaxInput.String())
 		sc, err := workload.GenerateHolistic(src, params)
@@ -149,17 +149,23 @@ func Fig2a(opts Options) (*Figure, error) {
 		ID: "fig2a", Title: "energy cost vs number of tasks",
 		XLabel: "tasks", YLabel: "total energy (J)", Columns: methods,
 	}
-	for _, n := range taskCounts(opts.Quick) {
+	counts := taskCounts(opts.Quick)
+	rows, err := collectIndexed(len(counts), opts.workers(), func(i int) (Row, error) {
+		n := counts[i]
 		point, err := runHolisticPoint(opts, workload.Params{NumTasks: n}, methods)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		vals := make([]float64, len(methods))
-		for i, m := range methods {
-			vals[i] = point[m].energy.Mean()
+		for k, m := range methods {
+			vals[k] = point[m].energy.Mean()
 		}
-		f.AddRow(fmt.Sprintf("%d", n), vals...)
+		return Row{X: fmt.Sprintf("%d", n), Values: vals}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -172,17 +178,23 @@ func Fig2b(opts Options) (*Figure, error) {
 		ID: "fig2b", Title: "energy cost vs input data size",
 		XLabel: "max input (kB)", YLabel: "total energy (J)", Columns: methods,
 	}
-	for _, size := range inputSizes(opts.Quick) {
+	sizes := inputSizes(opts.Quick)
+	rows, err := collectIndexed(len(sizes), opts.workers(), func(i int) (Row, error) {
+		size := sizes[i]
 		point, err := runHolisticPoint(opts, workload.Params{NumTasks: 100, MaxInput: size}, methods)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		vals := make([]float64, len(methods))
-		for i, m := range methods {
-			vals[i] = point[m].energy.Mean()
+		for k, m := range methods {
+			vals[k] = point[m].energy.Mean()
 		}
-		f.AddRow(fmt.Sprintf("%.0f", size.Kilobytes()), vals...)
+		return Row{X: fmt.Sprintf("%.0f", size.Kilobytes()), Values: vals}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -197,17 +209,23 @@ func Fig3(opts Options) (*Figure, error) {
 		XLabel: "tasks", YLabel: "unsatisfied rate (%)", Columns: methods,
 		Notes: []string{"AllToC omitted as in the paper: its rate is far higher than every other method"},
 	}
-	for _, n := range taskCounts(opts.Quick) {
+	counts := taskCounts(opts.Quick)
+	rows, err := collectIndexed(len(counts), opts.workers(), func(i int) (Row, error) {
+		n := counts[i]
 		point, err := runHolisticPoint(opts, workload.Params{NumTasks: n}, methods)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		vals := make([]float64, len(methods))
-		for i, m := range methods {
-			vals[i] = 100 * point[m].unsat.Mean()
+		for k, m := range methods {
+			vals[k] = 100 * point[m].unsat.Mean()
 		}
-		f.AddRow(fmt.Sprintf("%d", n), vals...)
+		return Row{X: fmt.Sprintf("%d", n), Values: vals}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -220,17 +238,23 @@ func Fig4a(opts Options) (*Figure, error) {
 		ID: "fig4a", Title: "average latency vs number of tasks",
 		XLabel: "tasks", YLabel: "average latency (s)", Columns: methods,
 	}
-	for _, n := range taskCounts(opts.Quick) {
+	counts := taskCounts(opts.Quick)
+	rows, err := collectIndexed(len(counts), opts.workers(), func(i int) (Row, error) {
+		n := counts[i]
 		point, err := runHolisticPoint(opts, workload.Params{NumTasks: n}, methods)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		vals := make([]float64, len(methods))
-		for i, m := range methods {
-			vals[i] = point[m].latency.Mean()
+		for k, m := range methods {
+			vals[k] = point[m].latency.Mean()
 		}
-		f.AddRow(fmt.Sprintf("%d", n), vals...)
+		return Row{X: fmt.Sprintf("%d", n), Values: vals}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }
 
@@ -243,16 +267,22 @@ func Fig4b(opts Options) (*Figure, error) {
 		ID: "fig4b", Title: "average latency vs input data size",
 		XLabel: "max input (kB)", YLabel: "average latency (s)", Columns: methods,
 	}
-	for _, size := range inputSizes(opts.Quick) {
+	sizes := inputSizes(opts.Quick)
+	rows, err := collectIndexed(len(sizes), opts.workers(), func(i int) (Row, error) {
+		size := sizes[i]
 		point, err := runHolisticPoint(opts, workload.Params{NumTasks: 100, MaxInput: size}, methods)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		vals := make([]float64, len(methods))
-		for i, m := range methods {
-			vals[i] = point[m].latency.Mean()
+		for k, m := range methods {
+			vals[k] = point[m].latency.Mean()
 		}
-		f.AddRow(fmt.Sprintf("%.0f", size.Kilobytes()), vals...)
+		return Row{X: fmt.Sprintf("%.0f", size.Kilobytes()), Values: vals}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Rows = rows
 	return f, nil
 }

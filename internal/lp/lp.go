@@ -52,12 +52,60 @@ func (s Sense) String() string {
 	}
 }
 
-// Constraint is one linear constraint a·x (sense) b. Coeffs is dense and
-// must have one entry per variable.
+// Constraint is one linear constraint a·x (sense) b, in one of two forms:
+//
+//   - dense: Cols is nil and Coeffs has one entry per variable;
+//   - sparse: Cols lists the columns with nonzero coefficients in strictly
+//     increasing order and Coeffs holds the matching values.
+//
+// Sparse rows are lowered into the tableau only at solve time, so building
+// a problem costs memory proportional to the nonzero count rather than
+// rows × variables. The LP-HTA cluster relaxations have 3-nonzero C4 rows
+// and per-device C2 rows, which makes the dense form quadratic in the
+// cluster size; use Sparse there.
 type Constraint struct {
 	Coeffs []float64
-	Sense  Sense
-	RHS    float64
+	// Cols, when non-nil, selects the sparse form: Coeffs[k] is the
+	// coefficient of variable Cols[k]. Must be strictly increasing.
+	Cols  []int
+	Sense Sense
+	RHS   float64
+}
+
+// Sparse builds a sparse constraint: coeffs[k] applies to variable
+// cols[k], every other coefficient is zero. cols must be strictly
+// increasing (Validate enforces this).
+func Sparse(cols []int, coeffs []float64, sense Sense, rhs float64) Constraint {
+	return Constraint{Cols: cols, Coeffs: coeffs, Sense: sense, RHS: rhs}
+}
+
+// Dot returns a·x for either constraint form.
+func (c *Constraint) Dot(x []float64) float64 {
+	dot := 0.0
+	if c.Cols != nil {
+		for k, j := range c.Cols {
+			dot += c.Coeffs[k] * x[j]
+		}
+		return dot
+	}
+	for j, a := range c.Coeffs {
+		dot += a * x[j]
+	}
+	return dot
+}
+
+// scatter writes the row's coefficients, scaled by sign, into the dense
+// prefix of dst (which must be zeroed).
+func (c *Constraint) scatter(dst []float64, sign float64) {
+	if c.Cols != nil {
+		for k, j := range c.Cols {
+			dst[j] = sign * c.Coeffs[k]
+		}
+		return
+	}
+	for j, a := range c.Coeffs {
+		dst[j] = sign * a
+	}
 }
 
 // Problem is a linear program in minimization form. All variables have an
@@ -79,7 +127,20 @@ func (p *Problem) Validate() error {
 		return errors.New("lp: problem has no variables")
 	}
 	for i, c := range p.Constraints {
-		if len(c.Coeffs) != n {
+		if c.Cols != nil {
+			if len(c.Coeffs) != len(c.Cols) {
+				return fmt.Errorf("lp: sparse constraint %d has %d coefficients for %d columns",
+					i, len(c.Coeffs), len(c.Cols))
+			}
+			for k, col := range c.Cols {
+				if col < 0 || col >= n {
+					return fmt.Errorf("lp: sparse constraint %d references column %d of %d", i, col, n)
+				}
+				if k > 0 && col <= c.Cols[k-1] {
+					return fmt.Errorf("lp: sparse constraint %d columns not strictly increasing at %d", i, k)
+				}
+			}
+		} else if len(c.Coeffs) != n {
 			return fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
 		}
 		if c.Sense != LE && c.Sense != GE && c.Sense != EQ {
@@ -344,9 +405,7 @@ func newTableau(p *Problem) (*tableau, error) {
 		if kinds[i].neg {
 			sign = -1
 		}
-		for j, a := range c.Coeffs {
-			row[j] = sign * a
-		}
+		c.scatter(row, sign)
 		rhs := sign * c.RHS
 
 		switch kinds[i].sense {

@@ -127,6 +127,22 @@ func (s *Span) Child(name string) *Span {
 	return &Span{t: s.t, name: name, tid: s.tid, start: time.Now()}
 }
 
+// Fork opens a sub-span on a fresh track of the same trace. Concurrent
+// workers must Fork rather than Child: spans on one track only render
+// correctly when their lifetimes nest, which parallel siblings violate.
+// Each worker records onto its own track and the shared trace merges them.
+// Returns nil on a nil span.
+func (s *Span) Fork(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	s.t.nextTID++
+	tid := s.t.nextTID
+	s.t.mu.Unlock()
+	return &Span{t: s.t, name: name, tid: tid, start: time.Now()}
+}
+
 // Annotate attaches a key/value argument shown in the viewer's span
 // details. Values must be JSON-serializable.
 func (s *Span) Annotate(key string, value any) {

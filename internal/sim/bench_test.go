@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+
+	"dsmec/internal/core"
+	"dsmec/internal/rng"
+	"dsmec/internal/workload"
+)
+
+// BenchmarkEngine measures one full discrete-event replay of an LP-HTA
+// assignment at the paper's largest holistic sweep point.
+func BenchmarkEngine(b *testing.B) {
+	sc, err := workload.GenerateHolistic(rng.NewSource(1), workload.Params{NumTasks: 450})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.LPHTA(sc.Model, sc.Tasks, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm, err := Run(sc.Model, sc.Tasks, res.Assignment, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sm.Outcomes) == 0 {
+			b.Fatal("no tasks simulated")
+		}
+	}
+}

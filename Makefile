@@ -1,15 +1,20 @@
-# Development targets. `make verify` is the pre-commit gate: vet, build,
-# the full test suite under the race detector, and a single-iteration
-# benchmark smoke run so the perf harness can't rot.
+# Development targets. `make verify` is the pre-commit gate: formatting,
+# vet, build, the full test suite under the race detector, and a
+# single-iteration benchmark smoke run so the perf harness can't rot.
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-go bench-smoke bench-obs
+.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs
 
-verify: vet build race bench-smoke
+verify: fmt-check vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any file is not gofmt-clean; print the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -34,5 +39,7 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Observability overhead check: disabled vs metrics-enabled pipelines.
+# Every observability benchmark carries the BenchmarkObs prefix, so the
+# filter never needs updating when one is added or renamed.
 bench-obs:
-	$(GO) test -run xxx -bench 'Observed|CounterDisabled|CounterEnabled|HistogramDisabled|HistogramEnabled' -benchmem ./...
+	$(GO) test -run xxx -bench BenchmarkObs -benchmem ./...

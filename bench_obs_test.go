@@ -10,11 +10,13 @@ import (
 // Observability overhead benchmarks: the same pipeline with
 // instrumentation disabled (nil handles, the default) and enabled (a live
 // registry). The acceptance bar is <5% slowdown enabled and no measurable
-// change disabled relative to the uninstrumented baselines above.
+// change disabled relative to the uninstrumented baselines above. All
+// observability benchmarks share the BenchmarkObs prefix so `make
+// bench-obs` selects them with a single stable filter.
 //
-//	go test -bench 'LPHTAObserved|SimulatorObserved' -benchtime 2s .
+//	go test -bench BenchmarkObs -benchtime 2s .
 
-func BenchmarkLPHTAObserved(b *testing.B) {
+func BenchmarkObsLPHTA(b *testing.B) {
 	for _, n := range []int{100, 450} {
 		sc := holisticScenario(b, n)
 		b.Run(fmt.Sprintf("tasks=%d/disabled", n), func(b *testing.B) {
@@ -55,7 +57,7 @@ func BenchmarkLPHTAObserved(b *testing.B) {
 	}
 }
 
-func BenchmarkSimulatorObserved(b *testing.B) {
+func BenchmarkObsSimulator(b *testing.B) {
 	sc := holisticScenario(b, 450)
 	res, err := dsmec.LPHTA(sc.Model, sc.Tasks, nil)
 	if err != nil {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"dsmec"
+	"dsmec/internal/lp"
 	"dsmec/internal/obs"
 )
 
@@ -64,10 +65,20 @@ func run(args []string, stdout io.Writer) error {
 		metricsPath = fs.String("metrics", "", "write a run manifest (metrics + environment) to this JSON file")
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
 		checkPath   = fs.String("check", "", "budget JSON file; exit non-zero when a final metric is out of budget")
+		lpMethod    = fs.String("lp-method", "auto", "simplex implementation for LP relaxations: auto, revised, or dense")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The experiment definitions build their solver options internally, so
+	// the method is installed as the process default rather than threaded
+	// through every definition — the same pattern obs.SetGlobal uses.
+	method, err := lp.ParseMethod(*lpMethod)
+	if err != nil {
+		return err
+	}
+	lp.SetDefaultMethod(method)
+	defer lp.SetDefaultMethod(lp.MethodAuto)
 
 	if *list {
 		for _, d := range dsmec.Experiments() {

@@ -9,6 +9,14 @@
 //	mecperf                      # write BENCH_lphta.json in the cwd
 //	mecperf -out perf/today.json
 //	mecperf -quick               # smaller instances, for smoke tests
+//	mecperf -out fresh.json -against BENCH_lphta.json -tolerance 0.25
+//
+// With -against, the freshly recorded results are compared to a committed
+// baseline: allocs/op and B/op must not regress beyond the tolerance
+// (they are deterministic and machine-independent, so CI gates on them),
+// while ns/op differences are printed as advisory only — wall-clock on
+// shared runners is too noisy to gate a build on. The command exits
+// non-zero on any gated regression.
 package main
 
 import (
@@ -71,14 +79,18 @@ func main() {
 
 func run() error {
 	var (
-		out   = flag.String("out", "BENCH_lphta.json", "output JSON path")
-		quick = flag.Bool("quick", false, "smaller instances (smoke test)")
+		out       = flag.String("out", "BENCH_lphta.json", "output JSON path")
+		quick     = flag.Bool("quick", false, "smaller instances (smoke test)")
+		against   = flag.String("against", "", "baseline JSON to compare against; gated metrics exit non-zero on regression")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression for gated metrics with -against")
 	)
 	flag.Parse()
 
 	lpBuildTasks, lpSolveTasks, htaTasks, simTasks := 300, 90, 450, 450
+	methodTasks := []int{150, 300, 600}
 	if *quick {
 		lpBuildTasks, lpSolveTasks, htaTasks, simTasks = 90, 30, 100, 100
+		methodTasks = []int{30, 90}
 	}
 
 	doc := baseline{
@@ -91,6 +103,7 @@ func run() error {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Notes: []string{
 			"lp build/solve compare dense vs sparse constraint rows on identical instances",
+			"lp_solve method=dense/revised compare the tableau oracle against the LU-factorized revised simplex",
 			"lphta compares Parallelism=1 vs one worker per core on the same scenario; outputs are byte-identical",
 			"sweep compares mecbench-style experiment wall-clock, sequential vs parallel pipeline",
 			"parallel speedups require multiple cores; on a single-core machine they measure pool overhead only",
@@ -140,6 +153,27 @@ func run() error {
 				}
 			}
 		})
+	}
+
+	// LP solve by simplex implementation: the dense tableau oracle vs the
+	// LU-factorized revised simplex, on identical sparse-row instances.
+	for _, tasks := range methodTasks {
+		for _, method := range []lp.Method{lp.MethodDense, lp.MethodRevised} {
+			record(fmt.Sprintf("lp_solve/tasks=%d/method=%s", tasks, method), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := perfbench.ClusterLP(tasks, true)
+					p.Method = method
+					s, err := lp.Solve(p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if s.Status != lp.Optimal {
+						b.Fatalf("status %v", s.Status)
+					}
+				}
+			})
+		}
 	}
 
 	// LP-HTA: sequential vs one worker per core.
@@ -230,5 +264,67 @@ func run() error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *against != "" {
+		return compareBaseline(&doc, *against, *tolerance)
+	}
+	return nil
+}
+
+// compareBaseline checks the fresh results against a committed baseline.
+// Only benchmarks present in both documents are compared. allocs/op and
+// B/op are gated — they are deterministic, so a regression beyond the
+// tolerance is an error. ns/op is advisory: printed, never gating.
+func compareBaseline(doc *baseline, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	prev := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		prev[b.Name] = b
+	}
+
+	fmt.Printf("\ncomparing against %s (tolerance %.0f%%)\n", path, 100*tolerance)
+	violations, compared := 0, 0
+	for _, cur := range doc.Benchmarks {
+		old, ok := prev[cur.Name]
+		if !ok {
+			fmt.Printf("  new   %-42s (not in baseline, skipped)\n", cur.Name)
+			continue
+		}
+		compared++
+		gate := func(metric string, curV, oldV int64) {
+			if oldV <= 0 {
+				return
+			}
+			ratio := float64(curV) / float64(oldV)
+			if ratio > 1+tolerance {
+				fmt.Printf("  FAIL  %-42s %s %d -> %d (%+.1f%%)\n",
+					cur.Name, metric, oldV, curV, 100*(ratio-1))
+				violations++
+				return
+			}
+			fmt.Printf("  ok    %-42s %s %d -> %d (%+.1f%%)\n",
+				cur.Name, metric, oldV, curV, 100*(ratio-1))
+		}
+		gate("allocs/op", cur.AllocsPerOp, old.AllocsPerOp)
+		gate("B/op", cur.BytesPerOp, old.BytesPerOp)
+		if old.NsPerOp > 0 {
+			fmt.Printf("  info  %-42s ns/op %.0f -> %.0f (%+.1f%%, advisory)\n",
+				cur.Name, old.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/old.NsPerOp-1))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s shares no benchmark names with this run", path)
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d perf regression(s) beyond %.0f%% tolerance", violations, 100*tolerance)
+	}
+	fmt.Printf("all %d shared benchmarks within tolerance\n", compared)
 	return nil
 }

@@ -101,10 +101,15 @@ func run(args []string, stdout io.Writer) error {
 		simulate    = fs.Bool("sim", true, "replay the LP-HTA assignment in the discrete-event simulator")
 		load        = fs.String("load", "", "load a scenario JSON document instead of generating one")
 		parallel    = fs.Int("parallel", 0, "LP-HTA cluster worker count (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		lpMethod    = fs.String("lp-method", "auto", "simplex implementation for the LP relaxations: auto, revised, or dense")
 		metricsPath = fs.String("metrics", "", "write a run manifest (metrics + environment) to this JSON file")
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	method, err := dsmec.ParseLPMethod(*lpMethod)
+	if err != nil {
 		return err
 	}
 
@@ -124,7 +129,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	runErr := runScenario(instr, *load, *seed, *devices, *stations, *tasks, *inputKB,
-		*parallel, *divisible, *simulate, stdout)
+		*parallel, method, *divisible, *simulate, stdout)
 	if instr.enabled() {
 		if err := finishInstrumentation(instr, stdout); err != nil && runErr == nil {
 			runErr = err
@@ -136,7 +141,8 @@ func run(args []string, stdout io.Writer) error {
 // runScenario executes the selected pipeline under the (possibly nil)
 // instrumentation bundle.
 func runScenario(instr *instrumentation, load string, seed int64,
-	devices, stations, tasks, inputKB, parallel int, divisible, simulate bool, stdout io.Writer) error {
+	devices, stations, tasks, inputKB, parallel int, method dsmec.LPMethod,
+	divisible, simulate bool, stdout io.Writer) error {
 	if load != "" {
 		data, err := os.ReadFile(load)
 		if err != nil {
@@ -151,9 +157,9 @@ func runScenario(instr *instrumentation, load string, seed int64,
 			return &scenarioParseError{Path: load, Err: err}
 		}
 		if sc.Placement != nil {
-			return runDivisibleScenario(sc, instr, stdout)
+			return runDivisibleScenario(sc, method, instr, stdout)
 		}
-		return runHolisticScenario(sc, parallel, simulate, instr, stdout)
+		return runHolisticScenario(sc, parallel, method, simulate, instr, stdout)
 	}
 
 	params := dsmec.WorkloadParams{
@@ -186,19 +192,20 @@ func runScenario(instr *instrumentation, load string, seed int64,
 		return err
 	}
 	if divisible {
-		return runDivisibleScenario(sc, instr, stdout)
+		return runDivisibleScenario(sc, method, instr, stdout)
 	}
-	return runHolisticScenario(sc, parallel, simulate, instr, stdout)
+	return runHolisticScenario(sc, parallel, method, simulate, instr, stdout)
 }
 
-func runHolisticScenario(sc *dsmec.Scenario, parallel int, simulate bool, instr *instrumentation, stdout io.Writer) error {
+func runHolisticScenario(sc *dsmec.Scenario, parallel int, method dsmec.LPMethod,
+	simulate bool, instr *instrumentation, stdout io.Writer) error {
 	ins := instr.ins()
 	fmt.Fprintf(stdout, "scenario: %d devices, %d stations, %d holistic tasks\n\n",
 		sc.System.NumDevices(), sc.System.NumStations(), sc.Tasks.Len())
 
 	tb := texttable.New("method", "energy (J)", "mean latency (s)", "unsatisfied", "device/station/cloud/cancel")
 
-	lph, err := dsmec.LPHTA(sc.Model, sc.Tasks, &dsmec.LPHTAOptions{Obs: ins, Parallelism: parallel})
+	lph, err := dsmec.LPHTA(sc.Model, sc.Tasks, &dsmec.LPHTAOptions{Obs: ins, Parallelism: parallel, LPMethod: method})
 	if err != nil {
 		return err
 	}
@@ -254,13 +261,13 @@ func runHolisticScenario(sc *dsmec.Scenario, parallel int, simulate bool, instr 
 	return nil
 }
 
-func runDivisibleScenario(sc *dsmec.Scenario, instr *instrumentation, stdout io.Writer) error {
+func runDivisibleScenario(sc *dsmec.Scenario, method dsmec.LPMethod, instr *instrumentation, stdout io.Writer) error {
 	ins := instr.ins()
 	fmt.Fprintf(stdout, "scenario: %d devices, %d stations, %d divisible tasks over %d blocks of %v\n\n",
 		sc.System.NumDevices(), sc.System.NumStations(), sc.Tasks.Len(),
 		sc.Placement.NumBlocks(), sc.Placement.BlockSize())
 
-	hol, err := dsmec.LPHTA(sc.Model, sc.Tasks, &dsmec.LPHTAOptions{Obs: ins})
+	hol, err := dsmec.LPHTA(sc.Model, sc.Tasks, &dsmec.LPHTAOptions{Obs: ins, LPMethod: method})
 	if err != nil {
 		return err
 	}

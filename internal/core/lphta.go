@@ -62,6 +62,11 @@ type LPHTAOptions struct {
 	// value records metrics to the process-wide obs registry (if any)
 	// and disables tracing.
 	Obs obs.Instruments
+	// LPMethod selects the simplex implementation used for the cluster
+	// relaxations (see lp.Method). The zero value lp.MethodAuto resolves
+	// to the package default, the revised simplex; lp.MethodDense selects
+	// the dense tableau reference implementation.
+	LPMethod lp.Method
 }
 
 func (o *LPHTAOptions) withDefaults() (LPHTAOptions, error) {
@@ -76,6 +81,7 @@ func (o *LPHTAOptions) withDefaults() (LPHTAOptions, error) {
 		out.Rand = o.Rand
 		out.Obs = o.Obs
 		out.Parallelism = o.Parallelism
+		out.LPMethod = o.LPMethod
 	}
 	if out.Rounding == RoundRandomized && out.Rand == nil {
 		return out, fmt.Errorf("core: randomized rounding requires a rand source")
@@ -315,7 +321,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 	}
 
 	// Step 1: build and solve the relaxation P2.
-	frac, sol, err := solveClusterLP(sys, station, cts, opts.Obs)
+	frac, sol, err := solveClusterLP(sys, station, cts, opts.LPMethod, opts.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -472,11 +478,12 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 // cluster size instead of O(rows × 3n).
 //
 // It returns the fractional assignment per task and the LP solution.
-func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, ins obs.Instruments) ([][3]float64, *lp.Solution, error) {
+func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, method lp.Method, ins obs.Instruments) ([][3]float64, *lp.Solution, error) {
 	nVars := 3 * len(cts)
 	p := &lp.Problem{
 		Minimize: make([]float64, nVars),
 		Upper:    make([]float64, nVars),
+		Method:   method,
 	}
 
 	// reachable marks variables whose subsystem can serve the task at all;

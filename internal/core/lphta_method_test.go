@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dsmec/internal/lp"
+	"dsmec/internal/rng"
+	"dsmec/internal/workload"
+)
+
+// TestLPHTAMethodsAgreeEndToEnd runs the full LP-HTA pipeline with the
+// dense and revised simplex backends on generated scenarios and requires
+// the rounded assignments to be identical task by task: the LP solutions
+// agree to well below the rounding granularity, so every downstream step
+// (rounding, repair, cancellation) must coincide exactly.
+func TestLPHTAMethodsAgreeEndToEnd(t *testing.T) {
+	for _, tc := range []struct {
+		seed  int64
+		tasks int
+	}{
+		{seed: 1, tasks: 60},
+		{seed: 2, tasks: 150},
+		{seed: 3, tasks: 240},
+	} {
+		sc, err := workload.GenerateHolistic(rng.NewSource(tc.seed), workload.Params{NumTasks: tc.tasks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(m lp.Method) *HTAResult {
+			res, err := LPHTA(sc.Model, sc.Tasks, &LPHTAOptions{LPMethod: m})
+			if err != nil {
+				t.Fatalf("seed=%d method=%v: %v", tc.seed, m, err)
+			}
+			return res
+		}
+		dense := run(lp.MethodDense)
+		revised := run(lp.MethodRevised)
+
+		if diff := math.Abs(float64(dense.LPObjective - revised.LPObjective)); diff > 1e-6*(1+math.Abs(float64(dense.LPObjective))) {
+			t.Errorf("seed=%d: LP objective dense=%v revised=%v", tc.seed, dense.LPObjective, revised.LPObjective)
+		}
+		for _, tk := range sc.Tasks.All() {
+			d, r := dense.Assignment.Of(tk.ID), revised.Assignment.Of(tk.ID)
+			if d != r {
+				t.Errorf("seed=%d task %v: dense placed on %v, revised on %v", tc.seed, tk.ID, d, r)
+			}
+		}
+		if dense.PreCancelled != revised.PreCancelled {
+			t.Errorf("seed=%d: PreCancelled dense=%d revised=%d", tc.seed, dense.PreCancelled, revised.PreCancelled)
+		}
+		if dense.FractionalTasks != revised.FractionalTasks {
+			t.Errorf("seed=%d: FractionalTasks dense=%d revised=%d", tc.seed, dense.FractionalTasks, revised.FractionalTasks)
+		}
+	}
+}

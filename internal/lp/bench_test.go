@@ -63,3 +63,26 @@ func BenchmarkLPSolveCluster(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLPSolveMethod compares the two simplex implementations on the
+// same sparse-row instances mecperf records (at go-test-friendly sizes).
+func BenchmarkLPSolveMethod(b *testing.B) {
+	for _, tasks := range []int{90, 300} {
+		for _, method := range []lp.Method{lp.MethodDense, lp.MethodRevised} {
+			b.Run(fmt.Sprintf("tasks=%d/method=%s", tasks, method), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := perfbench.ClusterLP(tasks, true)
+					p.Method = method
+					s, err := lp.Solve(p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if s.Status != lp.Optimal {
+						b.Fatalf("status %v", s.Status)
+					}
+				}
+			})
+		}
+	}
+}

@@ -115,6 +115,9 @@ type Problem struct {
 	Minimize    []float64
 	Constraints []Constraint
 	Upper       []float64
+	// Method selects the simplex implementation; the zero value
+	// (MethodAuto) resolves to the package default, MethodRevised.
+	Method Method
 }
 
 // NumVars returns the number of decision variables.
@@ -168,6 +171,11 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("lp: objective coefficient %d is non-finite", j)
 		}
 	}
+	switch p.Method {
+	case MethodAuto, MethodRevised, MethodDense:
+	default:
+		return fmt.Errorf("lp: invalid method %d", int(p.Method))
+	}
 	return nil
 }
 
@@ -202,6 +210,9 @@ type Solution struct {
 	X          []float64
 	Objective  float64
 	Iterations int
+	// Method is the simplex implementation that produced the solution
+	// (never MethodAuto).
+	Method Method
 	// Stats breaks the solve down for observability.
 	Stats SolveStats
 }
@@ -225,6 +236,13 @@ type SolveStats struct {
 	BlandSwitches int
 	// ObjectiveInstalls counts reduced-cost row installations.
 	ObjectiveInstalls int
+	// Refactorizations counts basis LU refactorizations beyond the
+	// initial factorization (MethodRevised only; the dense tableau never
+	// factorizes a basis).
+	Refactorizations int
+	// EtaVectors counts product-form basis updates applied between
+	// refactorizations (MethodRevised only).
+	EtaVectors int
 	// Phase1Iterations and Phase2Iterations split Solution.Iterations.
 	Phase1Iterations int
 	Phase2Iterations int
@@ -258,29 +276,43 @@ func SolveObserved(p *Problem, ins obs.Instruments) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	t, err := newTableau(p)
-	if err != nil {
-		return nil, err
-	}
+	method := p.Method.resolve()
 	span := ins.Span.Child("lp.solve")
-	sol, err := t.solve(p, span)
-	record(ins, span, p, sol, err)
+	var (
+		sol *Solution
+		err error
+	)
+	if method == MethodDense {
+		var t *tableau
+		t, err = newTableau(p)
+		if err == nil {
+			sol, err = t.solve(p, span)
+		}
+	} else {
+		sol, err = solveRevised(p, span)
+	}
+	if sol != nil {
+		sol.Method = method
+	}
+	record(ins, span, p, method, sol, err)
 	span.End()
 	return sol, err
 }
 
 // record publishes one solve's outcome. The counter lookups cost a few
 // nanoseconds each against a disabled (nil) registry.
-func record(ins obs.Instruments, span *obs.Span, p *Problem, sol *Solution, err error) {
+func record(ins obs.Instruments, span *obs.Span, p *Problem, method Method, sol *Solution, err error) {
 	reg := ins.Registry()
 	if span != nil {
 		span.Annotate("vars", p.NumVars())
 		span.Annotate("constraints", len(p.Constraints))
+		span.Annotate("method", method.String())
 	}
 	if reg == nil && span == nil {
 		return
 	}
 	reg.Counter("lp.solves").Inc()
+	reg.Counter("lp.solves." + method.String()).Inc()
 	if err != nil {
 		reg.Counter("lp.errors").Inc()
 		if span != nil {
@@ -295,6 +327,8 @@ func record(ins obs.Instruments, span *obs.Span, p *Problem, sol *Solution, err 
 	reg.Counter("lp.ratio_test_ties").Add(int64(st.RatioTestTies))
 	reg.Counter("lp.bland_switches").Add(int64(st.BlandSwitches))
 	reg.Counter("lp.objective_installs").Add(int64(st.ObjectiveInstalls))
+	reg.Counter("lp.refactorizations").Add(int64(st.Refactorizations))
+	reg.Counter("lp.eta_vectors").Add(int64(st.EtaVectors))
 	reg.Counter("lp.phase1_iterations").Add(int64(st.Phase1Iterations))
 	reg.Counter("lp.phase2_iterations").Add(int64(st.Phase2Iterations))
 	switch sol.Status {
@@ -346,20 +380,18 @@ type tableau struct {
 	stats      SolveStats
 }
 
-// newTableau converts p into bounded standard form.
-func newTableau(p *Problem) (*tableau, error) {
-	n := p.NumVars()
-	cons := p.Constraints
-	m := len(cons)
-	t := &tableau{m: m, nStruct: n}
+// rowKind is one constraint row after RHS-sign normalization: the
+// effective sense, and whether the row was negated to make its RHS ≥ 0.
+type rowKind struct {
+	sense Sense
+	neg   bool
+}
 
-	// Classify rows after normalizing RHS ≥ 0.
-	type rowKind struct {
-		sense Sense
-		neg   bool
-	}
-	kinds := make([]rowKind, m)
-	nSlack, nArt := 0, 0
+// classifyRows normalizes every row to RHS ≥ 0 and counts the slack and
+// artificial columns the standard form needs. Shared by the dense tableau
+// and the revised simplex so both lower the identical standard form.
+func classifyRows(cons []Constraint) (kinds []rowKind, nSlack, nArt int) {
+	kinds = make([]rowKind, len(cons))
 	for i, c := range cons {
 		sense := c.Sense
 		neg := c.RHS < 0
@@ -382,6 +414,17 @@ func newTableau(p *Problem) (*tableau, error) {
 			nArt++
 		}
 	}
+	return kinds, nSlack, nArt
+}
+
+// newTableau converts p into bounded standard form.
+func newTableau(p *Problem) (*tableau, error) {
+	n := p.NumVars()
+	cons := p.Constraints
+	m := len(cons)
+	t := &tableau{m: m, nStruct: n}
+
+	kinds, nSlack, nArt := classifyRows(cons)
 	t.n = n + nSlack + nArt
 	t.nArt = nArt
 

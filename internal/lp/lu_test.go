@@ -1,0 +1,166 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseCols adapts a dense column-major matrix to factorBasis's sparse
+// column callback.
+func denseCols(cols [][]float64) (int, func(p int) ([]int, []float64)) {
+	m := len(cols)
+	rows := make([][]int, m)
+	vals := make([][]float64, m)
+	for p, col := range cols {
+		for i, v := range col {
+			if v != 0 {
+				rows[p] = append(rows[p], i)
+				vals[p] = append(vals[p], v)
+			}
+		}
+	}
+	return m, func(p int) ([]int, []float64) { return rows[p], vals[p] }
+}
+
+// matVec computes B·x for the dense column-major matrix (x in position
+// space, result in row space).
+func matVec(cols [][]float64, x []float64) []float64 {
+	out := make([]float64, len(cols))
+	for p, col := range cols {
+		for i, v := range col {
+			out[i] += v * x[p]
+		}
+	}
+	return out
+}
+
+// checkSolves factorizes B and verifies both solve directions against the
+// definition: ftran returns w with B·w = v, btran returns y with Bᵀy = c.
+func checkSolves(t *testing.T, cols [][]float64) {
+	t.Helper()
+	m, col := denseCols(cols)
+	f, err := factorBasis(m, col)
+	if err != nil {
+		t.Fatalf("factorBasis: %v", err)
+	}
+
+	rnd := rand.New(rand.NewSource(42))
+	v := make([]float64, m)
+	vRows := make([]int, m)
+	for i := range v {
+		v[i] = rnd.Float64()*4 - 2
+		vRows[i] = i
+	}
+	w := make([]float64, m)
+	f.ftran(w, vRows, v)
+	back := matVec(cols, w)
+	for i := range back {
+		if math.Abs(back[i]-v[i]) > 1e-9 {
+			t.Fatalf("ftran: (B·w)[%d] = %g, want %g", i, back[i], v[i])
+		}
+	}
+
+	c := make([]float64, m)
+	for p := range c {
+		c[p] = rnd.Float64()*4 - 2
+	}
+	y := make([]float64, m)
+	f.btran(y, c)
+	// (Bᵀy)[p] = column p of B dotted with y.
+	for p, colVals := range cols {
+		dot := 0.0
+		for i, bv := range colVals {
+			dot += bv * y[i]
+		}
+		if math.Abs(dot-c[p]) > 1e-9 {
+			t.Fatalf("btran: (Bᵀy)[%d] = %g, want %g", p, dot, c[p])
+		}
+	}
+}
+
+func TestLUIdentity(t *testing.T) {
+	checkSolves(t, [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+}
+
+func TestLUPermutation(t *testing.T) {
+	// A pure permutation forces pivoting away from the diagonal.
+	checkSolves(t, [][]float64{{0, 0, 1}, {1, 0, 0}, {0, 1, 0}})
+}
+
+func TestLUDenseSmall(t *testing.T) {
+	checkSolves(t, [][]float64{
+		{2, 1, 0},
+		{-1, 3, 2},
+		{4, 0, -2},
+	})
+}
+
+func TestLUNeedsRowPivoting(t *testing.T) {
+	// Zero in the natural pivot position: fails without partial pivoting.
+	checkSolves(t, [][]float64{
+		{0, 2},
+		{1, 1},
+	})
+}
+
+func TestLUSimplexShapedBasis(t *testing.T) {
+	// A basis like LP-HTA's: mostly unit slack columns plus a few
+	// two-entry structural columns.
+	checkSolves(t, [][]float64{
+		{1, 1, 0, 0, 0},
+		{0, 0, 0, 1, 0},
+		{0, 2.5, 1, 0, 0},
+		{0, 0, 0, 0, 1},
+		{3, 0, 0, 1, 0},
+	})
+}
+
+func TestLURandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rnd.Intn(12)
+		cols := make([][]float64, m)
+		for p := range cols {
+			cols[p] = make([]float64, m)
+			// Sparse random columns with a guaranteed entry so the matrix
+			// is almost surely nonsingular.
+			cols[p][rnd.Intn(m)] = 1 + rnd.Float64()
+			for i := range cols[p] {
+				if rnd.Intn(3) == 0 {
+					cols[p][i] += rnd.Float64()*2 - 1
+				}
+			}
+		}
+		// Reject the (rare) singular draws: factorization must either
+		// succeed and solve correctly, or report errSingularBasis.
+		mm, col := denseCols(cols)
+		if _, err := factorBasis(mm, col); err != nil {
+			continue
+		}
+		checkSolves(t, cols)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	cases := []struct {
+		name string
+		cols [][]float64
+	}{
+		{"zero column", [][]float64{{1, 0}, {0, 0}}},
+		{"duplicate columns", [][]float64{{1, 2}, {1, 2}}},
+		{"rank deficient", [][]float64{
+			{1, 0, 1},
+			{0, 1, 1},
+			{1, 1, 2},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, col := denseCols(tc.cols)
+			if _, err := factorBasis(m, col); err == nil {
+				t.Error("factorBasis succeeded on a singular matrix")
+			}
+		})
+	}
+}

@@ -241,8 +241,9 @@ func contains(s, sub string) bool {
 
 // Disabled-path micro-benchmarks: the acceptance bar is that nil handles
 // cost ~a branch, so instrumentation can stay unconditionally in place.
+// The BenchmarkObs prefix keeps them under `make bench-obs`'s filter.
 
-func BenchmarkCounterDisabled(b *testing.B) {
+func BenchmarkObsCounterDisabled(b *testing.B) {
 	var r *Registry
 	c := r.Counter("x")
 	b.ReportAllocs()
@@ -251,7 +252,7 @@ func BenchmarkCounterDisabled(b *testing.B) {
 	}
 }
 
-func BenchmarkCounterEnabled(b *testing.B) {
+func BenchmarkObsCounterEnabled(b *testing.B) {
 	c := NewRegistry().Counter("x")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -259,7 +260,7 @@ func BenchmarkCounterEnabled(b *testing.B) {
 	}
 }
 
-func BenchmarkHistogramDisabled(b *testing.B) {
+func BenchmarkObsHistogramDisabled(b *testing.B) {
 	var r *Registry
 	h := r.Histogram("x", TimeBuckets)
 	b.ReportAllocs()
@@ -268,7 +269,7 @@ func BenchmarkHistogramDisabled(b *testing.B) {
 	}
 }
 
-func BenchmarkHistogramEnabled(b *testing.B) {
+func BenchmarkObsHistogramEnabled(b *testing.B) {
 	h := NewRegistry().Histogram("x", TimeBuckets)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

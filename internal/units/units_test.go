@@ -83,7 +83,9 @@ func TestTransferTimeProportionality(t *testing.T) {
 	// halves it.
 	f := func(kb uint16, mbps uint8) bool {
 		size := ByteSize(kb) * Kilobyte
-		rate := BitRate(mbps+1) * MbitPerSecond
+		// Widen before the +1: mbps+1 in uint8 wraps 0xff to a zero rate,
+		// which yields Forever and an Inf−Inf NaN in the property.
+		rate := BitRate(int(mbps)+1) * MbitPerSecond
 		t1 := size.TransferTime(rate)
 		t2 := (2 * size).TransferTime(rate)
 		t3 := size.TransferTime(2 * rate)

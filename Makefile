@@ -1,12 +1,14 @@
 # Development targets. `make verify` is the pre-commit gate: formatting,
-# vet, build, the full test suite under the race detector, and a
-# single-iteration benchmark smoke run so the perf harness can't rot.
+# vet, build, the full test suite under the race detector, a
+# single-iteration benchmark smoke run so the perf harness can't rot, and
+# the repolint documentation checks (package doc.go comments, markdown
+# link integrity).
 
 GO ?= go
 
-.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs
+.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs doc-check link-check
 
-verify: fmt-check vet build race bench-smoke
+verify: fmt-check vet build race bench-smoke doc-check link-check
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +39,14 @@ bench-go:
 # real measurement run.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Every internal/ package must keep its package comment in a doc.go.
+doc-check:
+	$(GO) run ./cmd/repolint -doc
+
+# Every relative markdown link in *.md and docs/*.md must resolve.
+link-check:
+	$(GO) run ./cmd/repolint -links
 
 # Observability overhead check: disabled vs metrics-enabled pipelines.
 # Every observability benchmark carries the BenchmarkObs prefix, so the

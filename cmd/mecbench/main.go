@@ -66,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
 		checkPath   = fs.String("check", "", "budget JSON file; exit non-zero when a final metric is out of budget")
 		lpMethod    = fs.String("lp-method", "auto", "simplex implementation for LP relaxations: auto, revised, or dense")
+		faultSeed   = fs.Int64("fault-seed", 1, "root seed for fault plans in fault-injecting experiments (robustness)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,7 +137,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	opts := dsmec.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick, Parallelism: *parallel}
+	opts := dsmec.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick, Parallelism: *parallel, FaultSeed: *faultSeed}
 	expSeconds := reg.Histogram("bench.experiment_seconds", obs.TimeBuckets)
 	for _, d := range defs {
 		span := trace.StartSpan("experiment:" + d.ID)

@@ -42,6 +42,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		tasks       = fs.Int("tasks", 100, "number of tasks")
 		inputKB     = fs.Int("input", 3000, "maximum task input size (kB)")
 		divisible   = fs.Bool("divisible", false, "generate divisible tasks with a data placement")
+		faults      = fs.Bool("faults", false, "embed a generated fault plan (station outages, churn, link degradation) in the document")
+		faultSeed   = fs.Int64("fault-seed", 1, "root seed for the embedded fault plan")
 		out         = fs.String("o", "", "output file (default stdout)")
 		metricsPath = fs.String("metrics", "", "write a run manifest to this JSON file (summary on stderr)")
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
@@ -109,8 +111,15 @@ func run(args []string, stdout io.Writer) (err error) {
 		}()
 		w = f
 	}
+	var fp *dsmec.FaultPlan
+	if *faults {
+		if *divisible {
+			return fmt.Errorf("fault plans apply to the holistic simulator replay; drop -divisible")
+		}
+		fp = dsmec.GenerateFaultPlan(dsmec.NewSeed(*faultSeed), sc.System, dsmec.DefaultFaultParams())
+	}
 	espan := root.Child("encode")
-	err = scenarioio.Encode(w, sc)
+	err = scenarioio.EncodeWithFaults(w, sc, fp)
 	espan.End()
 	if err != nil {
 		return err

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsmec"
+	"dsmec/internal/scenarioio"
+)
+
+// TestGoldenWithoutFaults locks the no-fault output byte-for-byte against
+// files captured before the fault-injection layer landed: faults disabled
+// must leave the engine bit-identical.
+func TestGoldenWithoutFaults(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"golden_holistic.txt", []string{"-seed", "3", "-tasks", "40", "-devices", "12", "-stations", "3"}},
+		{"golden_divisible.txt", []string{"-divisible", "-seed", "5", "-tasks", "24", "-devices", "10", "-stations", "2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			if err := run(tc.args, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("output drifted from %s:\n%s", tc.golden, out.String())
+			}
+		})
+	}
+}
+
+// TestFaultsDeterministicAcrossParallelism pins the acceptance criterion
+// that the same (scenario, fault seed) yields identical output whether the
+// LP-HTA assignment was computed with one worker or several.
+func TestFaultsDeterministicAcrossParallelism(t *testing.T) {
+	var runs []string
+	for _, parallel := range []string{"1", "1", "4"} {
+		var out strings.Builder
+		err := run([]string{"-seed", "3", "-tasks", "30", "-devices", "10", "-stations", "2",
+			"-faults", "-fault-seed", "2", "-parallel", parallel}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, out.String())
+	}
+	if runs[0] != runs[1] {
+		t.Error("repeated runs differ")
+	}
+	if runs[0] != runs[2] {
+		t.Error("output differs between -parallel 1 and -parallel 4")
+	}
+	if !strings.Contains(runs[0], "fault injection:") || !strings.Contains(runs[0], "recovery:") {
+		t.Errorf("fault summary missing:\n%s", runs[0])
+	}
+}
+
+func TestLoadScenarioWithEmbeddedFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sc.json")
+	sc, err := dsmec.GenerateHolistic(dsmec.NewSeed(5), dsmec.WorkloadParams{
+		NumDevices: 12, NumStations: 3, NumTasks: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := dsmec.GenerateFaultPlan(dsmec.NewSeed(4), sc.System, dsmec.DefaultFaultParams())
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenarioio.EncodeWithFaults(f, sc, fp); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var withFaults strings.Builder
+	if err := run([]string{"-load", path, "-faults"}, &withFaults); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(withFaults.String(), "fault injection:") {
+		t.Errorf("embedded plan not injected:\n%s", withFaults.String())
+	}
+
+	// Without -faults the embedded plan is ignored entirely.
+	var without strings.Builder
+	if err := run([]string{"-load", path}, &without); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(without.String(), "fault injection:") {
+		t.Error("plan injected without -faults")
+	}
+}
+
+func TestDivisibleFaultsRejected(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-divisible", "-tasks", "10", "-devices", "6", "-stations", "2", "-faults"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "divisible") {
+		t.Errorf("want a divisible-pipeline rejection, got %v", err)
+	}
+}
+
+// TestMalformedFaultSectionIsParseError checks the exit-2 path: a corrupt
+// faults section must surface as a scenarioParseError (which main maps to
+// exit code 2 with a structured stderr message), not a generic failure.
+func TestMalformedFaultSectionIsParseError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sc.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := generateScenarioFile(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice a faults section with an unknown link type into the document.
+	corrupted := strings.Replace(string(data), `"version"`,
+		`"faults": {"link_degradations": [{"station": 0, "link": "smoke-signal", "at_s": 0, "duration_s": 1, "slowdown": 2}]}, "version"`, 1)
+	if corrupted == string(data) {
+		t.Fatal("could not splice faults section into document")
+	}
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	runErr := run([]string{"-load", path, "-faults"}, &out)
+	var pe *scenarioParseError
+	if !errors.As(runErr, &pe) {
+		t.Fatalf("want *scenarioParseError, got %v", runErr)
+	}
+	if !strings.Contains(pe.Error(), "smoke-signal") {
+		t.Errorf("parse error should name the bad link: %v", pe)
+	}
+}

@@ -104,6 +104,8 @@ func run(args []string, stdout io.Writer) error {
 		lpMethod    = fs.String("lp-method", "auto", "simplex implementation for the LP relaxations: auto, revised, or dense")
 		metricsPath = fs.String("metrics", "", "write a run manifest (metrics + environment) to this JSON file")
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
+		faults      = fs.Bool("faults", false, "inject seeded faults (station outages, device churn, link degradation) into the simulator replay")
+		faultSeed   = fs.Int64("fault-seed", 1, "root seed for the generated fault plan (ignored when -load embeds one)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,7 +131,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	runErr := runScenario(instr, *load, *seed, *devices, *stations, *tasks, *inputKB,
-		*parallel, method, *divisible, *simulate, stdout)
+		*parallel, method, *divisible, *simulate, *faults, *faultSeed, stdout)
 	if instr.enabled() {
 		if err := finishInstrumentation(instr, stdout); err != nil && runErr == nil {
 			runErr = err
@@ -142,7 +144,7 @@ func run(args []string, stdout io.Writer) error {
 // instrumentation bundle.
 func runScenario(instr *instrumentation, load string, seed int64,
 	devices, stations, tasks, inputKB, parallel int, method dsmec.LPMethod,
-	divisible, simulate bool, stdout io.Writer) error {
+	divisible, simulate, faults bool, faultSeed int64, stdout io.Writer) error {
 	if load != "" {
 		data, err := os.ReadFile(load)
 		if err != nil {
@@ -152,14 +154,23 @@ func runScenario(instr *instrumentation, load string, seed int64,
 			instr.manifest.ScenarioHash = obs.HashBytes(data)
 			instr.manifest.Annotate("scenario_file", load)
 		}
-		sc, err := scenarioio.Decode(bytes.NewReader(data))
+		sc, fp, err := scenarioio.DecodeWithFaults(bytes.NewReader(data))
 		if err != nil {
 			return &scenarioParseError{Path: load, Err: err}
 		}
 		if sc.Placement != nil {
+			if faults {
+				return fmt.Errorf("fault injection applies to the simulator replay; the divisible pipeline has none")
+			}
 			return runDivisibleScenario(sc, method, instr, stdout)
 		}
-		return runHolisticScenario(sc, parallel, method, simulate, instr, stdout)
+		if !faults {
+			fp = nil
+		} else if fp.Empty() {
+			// No plan embedded in the document: draw one for its topology.
+			fp = dsmec.GenerateFaultPlan(dsmec.NewSeed(faultSeed), sc.System, dsmec.DefaultFaultParams())
+		}
+		return runHolisticScenario(sc, parallel, method, simulate, fp, instr, stdout)
 	}
 
 	params := dsmec.WorkloadParams{
@@ -192,13 +203,20 @@ func runScenario(instr *instrumentation, load string, seed int64,
 		return err
 	}
 	if divisible {
+		if faults {
+			return fmt.Errorf("fault injection applies to the simulator replay; the divisible pipeline has none")
+		}
 		return runDivisibleScenario(sc, method, instr, stdout)
 	}
-	return runHolisticScenario(sc, parallel, method, simulate, instr, stdout)
+	var fp *dsmec.FaultPlan
+	if faults {
+		fp = dsmec.GenerateFaultPlan(dsmec.NewSeed(faultSeed), sc.System, dsmec.DefaultFaultParams())
+	}
+	return runHolisticScenario(sc, parallel, method, simulate, fp, instr, stdout)
 }
 
 func runHolisticScenario(sc *dsmec.Scenario, parallel int, method dsmec.LPMethod,
-	simulate bool, instr *instrumentation, stdout io.Writer) error {
+	simulate bool, fp *dsmec.FaultPlan, instr *instrumentation, stdout io.Writer) error {
 	ins := instr.ins()
 	fmt.Fprintf(stdout, "scenario: %d devices, %d stations, %d holistic tasks\n\n",
 		sc.System.NumDevices(), sc.System.NumStations(), sc.Tasks.Len())
@@ -247,7 +265,7 @@ func runHolisticScenario(sc *dsmec.Scenario, parallel int, method dsmec.LPMethod
 	if !simulate {
 		return nil
 	}
-	simRes, err := dsmec.Simulate(sc.Model, sc.Tasks, lph.Assignment, dsmec.SimConfig{Obs: ins})
+	simRes, err := dsmec.Simulate(sc.Model, sc.Tasks, lph.Assignment, dsmec.SimConfig{Obs: ins, Faults: fp})
 	if err != nil {
 		return err
 	}
@@ -258,6 +276,14 @@ func runHolisticScenario(sc *dsmec.Scenario, parallel int, method dsmec.LPMethod
 	fmt.Fprintf(stdout, "\ndiscrete-event replay of LP-HTA: mean latency %v (analytic %v), "+
 		"makespan %v, %d deadline misses under queueing\n",
 		simRes.MeanLatency(), analytic.MeanLatency(), simRes.Makespan, simRes.DeadlineViolations)
+	if fs := simRes.Faults; fs != nil {
+		fmt.Fprintf(stdout, "\nfault injection: %d station outages, %d device departures, %d link degradations\n",
+			fs.StationOutages, fs.DeviceDepartures, fs.LinkDegradations)
+		fmt.Fprintf(stdout, "recovery: %d attempts (%d failed), %d retries, %d reassignments, %d tasks lost; "+
+			"wasted energy %v; misses %d fault-attributed / %d capacity\n",
+			fs.Attempts, fs.FailedAttempts, fs.Retries, fs.Reassignments, fs.Lost,
+			fs.WastedEnergy, fs.FaultMisses, fs.CapacityMisses)
+	}
 	return nil
 }
 

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scaffold builds a fake repo root with the given files (paths relative
+// to the root, content as value).
+func scaffold(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestDocCheckPasses(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"internal/alpha/doc.go":   "// Package alpha does things.\npackage alpha\n",
+		"internal/alpha/alpha.go": "package alpha\n",
+	})
+	var out strings.Builder
+	if err := run([]string{"-root", root, "-doc"}, &out); err != nil {
+		t.Fatalf("clean repo failed doc check: %v\n%s", err, out.String())
+	}
+}
+
+func TestDocCheckMissingDocFile(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"internal/alpha/alpha.go": "// Package alpha does things.\npackage alpha\n",
+	})
+	var out strings.Builder
+	if err := run([]string{"-root", root, "-doc"}, &out); err == nil {
+		t.Fatal("missing doc.go should fail")
+	}
+	if !strings.Contains(out.String(), "missing doc.go") {
+		t.Errorf("violation not reported:\n%s", out.String())
+	}
+}
+
+func TestDocCheckWrongOpening(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"internal/alpha/doc.go":   "// alpha does things.\npackage alpha\n",
+		"internal/alpha/alpha.go": "package alpha\n",
+	})
+	var out strings.Builder
+	if err := run([]string{"-root", root, "-doc"}, &out); err == nil {
+		t.Fatal("doc.go without canonical package sentence should fail")
+	}
+}
+
+func TestDocCheckIgnoresGoFreeDirs(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"internal/alpha/doc.go":        "// Package alpha does things.\npackage alpha\n",
+		"internal/alpha/alpha.go":      "package alpha\n",
+		"internal/alpha/testdata/x.md": "fixtures only\n",
+	})
+	var out strings.Builder
+	if err := run([]string{"-root", root, "-doc"}, &out); err != nil {
+		t.Fatalf("testdata dir should not need a doc.go: %v\n%s", err, out.String())
+	}
+}
+
+func TestLinkCheckPasses(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"README.md": strings.Join([]string{
+			"[design](DESIGN.md) and [obs](docs/OBSERVABILITY.md#metrics)",
+			"[web](https://example.com) and [mail](mailto:x@example.com)",
+			"[frag](#section) stays internal",
+			"```",
+			"[broken-in-fence](nope.md)",
+			"```",
+			"and `[broken-in-code](missing.md)` spans",
+		}, "\n"),
+		"DESIGN.md":               "[back](README.md)\n",
+		"docs/OBSERVABILITY.md":   "[up](../README.md)\n",
+		"internal/alpha/doc.go":   "// Package alpha does things.\npackage alpha\n",
+		"internal/alpha/alpha.go": "package alpha\n",
+	})
+	var out strings.Builder
+	if err := run([]string{"-root", root, "-links"}, &out); err != nil {
+		t.Fatalf("clean links failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestLinkCheckBrokenLink(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"README.md": "see [gone](docs/GONE.md)\nand [fine](OK.md)\n",
+		"OK.md":     "ok\n",
+	})
+	var out strings.Builder
+	if err := run([]string{"-root", root, "-links"}, &out); err == nil {
+		t.Fatal("broken link should fail")
+	}
+	if !strings.Contains(out.String(), "README.md:1") || !strings.Contains(out.String(), "docs/GONE.md") {
+		t.Errorf("violation not located:\n%s", out.String())
+	}
+}
+
+func TestLinkCheckMultipleLinksPerLine(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"README.md": "[a](A.md) [b](B.md)\n",
+		"A.md":      "a\n",
+	})
+	var out strings.Builder
+	if err := run([]string{"-root", root, "-links"}, &out); err == nil {
+		t.Fatal("second broken link on the line should fail")
+	}
+	if !strings.Contains(out.String(), "B.md") {
+		t.Errorf("missing violation for second link:\n%s", out.String())
+	}
+}
+
+func TestNoModeIsAnError(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-root", "."}, &out); err == nil {
+		t.Error("no mode selected should fail")
+	}
+}
+
+// TestRealRepoIsClean runs both checks against the actual repository the
+// test binary lives in, so the hygiene gate and the tree cannot drift.
+func TestRealRepoIsClean(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-root", "../..", "-doc", "-links"}, &out); err != nil {
+		t.Fatalf("repository not clean: %v\n%s", err, out.String())
+	}
+}

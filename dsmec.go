@@ -334,3 +334,40 @@ func Battery(m *CostModel, ts *TaskSet, a *Assignment) (*BatteryReport, error) {
 func SimulateReleases(m *CostModel, ts *TaskSet, a *Assignment, cfg SimConfig, releases map[TaskID]Duration) (*SimResult, error) {
 	return sim.RunReleases(m, ts, a, cfg, releases)
 }
+
+// Fault injection and recovery (extension beyond the paper).
+type (
+	// FaultPlan is a deterministic schedule of station outages, device
+	// departures, and backhaul degradation the simulator injects as
+	// first-class events (SimConfig.Faults; nil disables).
+	FaultPlan = sim.FaultPlan
+	// FaultParams tunes GenerateFaultPlan.
+	FaultParams = sim.FaultParams
+	// RecoveryPolicy tunes retry backoff and reassignment for faulted
+	// tasks.
+	RecoveryPolicy = sim.RecoveryPolicy
+	// FaultStats is the graceful-degradation accounting of a faulted run
+	// (SimResult.Faults).
+	FaultStats = sim.FaultStats
+	// FaultEvent is one entry of a run's fault/recovery log
+	// (SimResult.FaultLog).
+	FaultEvent = sim.FaultEvent
+	// Survivors describes the degraded topology for ReplanOnSurvivors.
+	Survivors = core.Survivors
+)
+
+// DefaultFaultParams is the CLI's -faults preset.
+func DefaultFaultParams() FaultParams { return sim.DefaultFaultParams() }
+
+// GenerateFaultPlan draws a deterministic fault schedule for the topology;
+// the same (seed, topology, params) always yields the same plan.
+func GenerateFaultPlan(src *Seed, sys *System, params FaultParams) *FaultPlan {
+	return sim.GenerateFaultPlan(src, sys, params)
+}
+
+// ReplanOnSurvivors re-runs the cost model for one orphaned task against
+// the degraded topology and returns the subsystem it should move to
+// (Cancelled when nothing survives for it).
+func ReplanOnSurvivors(m *CostModel, t *Task, sv Survivors) (Subsystem, error) {
+	return core.ReplanOnSurvivors(m, t, sv)
+}

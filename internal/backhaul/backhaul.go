@@ -1,13 +1,3 @@
-// Package backhaul models the wired links behind the radio access network:
-// base-station to base-station transfers and base-station to cloud
-// transfers.
-//
-// The paper treats these as abstract functions t_{B,B}(X), e_{B,B}(X),
-// t_{B,C}(X), e_{B,C}(X) and fixes their latency constants in the
-// evaluation: 15 ms between base stations [15] and 250 ms to the cloud
-// (Amazon T2.nano ping, [16]). We model each as a propagation latency plus
-// a bandwidth-limited serialization term plus a per-byte energy cost, which
-// degenerates to the paper's constants when only latency matters.
 package backhaul
 
 import (

@@ -1,18 +1,3 @@
-// Package compute models task execution on processors: CPU-cycle demand as
-// a function of input size, execution time, and — for battery-powered
-// mobile devices — the dynamic energy of computation.
-//
-// Following the paper (and [6], [14], [22]):
-//
-//   - cycle demand is λ_ijl(y): CPU cycles to process y bytes. The
-//     evaluation uses the linear model λ(y) = λ·y with λ = 330 cycles/byte.
-//   - execution time is λ(y)/f for a processor at frequency f.
-//   - device computation energy is κ·λ(y)·f² with κ = 1e-27 J/(cycle·Hz²).
-//     Base stations and the cloud are grid powered, so their computation
-//     energy is "extremely small comparing with that cost by transmission"
-//     and ignored (κ = 0).
-//   - result size is η(y) = η·y with η = 0.2 in the evaluation; results may
-//     also be constant-size (Fig. 5(b)'s "constant" series).
 package compute
 
 import (

@@ -1,6 +1,3 @@
-// Package core implements the paper's task-assignment algorithms: LP-HTA
-// for holistic tasks (Section III) and the two DTA variants plus task
-// rearrangement for divisible tasks (Section IV).
 package core
 
 import (

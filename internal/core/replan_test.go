@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"dsmec/internal/backhaul"
+	"dsmec/internal/compute"
+	"dsmec/internal/costmodel"
+	"dsmec/internal/mecnet"
+	"dsmec/internal/radio"
+	"dsmec/internal/task"
+	"dsmec/internal/units"
+)
+
+// replanModel builds a two-cluster system so cross-cluster retrieval paths
+// are reachable: devices 0 and 1 on station 0, device 2 on station 1.
+func replanModel(t *testing.T) *costmodel.Model {
+	t.Helper()
+	sys := &mecnet.System{
+		Devices: []mecnet.Device{
+			{Station: 0, Link: radio.FourG, Proc: compute.DeviceProcessor(1 * units.Gigahertz), ResourceCap: 100},
+			{Station: 0, Link: radio.WiFi, Proc: compute.DeviceProcessor(2 * units.Gigahertz), ResourceCap: 100},
+			{Station: 1, Link: radio.FourG, Proc: compute.DeviceProcessor(1.5 * units.Gigahertz), ResourceCap: 100},
+		},
+		Stations: []mecnet.Station{
+			{Proc: compute.StationProcessor(), ResourceCap: 1000},
+			{Proc: compute.StationProcessor(), ResourceCap: 1000},
+		},
+		Cloud:       mecnet.Cloud{Proc: compute.CloudProcessor()},
+		StationWire: backhaul.DefaultStationToStation(),
+		CloudWire:   backhaul.DefaultStationToCloud(),
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := costmodel.New(sys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// survivors builds a Survivors view with the listed devices and stations
+// marked dead.
+func survivors(deadDevices, deadStations []int, cloudUp bool) Survivors {
+	dd := map[int]bool{}
+	for _, d := range deadDevices {
+		dd[d] = true
+	}
+	ds := map[int]bool{}
+	for _, s := range deadStations {
+		ds[s] = true
+	}
+	return Survivors{
+		DeviceUp:  func(i int) bool { return !dd[i] },
+		StationUp: func(s int) bool { return !ds[s] },
+		CloudUp:   cloudUp,
+	}
+}
+
+func replanTask(user int, external units.ByteSize, source int) *task.Task {
+	return &task.Task{
+		ID: task.ID{User: user, Index: 0}, Kind: task.Holistic,
+		OpSize:    units.Kilobyte,
+		LocalSize: 1000 * units.Kilobyte, ExternalSize: external, ExternalSource: source,
+		Resource: 1, Deadline: 100 * units.Second,
+	}
+}
+
+func TestReplanAllAliveMatchesCostModelArgmin(t *testing.T) {
+	m := replanModel(t)
+	tk := replanTask(0, 0, task.NoExternalSource)
+	got, err := ReplanOnSurvivors(m, tk, AllAlive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == costmodel.SubsystemNone {
+		t.Fatal("healthy topology must yield a placement")
+	}
+	// With everything alive the choice is the plain deadline-feasible
+	// minimum-energy subsystem from the Section II cost model.
+	opts, err := m.Eval(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := costmodel.SubsystemNone
+	for _, l := range costmodel.Subsystems {
+		c := opts.At(l)
+		if !c.Time.IsFinite() || c.Time > tk.Deadline {
+			continue
+		}
+		if want == costmodel.SubsystemNone || c.Energy < opts.At(want).Energy {
+			want = l
+		}
+	}
+	if got != want {
+		t.Errorf("got %v, want argmin %v", got, want)
+	}
+}
+
+func TestReplanDeadHomeDevice(t *testing.T) {
+	m := replanModel(t)
+	tk := replanTask(0, 0, task.NoExternalSource)
+	got, err := ReplanOnSurvivors(m, tk, survivors([]int{0}, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != costmodel.SubsystemNone {
+		t.Errorf("got %v; a task with no home device is unrecoverable", got)
+	}
+}
+
+func TestReplanDeadHomeStationFallsBackToDevice(t *testing.T) {
+	m := replanModel(t)
+	tk := replanTask(0, 0, task.NoExternalSource)
+	got, err := ReplanOnSurvivors(m, tk, survivors(nil, []int{0}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Station and cloud both route through the home station; only local
+	// execution survives.
+	if got != costmodel.SubsystemDevice {
+		t.Errorf("got %v, want device", got)
+	}
+}
+
+func TestReplanCloudDownExcludesCloud(t *testing.T) {
+	m := replanModel(t)
+	tk := replanTask(0, 0, task.NoExternalSource)
+	got, err := ReplanOnSurvivors(m, tk, survivors(nil, nil, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == costmodel.SubsystemCloud || got == costmodel.SubsystemNone {
+		t.Errorf("got %v; cloud is down but device and station are not", got)
+	}
+}
+
+func TestReplanDeadExternalSource(t *testing.T) {
+	m := replanModel(t)
+	tk := replanTask(0, 300*units.Kilobyte, 1)
+	got, err := ReplanOnSurvivors(m, tk, survivors([]int{1}, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != costmodel.SubsystemNone {
+		t.Errorf("got %v; the external input no longer exists anywhere", got)
+	}
+}
+
+func TestReplanCrossClusterSourceStationDown(t *testing.T) {
+	m := replanModel(t)
+	tk := replanTask(0, 300*units.Kilobyte, 2) // source behind station 1
+	got, err := ReplanOnSurvivors(m, tk, survivors(nil, []int{1}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != costmodel.SubsystemNone {
+		t.Errorf("got %v; retrieval cannot cross the dead source station", got)
+	}
+	// A same-cluster source never touches the backhaul, so the same dead
+	// station does not strand a task sourcing from its neighbour.
+	sameCluster := replanTask(0, 300*units.Kilobyte, 1)
+	got, err = ReplanOnSurvivors(m, sameCluster, survivors(nil, []int{1}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == costmodel.SubsystemNone {
+		t.Error("same-cluster retrieval should survive a remote station outage")
+	}
+}
+
+func TestReplanZeroSurvivorsIsNone(t *testing.T) {
+	m := replanModel(t)
+	tk := replanTask(0, 0, task.NoExternalSource)
+	got, err := ReplanOnSurvivors(m, tk, Survivors{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != costmodel.SubsystemNone {
+		t.Errorf("got %v; the zero Survivors value treats everything as dead", got)
+	}
+}

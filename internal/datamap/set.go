@@ -1,8 +1,3 @@
-// Package datamap models the shared data layer of a data-shared MEC
-// system: the universe of data blocks d_1..d_M, the per-device holdings
-// D_i (which may overlap, because the monitoring regions of two devices
-// may overlap), and the usable sets UD_i = D ∩ D_i that the divisible-task
-// algorithms of Section IV partition or cover.
 package datamap
 
 import (

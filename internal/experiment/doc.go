@@ -1,0 +1,6 @@
+// Package experiment defines one runnable definition per table and figure
+// of the paper's evaluation (Section V), plus validation and ablation
+// studies beyond the paper. Each experiment sweeps the published parameter
+// range, averages a few seeded trials, and emits the same rows/series the
+// paper plots.
+package experiment

@@ -1,8 +1,3 @@
-// Package experiment defines one runnable definition per table and figure
-// of the paper's evaluation (Section V), plus validation and ablation
-// studies beyond the paper. Each experiment sweeps the published parameter
-// range, averages a few seeded trials, and emits the same rows/series the
-// paper plots.
 package experiment
 
 import (
@@ -32,6 +27,10 @@ type Options struct {
 	// sequentially. Results are always aggregated in index order, so
 	// figures are byte-identical regardless of the worker count.
 	Parallelism int
+	// FaultSeed roots the fault-plan randomness of fault-injecting
+	// experiments (robustness), independently of Seed so the same
+	// workload can be stressed with different fault draws. Default 1.
+	FaultSeed int64
 }
 
 // workers resolves Parallelism to a concrete worker count.
@@ -103,6 +102,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Trials == 0 {
 		o.Trials = 3
+	}
+	if o.FaultSeed == 0 {
+		o.FaultSeed = 1
 	}
 	return o
 }
@@ -205,6 +207,7 @@ func Registry() []Definition {
 		{"ablation-repair", "Ablation: repair migration order", AblationRepair},
 		{"ablation-lpt", "Ablation: paper greedy vs LPT data division", AblationLPT},
 		{"division-ratio", "Extension: division greedies vs exact P3 optimum", DivisionRatio},
+		{"robustness", "Extension: goodput/energy under injected faults and recovery", Robustness},
 	}
 }
 

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dsmec/internal/core"
+	"dsmec/internal/rng"
+	"dsmec/internal/sim"
+	"dsmec/internal/stats"
+	"dsmec/internal/workload"
+)
+
+// robustnessRates is the swept fault intensity: the expected number of
+// outages per station over the horizon (device churn and link degradation
+// scale with it).
+func robustnessRates(quick bool) []float64 {
+	if quick {
+		return []float64{0, 2}
+	}
+	return []float64{0, 0.5, 1, 2, 4}
+}
+
+// Robustness goes beyond the paper: it measures how LP-HTA assignments
+// degrade when the infrastructure fails underneath them — seeded station
+// outages, device churn, and backhaul degradation injected into the
+// discrete-event simulator — and how much the retry/reassign recovery
+// policies claw back. Goodput is the fraction of all tasks that complete
+// within their deadline; wasted energy is what failed attempts burnt.
+func Robustness(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{
+		ID: "robustness", Title: "LP-HTA under fault injection with retry/reassign recovery",
+		XLabel: "outage rate", YLabel: "goodput, misses, energy",
+		Columns: []string{
+			"goodput (%)", "miss rate (%)", "energy (J)", "wasted (J)",
+			"lost", "retries", "reassigns",
+		},
+		Notes: []string{
+			"outage rate = expected outages per station over the fault horizon;",
+			"device churn (5% x rate) and link degradation windows (1 x rate per link) scale with it",
+		},
+	}
+	const numTasks = 60
+	rates := robustnessRates(opts.Quick)
+	rows, err := collectIndexed(len(rates), opts.workers(), func(pi int) (Row, error) {
+		rate := rates[pi]
+		type trialStats struct {
+			goodput, missRate, energy, wasted float64
+			lost, retries, reassigns          float64
+		}
+		trials, err := collectIndexed(opts.Trials, opts.workers(), func(trial int) (trialStats, error) {
+			src := rng.NewSource(opts.Seed).Derive(fmt.Sprintf("robustness-%d-%d", numTasks, trial))
+			sc, err := workload.GenerateHolistic(src, workload.Params{NumTasks: numTasks})
+			if err != nil {
+				return trialStats{}, err
+			}
+			res, err := core.LPHTA(sc.Model, sc.Tasks, nil)
+			if err != nil {
+				return trialStats{}, err
+			}
+			params := sim.DefaultFaultParams()
+			params.OutageRate = rate
+			params.ChurnRate = 0.05 * rate
+			params.DegradeRate = rate
+			faultSrc := rng.NewSource(opts.FaultSeed).Derive(fmt.Sprintf("robustness-%g-%d", rate, trial))
+			plan := sim.GenerateFaultPlan(faultSrc, sc.System, params)
+			sm, err := sim.Run(sc.Model, sc.Tasks, res.Assignment, sim.Config{Faults: plan})
+			if err != nil {
+				return trialStats{}, err
+			}
+			ts := trialStats{energy: sm.TotalEnergy.Joules()}
+			good := 0
+			for _, o := range sm.Outcomes {
+				if o.DeadlineOK {
+					good++
+				}
+			}
+			ts.goodput = 100 * float64(good) / float64(numTasks)
+			if placed := len(sm.Outcomes); placed > 0 {
+				ts.missRate = 100 * float64(sm.DeadlineViolations) / float64(placed)
+			}
+			if fs := sm.Faults; fs != nil {
+				ts.wasted = fs.WastedEnergy.Joules()
+				ts.lost = float64(fs.Lost)
+				ts.retries = float64(fs.Retries)
+				ts.reassigns = float64(fs.Reassignments)
+			}
+			return ts, nil
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		var goodput, missRate, energy, wasted, lost, retries, reassigns stats.Series
+		for _, tr := range trials {
+			goodput.Add(tr.goodput)
+			missRate.Add(tr.missRate)
+			energy.Add(tr.energy)
+			wasted.Add(tr.wasted)
+			lost.Add(tr.lost)
+			retries.Add(tr.retries)
+			reassigns.Add(tr.reassigns)
+		}
+		return Row{X: fmt.Sprintf("%g", rate), Values: []float64{
+			goodput.Mean(), missRate.Mean(), energy.Mean(), wasted.Mean(),
+			lost.Mean(), retries.Mean(), reassigns.Mean(),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.Rows = rows
+	return f, nil
+}

@@ -1,0 +1,10 @@
+// Package knapsack solves the 0/1 knapsack problem.
+//
+// Theorem 1 of the paper proves HTA NP-complete by reducing Knapsack to the
+// special case max_i = 0, T_ij = ∞: choosing which tasks stay on the base
+// station (value E_ij3 − E_ij2, weight C_ij, capacity max_S) is exactly
+// 0/1 knapsack. This package provides an exact dynamic-programming solver,
+// the classical density greedy with its 1/2 guarantee, and a brute-force
+// reference for tests — used both to demonstrate the reduction and as an
+// optimal baseline for small HTA instances.
+package knapsack

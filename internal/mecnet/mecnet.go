@@ -1,11 +1,3 @@
-// Package mecnet describes the three-level topology of a MEC system: n
-// mobile devices partitioned into k clusters, each cluster served by one
-// base station, and a single remote cloud behind all stations (Fig. 1 of
-// the paper).
-//
-// The package captures the quasi-static scenario the paper assumes: every
-// device stays attached to the same base station for the whole assignment
-// period.
 package mecnet
 
 import (

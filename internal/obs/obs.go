@@ -1,22 +1,3 @@
-// Package obs is the zero-dependency observability layer of the dsmec
-// pipeline: metric registries (counters, gauges, fixed-bucket
-// histograms), a span/trace recorder that exports Chrome trace_event
-// JSON viewable in chrome://tracing or Perfetto, and run manifests that
-// capture everything needed to reproduce and compare runs.
-//
-// The layer is designed so instrumented code pays ~nothing when
-// observability is off: every handle type (*Counter, *Gauge, *Histogram,
-// *Span, *Trace) treats a nil receiver as a disabled no-op, and the
-// *Registry accessors return nil handles from a nil registry. Hot paths
-// therefore never branch on an "enabled" flag — they just call methods
-// on possibly-nil handles.
-//
-// Instrumented layers receive an Instruments value through their options
-// structs. A zero Instruments is fully disabled, except that metric
-// lookups fall back to the process-wide registry installed with
-// SetGlobal — this is how cmd/mecbench collects solver and simulator
-// counters from deep inside the experiment harness without threading a
-// registry through every experiment definition.
 package obs
 
 import "sync/atomic"

@@ -1,0 +1,5 @@
+// Package perfbench builds the deterministic problem instances shared by
+// the testing.B benchmarks and the mecperf baseline recorder, so both
+// measure exactly the same workloads and BENCH_lphta.json numbers are
+// comparable with `go test -bench` output.
+package perfbench

@@ -1,0 +1,17 @@
+// Package radio models the radio access network between mobile devices and
+// their base stations.
+//
+// The paper derives upload and download rates from Shannon capacity,
+//
+//	r^(U) = W^(U) log2(1 + g^(U) P^(T) / ϖ0)
+//	r^(D) = W^(D) log2(1 + g^(D) P^(S) / ϖ0)
+//
+// and then, for the evaluation, fixes concrete rates and powers per access
+// technology (Table I: 4G and Wi-Fi). This package supports both: Shannon
+// derives a Link from channel parameters, and the FourG/WiFi profiles
+// reproduce Table I exactly.
+//
+// Energy accounting follows [9]: sending X bytes costs P^(T)·X/r^(U) joules
+// on the sender's radio; receiving X bytes costs P^(R)·X/r^(D) on the
+// receiver's radio.
+package radio

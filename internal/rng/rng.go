@@ -1,12 +1,3 @@
-// Package rng provides deterministic, named random-number streams.
-//
-// Every stochastic component of the simulator (workload generation, network
-// assignment, data placement, ...) draws from its own stream, derived from a
-// root seed plus a stable name. Two benefits follow:
-//
-//  1. Experiments are exactly reproducible from a single seed.
-//  2. Changing how many random numbers one component consumes does not
-//     perturb any other component, because streams never share state.
 package rng
 
 import (

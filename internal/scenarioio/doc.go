@@ -1,0 +1,7 @@
+// Package scenarioio serializes complete scenarios — topology, cost-model
+// parameters, tasks, and (for divisible workloads) the data placement — to
+// a versioned JSON document and back. Round-tripping a scenario preserves
+// every quantity the algorithms read, so workloads can be generated once,
+// archived, inspected, or exchanged with external tooling, and re-evaluated
+// bit-for-bit later.
+package scenarioio

@@ -1,9 +1,3 @@
-// Package scenarioio serializes complete scenarios — topology, cost-model
-// parameters, tasks, and (for divisible workloads) the data placement — to
-// a versioned JSON document and back. Round-tripping a scenario preserves
-// every quantity the algorithms read, so workloads can be generated once,
-// archived, inspected, or exchanged with external tooling, and re-evaluated
-// bit-for-bit later.
 package scenarioio
 
 import (
@@ -32,6 +26,7 @@ type Document struct {
 	Cost      costDoc       `json:"cost_model"`
 	Tasks     []taskDoc     `json:"tasks"`
 	Placement *placementDoc `json:"placement,omitempty"`
+	Faults    *faultsDoc    `json:"faults,omitempty"`
 }
 
 type systemDoc struct {
@@ -99,10 +94,14 @@ type placementDoc struct {
 // are taken from params (workload defaults) because costmodel hides them;
 // pass the scenario produced by the workload generator.
 func Encode(w io.Writer, sc *workload.Scenario) error {
+	return encode(w, sc, nil)
+}
+
+func encode(w io.Writer, sc *workload.Scenario, faults *faultsDoc) error {
 	if sc == nil || sc.System == nil || sc.Tasks == nil {
 		return fmt.Errorf("scenarioio: incomplete scenario")
 	}
-	doc := Document{Version: FormatVersion}
+	doc := Document{Version: FormatVersion, Faults: faults}
 
 	doc.System.CloudGHz = sc.System.Cloud.Proc.Frequency.GHz()
 	doc.System.Wires = wiresDoc{
@@ -196,16 +195,22 @@ func Encode(w io.Writer, sc *workload.Scenario) error {
 	return enc.Encode(doc)
 }
 
-// Decode reads a Document and rebuilds a fully validated scenario.
+// Decode reads a Document and rebuilds a fully validated scenario. Any
+// fault plan in the document is ignored; use DecodeWithFaults to get it.
 func Decode(r io.Reader) (*workload.Scenario, error) {
+	sc, _, err := decode(r)
+	return sc, err
+}
+
+func decode(r io.Reader) (*workload.Scenario, *Document, error) {
 	var doc Document
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("scenarioio: %w", err)
+		return nil, nil, fmt.Errorf("scenarioio: %w", err)
 	}
 	if doc.Version != FormatVersion {
-		return nil, fmt.Errorf("scenarioio: unsupported version %d (want %d)", doc.Version, FormatVersion)
+		return nil, nil, fmt.Errorf("scenarioio: unsupported version %d (want %d)", doc.Version, FormatVersion)
 	}
 
 	sys := &mecnet.System{
@@ -247,7 +252,7 @@ func Decode(r io.Reader) (*workload.Scenario, error) {
 		})
 	}
 	if err := sys.Validate(); err != nil {
-		return nil, fmt.Errorf("scenarioio: %w", err)
+		return nil, nil, fmt.Errorf("scenarioio: %w", err)
 	}
 
 	var resultModel compute.ResultModel
@@ -257,11 +262,11 @@ func Decode(r io.Reader) (*workload.Scenario, error) {
 	case "constant":
 		resultModel = compute.ConstantResult{Size: units.ByteSize(doc.Cost.ResultValue)}
 	default:
-		return nil, fmt.Errorf("scenarioio: unknown result kind %q", doc.Cost.ResultKind)
+		return nil, nil, fmt.Errorf("scenarioio: unknown result kind %q", doc.Cost.ResultKind)
 	}
 	model, err := costmodel.New(sys, compute.LinearCycles{PerByte: doc.Cost.CyclesPerByte}, resultModel)
 	if err != nil {
-		return nil, fmt.Errorf("scenarioio: %w", err)
+		return nil, nil, fmt.Errorf("scenarioio: %w", err)
 	}
 
 	ts := &task.Set{}
@@ -292,25 +297,25 @@ func Decode(r io.Reader) (*workload.Scenario, error) {
 			}
 		}
 		if err := ts.Add(t); err != nil {
-			return nil, fmt.Errorf("scenarioio: task %d: %w", i, err)
+			return nil, nil, fmt.Errorf("scenarioio: task %d: %w", i, err)
 		}
 	}
 
 	var placement *datamap.Placement
 	if doc.Placement != nil {
 		if len(doc.Placement.Holdings) != len(sys.Devices) {
-			return nil, fmt.Errorf("scenarioio: %d holdings for %d devices",
+			return nil, nil, fmt.Errorf("scenarioio: %d holdings for %d devices",
 				len(doc.Placement.Holdings), len(sys.Devices))
 		}
 		placement, err = datamap.NewPlacement(len(sys.Devices), doc.Placement.NumBlocks,
 			units.ByteSize(doc.Placement.BlockBytes))
 		if err != nil {
-			return nil, fmt.Errorf("scenarioio: %w", err)
+			return nil, nil, fmt.Errorf("scenarioio: %w", err)
 		}
 		for dev, row := range doc.Placement.Holdings {
 			for _, b := range row {
 				if err := placement.Assign(dev, datamap.BlockID(b)); err != nil {
-					return nil, fmt.Errorf("scenarioio: %w", err)
+					return nil, nil, fmt.Errorf("scenarioio: %w", err)
 				}
 			}
 		}
@@ -322,7 +327,7 @@ func Decode(r io.Reader) (*workload.Scenario, error) {
 		Tasks:     ts,
 		Placement: placement,
 		Params:    workload.Params{ResultModel: resultModel},
-	}, nil
+	}, &doc, nil
 }
 
 func techFromString(s string) radio.Tech {

@@ -1,0 +1,12 @@
+// Package sim is a discrete-event simulator that *executes* a task
+// assignment instead of only evaluating the paper's closed-form cost
+// model. Every shared resource — device radios, device CPUs, station
+// backhaul ports, station CPUs, the WAN uplinks and the cloud — is a FIFO
+// queue, so the simulated completion times include the queueing delays the
+// analytic model ignores.
+//
+// When the system is uncontended (one task at a time per resource), the
+// simulated latency of each task equals its analytic t_ijl exactly, which
+// the tests use to validate both models against each other. Under load the
+// simulated latencies dominate the analytic ones.
+package sim

@@ -19,6 +19,12 @@ type stage struct {
 	waitingOn  int      // unmet dependency count
 	plan       *plan
 	enqueuedAt units.Duration // when the stage became eligible
+
+	// Fault-injection bookkeeping; untouched (zero) when the engine has
+	// no fault runner.
+	finishAt units.Duration // scheduled completion of the in-service stage
+	aborted  bool           // killed by an outage; skip its completion
+	timedOut bool           // completion event is a transfer timeout
 }
 
 // plan is the stage DAG of a single task. The plan completes when its last
@@ -29,6 +35,23 @@ type plan struct {
 	pending int
 	finish  units.Duration
 	onDone  func(finish units.Duration)
+
+	// Fault-injection state; zero when fault injection is disabled.
+	failed     bool // a stage failed; the whole attempt is void
+	anyStarted bool // at least one stage occupied a server
+	onFail     func(at units.Duration, reason string)
+}
+
+// fail voids the attempt exactly once: remaining stages are skipped as
+// they surface, and the recovery policy decides what happens next.
+func (p *plan) fail(at units.Duration, reason string) {
+	if p.failed {
+		return
+	}
+	p.failed = true
+	if p.onFail != nil {
+		p.onFail(at, reason)
+	}
 }
 
 // stage appends a root stage (no dependencies).
@@ -72,6 +95,11 @@ type resource struct {
 	queueWait units.Duration // Σ (start - enqueue) over started stages
 	started   int64
 	peakQueue int
+
+	// Fault-injection state; only maintained when the engine has a fault
+	// runner, so the fault-free path is untouched.
+	down    bool     // outage in progress: new arrivals fail
+	running []*stage // stages currently occupying servers
 	// waits bins per-start queue waits, shared by every resource of the
 	// same class. The engine is single-threaded, so plain counts here
 	// cost ~nothing per start; recordMetrics merges them into the
@@ -100,8 +128,18 @@ func (w *waitBins) observe(wait units.Duration) {
 }
 
 // enqueue adds an eligible stage; it starts immediately if a server is
-// free.
+// free. Under fault injection, arriving at a downed resource voids the
+// attempt, and stages of already-failed attempts are dropped.
 func (r *resource) enqueue(s *stage, now units.Duration) {
+	if flt := r.eng.flt; flt != nil {
+		if s.plan.failed {
+			return
+		}
+		if r.down {
+			s.plan.fail(now, flt.downReason(r))
+			return
+		}
+	}
 	s.enqueuedAt = now
 	if r.busy < r.servers {
 		r.start(s, now)
@@ -114,34 +152,88 @@ func (r *resource) enqueue(s *stage, now units.Duration) {
 }
 
 func (r *resource) start(s *stage, now units.Duration) {
+	svc := s.service
+	if flt := r.eng.flt; flt != nil {
+		svc = flt.serviceTime(r, s, now)
+		s.plan.anyStarted = true
+		r.running = append(r.running, s)
+		if timeout := flt.transferTimeout(r); timeout > 0 && svc > timeout {
+			// The transfer stalls: it holds the server until the timeout
+			// fires, then the attempt fails.
+			s.timedOut = true
+			svc = timeout
+		}
+		s.finishAt = now + svc
+	}
 	r.busy++
 	r.started++
-	r.busyTime += s.service
+	r.busyTime += svc
 	wait := now - s.enqueuedAt
 	r.queueWait += wait
 	if r.waits != nil {
 		r.waits.observe(wait)
 	}
-	r.eng.schedule(now+s.service, s)
+	r.eng.schedule(now+svc, s)
 }
 
-// finish releases the server and starts the next queued stage.
+// finish releases the server and starts the next queued stage (skipping
+// stages whose attempt already failed, under fault injection).
 func (r *resource) finish(now units.Duration) {
 	r.busy--
-	if len(r.queue) > 0 {
+	for len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
+		if r.eng.flt != nil && next.plan.failed {
+			continue
+		}
 		r.start(next, now)
+		return
 	}
 }
 
-// event is either a scheduled stage completion (stage != nil) or a timed
-// plan release (plan != nil).
+// dropRunning forgets a stage that finished or aborted; only called when
+// fault injection is active.
+func (r *resource) dropRunning(s *stage) {
+	for i, st := range r.running {
+		if st == s {
+			r.running = append(r.running[:i], r.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// outage takes the resource down: every stage in service or queued fails
+// its attempt, and new arrivals fail until repair.
+func (r *resource) outage(now units.Duration, reason string) {
+	r.down = true
+	for _, s := range r.running {
+		s.aborted = true
+		// The work performed after `now` never happens; give the busy
+		// accounting back.
+		if s.finishAt > now {
+			r.busyTime -= s.finishAt - now
+		}
+		s.plan.fail(now, reason)
+	}
+	r.running = r.running[:0]
+	r.busy = 0
+	for _, s := range r.queue {
+		s.plan.fail(now, reason)
+	}
+	r.queue = r.queue[:0]
+}
+
+// repair brings the resource back; the outage drained its queue.
+func (r *resource) repair() { r.down = false }
+
+// event is a scheduled stage completion (stage != nil), a timed plan
+// release (plan != nil), or a fault-injection action (act != nil).
 type event struct {
 	at    units.Duration
 	seq   int // FIFO tie-break for identical times
 	stage *stage
 	plan  *plan
+	act   func(at units.Duration)
 }
 
 // eventHeap orders events by time, then insertion order.
@@ -168,6 +260,7 @@ type engine struct {
 	resources  []*resource
 	waits      map[string]*waitBins // per class; nil when disabled
 	ins        obs.Instruments
+	flt        *faultRunner // nil: fault injection disabled, path untouched
 }
 
 // newResource registers a k-server resource with the engine under a
@@ -192,6 +285,13 @@ func (e *engine) newResource(servers int, class string) *resource {
 // schedule arms a completion event.
 func (e *engine) schedule(at units.Duration, s *stage) {
 	heap.Push(&e.events, event{at: at, seq: e.seq, stage: s})
+	e.seq++
+}
+
+// scheduleAction arms a fault-injection action (outage, repair, churn,
+// degradation window edge) as a first-class event.
+func (e *engine) scheduleAction(at units.Duration, act func(at units.Duration)) {
+	heap.Push(&e.events, event{at: at, seq: e.seq, act: act})
 	e.seq++
 }
 
@@ -225,12 +325,35 @@ func (e *engine) run() {
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.at
 		e.dispatched++
+		if ev.act != nil {
+			ev.act(e.now)
+			continue
+		}
 		if ev.plan != nil {
 			e.release(ev.plan)
 			continue
 		}
 		s := ev.stage
-		s.res.finish(e.now)
+		if e.flt != nil {
+			// An outage already reclaimed the server and voided the
+			// attempt; the stale completion is a no-op.
+			if s.aborted {
+				continue
+			}
+			s.res.dropRunning(s)
+			s.res.finish(e.now)
+			if s.timedOut {
+				s.plan.fail(e.now, e.flt.timeoutReason(s.res))
+				continue
+			}
+			if s.plan.failed {
+				// A sibling stage failed while this one was in service;
+				// its work completes but leads nowhere.
+				continue
+			}
+		} else {
+			s.res.finish(e.now)
+		}
 
 		p := s.plan
 		p.pending--

@@ -45,6 +45,9 @@ type RoundStats struct {
 	Misses int
 	// Cancelled is the number of tasks the planner gave up on.
 	Cancelled int
+	// Lost is the number of placed tasks the fault recovery gave up on
+	// (always 0 without fault injection).
+	Lost int
 	// Energy is the analytic total energy of the round's assignment.
 	Energy units.Energy
 	// MeanLatency is the simulated mean latency.
@@ -98,9 +101,14 @@ func PlanWithFeedback(m *costmodel.Model, ts *task.Set, opts FeedbackOptions) (*
 		if err != nil {
 			return nil, err
 		}
+		lost := 0
+		if simRes.Faults != nil {
+			lost = simRes.Faults.Lost
+		}
 		res.Rounds = append(res.Rounds, RoundStats{
 			Misses:      simRes.DeadlineViolations,
 			Cancelled:   simRes.Cancelled,
+			Lost:        lost,
 			Energy:      metrics.TotalEnergy,
 			MeanLatency: simRes.MeanLatency(),
 		})
@@ -109,8 +117,8 @@ func PlanWithFeedback(m *costmodel.Model, ts *task.Set, opts FeedbackOptions) (*
 	better := func(i, j int) bool { // is round i better than round j?
 		a, b := res.Rounds[i], res.Rounds[j]
 		// Rank by the paper's unsatisfied notion: deadline misses plus
-		// cancellations; energy breaks ties.
-		if ua, ub := a.Misses+a.Cancelled, b.Misses+b.Cancelled; ua != ub {
+		// cancellations (plus fault-lost tasks); energy breaks ties.
+		if ua, ub := a.Misses+a.Cancelled+a.Lost, b.Misses+b.Cancelled+b.Lost; ua != ub {
 			return ua < ub
 		}
 		return a.Energy < b.Energy
@@ -181,7 +189,7 @@ func PlanWithFeedback(m *costmodel.Model, ts *task.Set, opts FeedbackOptions) (*
 	}
 	best := res.Rounds[res.Best]
 	opts.Obs.Gauge("feedback.best_round").Set(float64(res.Best))
-	opts.Obs.Gauge("feedback.best_unsatisfied").Set(float64(best.Misses + best.Cancelled))
+	opts.Obs.Gauge("feedback.best_unsatisfied").Set(float64(best.Misses + best.Cancelled + best.Lost))
 	span.Annotate("best_round", res.Best)
 	span.Annotate("rounds", len(res.Rounds))
 	return res, nil

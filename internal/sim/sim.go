@@ -1,14 +1,3 @@
-// Package sim is a discrete-event simulator that *executes* a task
-// assignment instead of only evaluating the paper's closed-form cost
-// model. Every shared resource — device radios, device CPUs, station
-// backhaul ports, station CPUs, the WAN uplinks and the cloud — is a FIFO
-// queue, so the simulated completion times include the queueing delays the
-// analytic model ignores.
-//
-// When the system is uncontended (one task at a time per resource), the
-// simulated latency of each task equals its analytic t_ijl exactly, which
-// the tests use to validate both models against each other. Under load the
-// simulated latencies dominate the analytic ones.
 package sim
 
 import (
@@ -33,6 +22,11 @@ type Config struct {
 	// value records metrics to the process-wide obs registry (if any)
 	// and disables tracing.
 	Obs obs.Instruments
+	// Faults optionally schedules infrastructure faults for the run and
+	// enables the retry/reassign recovery machinery. Nil (the default)
+	// disables fault injection entirely: the engine takes the exact same
+	// code paths and produces bit-identical output to a fault-free build.
+	Faults *FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +50,10 @@ type TaskOutcome struct {
 	Sojourn    units.Duration
 	Analytic   units.Duration // the closed-form t_ijl for comparison
 	DeadlineOK bool           // Sojourn <= deadline
+	// Faulted marks tasks that lost at least one attempt to a fault
+	// before completing; their deadline misses are attributed to faults
+	// rather than capacity. Always false without fault injection.
+	Faulted bool
 }
 
 // Result summarizes a simulation run.
@@ -75,6 +73,10 @@ type Result struct {
 	DeadlineViolations int
 	// Cancelled counts tasks the assignment did not place.
 	Cancelled int
+	// Faults carries the fault/recovery accounting and FaultLog the
+	// ordered fault event log; both are nil without fault injection.
+	Faults   *FaultStats
+	FaultLog []FaultEvent
 }
 
 // MeanLatency returns the average simulated latency over placed tasks.
@@ -127,7 +129,28 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 		stCPU[s] = eng.newResource(cfg.StationCores, "st.cpu")
 	}
 	cloudCPU := eng.newResource(cfg.CloudCores, "cloud.cpu")
+	pools := planResources{
+		devUp: devUp, devDown: devDown, devCPU: devCPU,
+		stWire: stWire, stWAN: stWAN, stCPU: stCPU, cloudCPU: cloudCPU,
+	}
 
+	var fr *faultRunner
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(sys); err != nil {
+			return nil, err
+		}
+		fr = newFaultRunner(eng, cfg.Faults, sys, pools)
+	}
+
+	// Under fault injection, energyOf holds each task's analytic energy
+	// for its (final) placement and the final task-order pass sums it, so
+	// floating-point accumulation is deterministic whether or not tasks
+	// were reassigned. Without faults, placements never move and energy
+	// accumulates inline in the same task order (identical sums, no map).
+	var energyOf map[task.ID]units.Energy
+	if fr != nil {
+		energyOf = make(map[task.ID]units.Energy, ts.Len())
+	}
 	for _, t := range ts.All() {
 		l, ok := a.Placement[t.ID]
 		if !ok {
@@ -145,23 +168,31 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 		if err != nil {
 			return nil, err
 		}
-		res.TotalEnergy += opts.At(l).Energy
-
-		plan, err := buildPlan(m, t, l, planResources{
-			devUp: devUp, devDown: devDown, devCPU: devCPU,
-			stWire: stWire, stWAN: stWAN, stCPU: stCPU, cloudCPU: cloudCPU,
-		})
-		if err != nil {
-			return nil, err
-		}
 		id := t.ID
-		analytic := opts.At(l).Time
-		deadline := t.Deadline
-		subsystem := l
 		release := releases[id]
 		if release < 0 || !release.IsFinite() {
 			return nil, fmt.Errorf("sim: task %v has invalid release %v", id, release)
 		}
+
+		if fr != nil {
+			att := &attempt{
+				eng: eng, fr: fr, m: m, res: res, pools: pools, energyOf: energyOf,
+				t: t, opts: opts, release: release, placement: l,
+			}
+			if err := att.launch(release); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		res.TotalEnergy += opts.At(l).Energy
+		plan, err := buildPlan(m, t, l, pools)
+		if err != nil {
+			return nil, err
+		}
+		analytic := opts.At(l).Time
+		deadline := t.Deadline
+		subsystem := l
 		plan.onDone = func(finish units.Duration) {
 			sojourn := finish - release
 			res.Outcomes[id] = TaskOutcome{
@@ -197,6 +228,9 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 		if !ok {
 			continue
 		}
+		if fr != nil {
+			res.TotalEnergy += energyOf[t.ID]
+		}
 		res.TotalLatency += o.Sojourn
 		if sojourns.Counts != nil {
 			sojourns.Counts[stats.Bucketize(o.Sojourn.Seconds(), sojourns.Bounds)]++
@@ -208,12 +242,31 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 		}
 		if !o.DeadlineOK {
 			res.DeadlineViolations++
+			if fr != nil {
+				if o.Faulted {
+					fr.stats.FaultMisses++
+				} else {
+					fr.stats.CapacityMisses++
+				}
+			}
 		}
 	}
-	if want := ts.Len() - res.Cancelled; len(res.Outcomes) != want {
+	lost := 0
+	if fr != nil {
+		lost = fr.stats.Lost
+		// Energy burnt on attempts that a fault voided is still energy the
+		// system drew from batteries and stations.
+		res.TotalEnergy += fr.stats.WastedEnergy
+		res.Faults = &fr.stats
+		res.FaultLog = fr.log
+	}
+	if want := ts.Len() - res.Cancelled - lost; len(res.Outcomes) != want {
 		return nil, fmt.Errorf("sim: %d outcomes for %d placed tasks", len(res.Outcomes), want)
 	}
 	eng.recordMetrics()
+	if fr != nil {
+		fr.recordMetrics(cfg.Obs)
+	}
 	if sojourns.Count > 0 {
 		_ = cfg.Obs.Histogram("sim.sojourn_seconds", obs.TimeBuckets).Merge(sojourns)
 	}

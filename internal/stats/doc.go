@@ -1,0 +1,4 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness needs: running accumulation of samples with mean,
+// standard deviation, extrema, and percentiles.
+package stats

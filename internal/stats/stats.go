@@ -1,6 +1,3 @@
-// Package stats provides the small set of summary statistics the
-// experiment harness needs: running accumulation of samples with mean,
-// standard deviation, extrema, and percentiles.
 package stats
 
 import (

@@ -1,0 +1,16 @@
+// Package task defines the computation tasks of a data-shared MEC system.
+//
+// A task T_ij = (op_ij, LD_ij, ED_ij, L_ij, C_ij, T_ij) is the j-th task
+// raised by user U_i. Its input splits into local data LD_ij (size α_ij,
+// held by the user's own device) and external data ED_ij (size β_ij, held
+// by device L_ij, possibly in another cluster). The task also carries a
+// resource demand C_ij (memory/threads/VM slots) and a deadline T_ij.
+//
+// Tasks come in two kinds (Sections III and IV of the paper):
+//
+//   - Holistic: all input must be gathered at a single subsystem before
+//     processing.
+//   - Divisible: the result can be computed from partial results over a
+//     partition of the input (Sum, Count, and similar aggregates), so the
+//     work can be rearranged to follow the data.
+package task

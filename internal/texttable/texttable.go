@@ -1,5 +1,3 @@
-// Package texttable renders aligned plain-text tables, the output format
-// of the benchmark harness (one table per reproduced figure).
 package texttable
 
 import (

@@ -1,0 +1,12 @@
+// Package units defines the physical quantities used throughout the
+// data-shared MEC simulator: data sizes, data rates, CPU frequencies,
+// energies, and durations.
+//
+// All quantities are strongly typed wrappers over float64 (or int64 for
+// ByteSize) so the compiler rejects, for example, adding an energy to a
+// duration. Conversions between related quantities live here too, so the
+// arithmetic of the paper's cost model reads naturally:
+//
+//	t := size.TransferTime(rate)        // ByteSize / BitRate -> Duration
+//	e := power.EnergyOver(t)            // Watt * Duration -> Energy
+package units

@@ -1,0 +1,7 @@
+// Package workload generates the synthetic scenarios of the paper's
+// evaluation (Section V.A): a MEC topology plus a task population with
+// the published parameter ranges — input sizes up to a configurable
+// maximum, external data between 0 and 0.5 times the local data, deadlines
+// tied to what the system can actually achieve, and per-edge resource
+// caps that become contended as the task count grows.
+package workload

@@ -1,14 +1,14 @@
 # Development targets. `make verify` is the pre-commit gate: formatting,
 # vet, build, the full test suite under the race detector, a
-# single-iteration benchmark smoke run so the perf harness can't rot, and
-# the repolint documentation checks (package doc.go comments, markdown
-# link integrity).
+# single-iteration benchmark smoke run so the perf harness can't rot, the
+# repolint documentation checks (package doc.go comments, markdown link
+# integrity), and a mecstat smoke over its committed fixtures.
 
 GO ?= go
 
-.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs doc-check link-check
+.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs doc-check link-check mecstat-smoke
 
-verify: fmt-check vet build race bench-smoke doc-check link-check
+verify: fmt-check vet build race bench-smoke doc-check link-check mecstat-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,3 +53,10 @@ link-check:
 # filter never needs updating when one is added or renamed.
 bench-obs:
 	$(GO) test -run xxx -bench BenchmarkObs -benchmem ./...
+
+# mecstat must keep reading its own committed fixtures and gating clean
+# on an identical pair; a regressed pair must trip the gate.
+mecstat-smoke:
+	$(GO) run ./cmd/mecstat -threshold 0.1 cmd/mecstat/testdata/base.json cmd/mecstat/testdata/base.json > /dev/null
+	@if $(GO) run ./cmd/mecstat -threshold 0.2 cmd/mecstat/testdata/base.json cmd/mecstat/testdata/regressed.json > /dev/null 2>&1; then \
+		echo "mecstat failed to flag the regressed fixture"; exit 1; fi

@@ -67,10 +67,20 @@ func run(args []string, stdout io.Writer) error {
 		checkPath   = fs.String("check", "", "budget JSON file; exit non-zero when a final metric is out of budget")
 		lpMethod    = fs.String("lp-method", "auto", "simplex implementation for LP relaxations: auto, revised, or dense")
 		faultSeed   = fs.Int64("fault-seed", 1, "root seed for fault plans in fault-injecting experiments (robustness)")
+		obsAddr     = fs.String("obs-addr", "", "serve live /metrics, /metrics.json, /manifest, and /debug/pprof over HTTP on this address for the duration of the run")
+		snapPath    = fs.String("obs-snapshots", "", "append timestamped registry snapshots (JSON Lines) to this file while experiments run")
+		snapEvery   = fs.Duration("obs-snapshot-interval", time.Second, "interval between -obs-snapshots records")
+		logLevel    = fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error, or off")
+		logFormat   = fs.String("log-format", "text", "structured log encoding: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	obs.SetGlobalLogger(logger)
 	// The experiment definitions build their solver options internally, so
 	// the method is installed as the process default rather than threaded
 	// through every definition — the same pattern obs.SetGlobal uses.
@@ -126,14 +136,29 @@ func run(args []string, stdout io.Writer) error {
 		trace    *obs.Trace
 		manifest *obs.Manifest
 	)
-	if *metricsPath != "" || *tracePath != "" || *checkPath != "" {
+	if *metricsPath != "" || *tracePath != "" || *checkPath != "" || *obsAddr != "" || *snapPath != "" {
 		reg = obs.NewRegistry()
 		obs.SetGlobal(reg)
 		defer obs.SetGlobal(nil)
 		manifest = obs.NewManifest("mecbench", args)
-		manifest.Seed = *seed
+		manifest.SetSeed(*seed)
 		if *tracePath != "" {
 			trace = obs.NewTrace("mecbench")
+		}
+		if *obsAddr != "" {
+			srv, err := obs.NewServer(*obsAddr, reg, manifest)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			logger.Info("obs server listening", "url", srv.URL())
+		}
+		if *snapPath != "" {
+			snap, err := obs.StartSnapshotter(*snapPath, *snapEvery, reg)
+			if err != nil {
+				return err
+			}
+			defer snap.Close()
 		}
 	}
 
@@ -231,25 +256,48 @@ func loadBudgets(path string) ([]budget, error) {
 	return bf.Budgets, nil
 }
 
+// violation is the machine-readable record emitted alongside each human
+// "budget FAIL" line, so CI wrappers can parse failures without scraping
+// the column-aligned text. Margin is how far past the limit the run
+// landed, always non-negative.
+type violation struct {
+	Budget string   `json:"budget"`
+	Kind   string   `json:"kind"` // "max", "min", or "missing"
+	Limit  *float64 `json:"limit,omitempty"`
+	Actual *float64 `json:"actual,omitempty"`
+	Margin *float64 `json:"margin,omitempty"`
+}
+
 // checkBudgets resolves every budget against the finished manifest and
 // reports violations; any violation (or unresolvable metric) is an error,
-// which main turns into a non-zero exit.
+// which main turns into a non-zero exit. Each failure prints a human line
+// followed by a one-line JSON violation record.
 func checkBudgets(budgets []budget, m *obs.Manifest, stdout io.Writer) error {
 	violations := 0
+	fail := func(v violation) {
+		violations++
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	}
 	for _, b := range budgets {
 		v, ok := resolveMetric(b.Metric, m)
 		if !ok {
 			fmt.Fprintf(stdout, "budget FAIL %-32s metric not found in run\n", b.Metric)
-			violations++
+			fail(violation{Budget: b.Metric, Kind: "missing"})
 			continue
 		}
 		switch {
 		case b.Max != nil && v > *b.Max:
 			fmt.Fprintf(stdout, "budget FAIL %-32s %g > max %g\n", b.Metric, v, *b.Max)
-			violations++
+			margin := v - *b.Max
+			fail(violation{Budget: b.Metric, Kind: "max", Limit: b.Max, Actual: &v, Margin: &margin})
 		case b.Min != nil && v < *b.Min:
 			fmt.Fprintf(stdout, "budget FAIL %-32s %g < min %g\n", b.Metric, v, *b.Min)
-			violations++
+			margin := *b.Min - v
+			fail(violation{Budget: b.Metric, Kind: "min", Limit: b.Min, Actual: &v, Margin: &margin})
 		default:
 			fmt.Fprintf(stdout, "budget ok   %-32s %g\n", b.Metric, v)
 		}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dsmec/internal/obs"
 )
 
 func writeBudgets(t *testing.T, dir, content string) string {
@@ -87,6 +89,41 @@ func TestBudgetCheckFails(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "metric not found") {
 		t.Errorf("unknown metric not reported:\n%s", out.String())
+	}
+	// Each failure also carries a machine-readable record.
+	for _, want := range []string{`"kind":"max"`, `"kind":"missing"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("violation JSON %s missing:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBudgetViolationJSONFormat pins the exact shape of the JSON record
+// printed alongside each human "budget FAIL" line; CI wrappers parse these
+// lines, so the field set and encoding must not drift.
+func TestBudgetViolationJSONFormat(t *testing.T) {
+	m := &obs.Manifest{Metrics: obs.Snapshot{
+		Counters: map[string]int64{"lp.pivots": 612},
+		Gauges:   map[string]float64{"sim.utilization.st.cpu": 0.25},
+	}}
+	maxPivots, minUtil := 500.0, 0.5
+	var out strings.Builder
+	err := checkBudgets([]budget{
+		{Metric: "lp.pivots", Max: &maxPivots},
+		{Metric: "sim.utilization.st.cpu", Min: &minUtil},
+		{Metric: "no.such.metric", Min: &minUtil},
+	}, m, &out)
+	if err == nil || !strings.Contains(err.Error(), "3 budget violation") {
+		t.Fatalf("err = %v, want 3 violations", err)
+	}
+	for _, want := range []string{
+		`{"budget":"lp.pivots","kind":"max","limit":500,"actual":612,"margin":112}`,
+		`{"budget":"sim.utilization.st.cpu","kind":"min","limit":0.5,"actual":0.25,"margin":0.25}`,
+		`{"budget":"no.such.metric","kind":"missing"}`,
+	} {
+		if !strings.Contains(out.String(), want+"\n") {
+			t.Errorf("missing violation line %s in:\n%s", want, out.String())
+		}
 	}
 }
 

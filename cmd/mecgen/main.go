@@ -47,10 +47,17 @@ func run(args []string, stdout io.Writer) (err error) {
 		out         = fs.String("o", "", "output file (default stdout)")
 		metricsPath = fs.String("metrics", "", "write a run manifest to this JSON file (summary on stderr)")
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
+		logLevel    = fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error, or off")
+		logFormat   = fs.String("log-format", "text", "structured log encoding: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	obs.SetGlobalLogger(logger)
 
 	var (
 		reg      *obs.Registry
@@ -61,7 +68,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	if *metricsPath != "" || *tracePath != "" {
 		reg = obs.NewRegistry()
 		manifest = obs.NewManifest("mecgen", args)
-		manifest.Seed = *seed
+		manifest.SetSeed(*seed)
 		if *tracePath != "" {
 			trace = obs.NewTrace("mecgen")
 			root = trace.StartSpan("mecgen")
@@ -75,11 +82,11 @@ func run(args []string, stdout io.Writer) (err error) {
 		MaxInput:    dsmec.ByteSize(*inputKB) * dsmec.Kilobyte,
 	}
 	if manifest != nil {
-		manifest.ScenarioHash = obs.HashJSON(struct {
+		manifest.SetScenarioHash(obs.HashJSON(struct {
 			Seed      int64
 			Params    dsmec.WorkloadParams
 			Divisible bool
-		}{*seed, params, *divisible})
+		}{*seed, params, *divisible}))
 	}
 	src := dsmec.NewSeed(*seed)
 

@@ -31,6 +31,7 @@ import (
 	"dsmec/internal/core"
 	"dsmec/internal/experiment"
 	"dsmec/internal/lp"
+	"dsmec/internal/obs"
 	"dsmec/internal/perfbench"
 	"dsmec/internal/sim"
 )
@@ -83,8 +84,27 @@ func run() error {
 		quick     = flag.Bool("quick", false, "smaller instances (smoke test)")
 		against   = flag.String("against", "", "baseline JSON to compare against; gated metrics exit non-zero on regression")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression for gated metrics with -against")
+		obsAddr   = flag.String("obs-addr", "", "serve live /metrics and /debug/pprof over HTTP on this address while benchmarks run (enables the global registry, which perturbs alloc counts — do not gate such a run)")
+		logLevel  = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error, or off")
+		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	obs.SetGlobalLogger(logger)
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.SetGlobal(reg)
+		defer obs.SetGlobal(nil)
+		srv, err := obs.NewServer(*obsAddr, reg, obs.NewManifest("mecperf", os.Args[1:]))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		logger.Info("obs server listening", "url", srv.URL())
+	}
 
 	lpBuildTasks, lpSolveTasks, htaTasks, simTasks := 300, 90, 450, 450
 	methodTasks := []int{150, 300, 600}

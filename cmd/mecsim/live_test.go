@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsmec/internal/obs"
+)
+
+// TestObsServerLive pins the headline acceptance criterion: while a run is
+// in flight with -obs-addr, the exposition endpoints answer with live
+// data. The test hook fires synchronously once the listener is up, so the
+// GETs happen strictly inside the run.
+func TestObsServerLive(t *testing.T) {
+	get := func(url string) (int, string, []byte) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("reading %s: %v", url, err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), body
+	}
+
+	probed := false
+	testHookObsServer = func(base string) {
+		probed = true
+
+		code, ctype, body := get(base + "/metrics")
+		if code != http.StatusOK {
+			t.Errorf("/metrics status = %d", code)
+		}
+		if !strings.Contains(ctype, "text/plain") || !strings.Contains(ctype, "version=0.0.4") {
+			t.Errorf("/metrics content type = %q", ctype)
+		}
+		_ = body
+
+		code, ctype, body = get(base + "/metrics.json")
+		if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+			t.Errorf("/metrics.json status/type = %d %q", code, ctype)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Errorf("/metrics.json is not a snapshot: %v", err)
+		}
+
+		code, _, body = get(base + "/manifest")
+		if code != http.StatusOK {
+			t.Errorf("/manifest status = %d", code)
+		}
+		var man struct {
+			Tool string `json:"tool"`
+			Seed int64  `json:"seed"`
+			Live bool   `json:"live"`
+		}
+		if err := json.Unmarshal(body, &man); err != nil {
+			t.Fatalf("/manifest is not JSON: %v", err)
+		}
+		if man.Tool != "mecsim" || man.Seed != 13 || !man.Live {
+			t.Errorf("live manifest = %+v, want tool=mecsim seed=13 live=true", man)
+		}
+	}
+	defer func() { testHookObsServer = nil }()
+
+	var out strings.Builder
+	err := run([]string{"-tasks", "20", "-devices", "8", "-stations", "2",
+		"-seed", "13", "-obs-addr", "127.0.0.1:0", "-log-level", "off"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probed {
+		t.Fatal("obs server hook never fired")
+	}
+}
+
+func TestObsSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	spath := filepath.Join(dir, "run.jsonl")
+	var out strings.Builder
+	err := run([]string{"-tasks", "25", "-devices", "10", "-stations", "2",
+		"-obs-snapshots", spath, "-obs-snapshot-interval", "1ms",
+		"-log-level", "off"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadSnapshots(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no snapshot records written")
+	}
+	last := recs[len(recs)-1]
+	if !last.Final {
+		t.Error("last snapshot record is not marked final")
+	}
+	if last.Metrics.Counters["lp.solves"] <= 0 {
+		t.Errorf("final snapshot lp.solves = %d, want > 0", last.Metrics.Counters["lp.solves"])
+	}
+	for i, r := range recs[:len(recs)-1] {
+		if r.Final {
+			t.Errorf("record %d marked final before the end", i)
+		}
+	}
+}
+
+// wallClockMetric reports whether a histogram measures host wall-clock
+// time, which legitimately varies run to run and across -parallel values.
+// Everything else in the registry is derived from the seeded pipeline or
+// simulated time and must be bit-identical at any worker count.
+func wallClockMetric(name string) bool {
+	return name == "lp.solve_seconds" ||
+		name == "lphta.cluster_seconds" ||
+		strings.HasPrefix(name, "lphta.stage_seconds.") ||
+		strings.HasPrefix(name, "bench.")
+}
+
+// TestSnapshotDeterministicAcrossParallelism runs the same seeded scenario
+// at -parallel 1, 2, and 8 and requires identical registry snapshots
+// modulo wall-clock histograms.
+func TestSnapshotDeterministicAcrossParallelism(t *testing.T) {
+	dir := t.TempDir()
+	docs := make(map[int]manifestDoc)
+	for _, par := range []int{1, 2, 8} {
+		mpath := filepath.Join(dir, fmt.Sprintf("run-p%d.json", par))
+		var out strings.Builder
+		err := run([]string{"-tasks", "40", "-devices", "12", "-stations", "3",
+			"-seed", "11", "-parallel", fmt.Sprint(par), "-metrics", mpath,
+			"-log-level", "off"}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[par] = readManifest(t, mpath)
+	}
+
+	base := docs[1]
+	for _, par := range []int{2, 8} {
+		got := docs[par]
+		if len(got.Metrics.Counters) != len(base.Metrics.Counters) {
+			t.Errorf("-parallel %d: counter set size %d != %d", par,
+				len(got.Metrics.Counters), len(base.Metrics.Counters))
+		}
+		for name, v := range base.Metrics.Counters {
+			if got.Metrics.Counters[name] != v {
+				t.Errorf("-parallel %d: counter %s = %d, want %d", par,
+					name, got.Metrics.Counters[name], v)
+			}
+		}
+		for name, v := range base.Metrics.Gauges {
+			if got.Metrics.Gauges[name] != v {
+				t.Errorf("-parallel %d: gauge %s = %g, want %g", par,
+					name, got.Metrics.Gauges[name], v)
+			}
+		}
+		for name, raw := range base.Metrics.Histograms {
+			if wallClockMetric(name) {
+				continue
+			}
+			other, ok := got.Metrics.Histograms[name]
+			if !ok {
+				t.Errorf("-parallel %d: histogram %s missing", par, name)
+				continue
+			}
+			if string(raw) != string(other) {
+				t.Errorf("-parallel %d: histogram %s differs:\n%s\nvs\n%s",
+					par, name, raw, other)
+			}
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"dsmec"
 	"dsmec/internal/obs"
@@ -74,9 +75,16 @@ type instrumentation struct {
 	trace    *obs.Trace
 	root     *obs.Span
 	manifest *obs.Manifest
+	server   *obs.Server
+	snap     *obs.Snapshotter
 
 	metricsPath, tracePath string
 }
+
+// testHookObsServer, when set by a test, is called synchronously with the
+// exposition server's base URL after it starts listening, so tests can
+// probe the live endpoints mid-run.
+var testHookObsServer func(url string)
 
 // enabled reports whether any observability flag was set.
 func (in *instrumentation) enabled() bool { return in != nil && in.reg != nil }
@@ -106,6 +114,11 @@ func run(args []string, stdout io.Writer) error {
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
 		faults      = fs.Bool("faults", false, "inject seeded faults (station outages, device churn, link degradation) into the simulator replay")
 		faultSeed   = fs.Int64("fault-seed", 1, "root seed for the generated fault plan (ignored when -load embeds one)")
+		obsAddr     = fs.String("obs-addr", "", "serve live /metrics, /metrics.json, /manifest, and /debug/pprof over HTTP on this address for the duration of the run")
+		snapPath    = fs.String("obs-snapshots", "", "append timestamped registry snapshots (JSON Lines) to this file while the run progresses")
+		snapEvery   = fs.Duration("obs-snapshot-interval", time.Second, "interval between -obs-snapshots records")
+		logLevel    = fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error, or off")
+		logFormat   = fs.String("log-format", "text", "structured log encoding: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,19 +127,42 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	obs.SetGlobalLogger(logger)
 
 	var instr *instrumentation
-	if *metricsPath != "" || *tracePath != "" {
+	if *metricsPath != "" || *tracePath != "" || *obsAddr != "" || *snapPath != "" {
 		instr = &instrumentation{
 			reg:         obs.NewRegistry(),
 			manifest:    obs.NewManifest("mecsim", args),
 			metricsPath: *metricsPath,
 			tracePath:   *tracePath,
 		}
-		instr.manifest.Seed = *seed
+		instr.manifest.SetSeed(*seed)
 		if *tracePath != "" {
 			instr.trace = obs.NewTrace("mecsim")
 			instr.root = instr.trace.StartSpan("mecsim")
+		}
+		if *obsAddr != "" {
+			srv, err := obs.NewServer(*obsAddr, instr.reg, instr.manifest)
+			if err != nil {
+				return err
+			}
+			instr.server = srv
+			logger.Info("obs server listening", "url", srv.URL())
+			if testHookObsServer != nil {
+				testHookObsServer(srv.URL())
+			}
+		}
+		if *snapPath != "" {
+			snap, err := obs.StartSnapshotter(*snapPath, *snapEvery, instr.reg)
+			if err != nil {
+				return err
+			}
+			instr.snap = snap
 		}
 	}
 
@@ -151,7 +187,7 @@ func runScenario(instr *instrumentation, load string, seed int64,
 			return err
 		}
 		if instr.enabled() {
-			instr.manifest.ScenarioHash = obs.HashBytes(data)
+			instr.manifest.SetScenarioHash(obs.HashBytes(data))
 			instr.manifest.Annotate("scenario_file", load)
 		}
 		sc, fp, err := scenarioio.DecodeWithFaults(bytes.NewReader(data))
@@ -180,11 +216,11 @@ func runScenario(instr *instrumentation, load string, seed int64,
 		MaxInput:    dsmec.ByteSize(inputKB) * dsmec.Kilobyte,
 	}
 	if instr.enabled() {
-		instr.manifest.ScenarioHash = obs.HashJSON(struct {
+		instr.manifest.SetScenarioHash(obs.HashJSON(struct {
 			Seed      int64
 			Params    dsmec.WorkloadParams
 			Divisible bool
-		}{seed, params, divisible})
+		}{seed, params, divisible}))
 	}
 	src := dsmec.NewSeed(seed)
 
@@ -334,9 +370,16 @@ func addRow(tb *texttable.Table, name string, sc *dsmec.Scenario, a *dsmec.Assig
 	return nil
 }
 
-// finishInstrumentation closes the trace, finalizes the manifest, writes
-// the requested files, and prints the metric summary table.
+// finishInstrumentation stops the live endpoints, closes the trace,
+// finalizes the manifest, writes the requested files, and prints the
+// metric summary table.
 func finishInstrumentation(instr *instrumentation, stdout io.Writer) error {
+	if err := instr.snap.Close(); err != nil {
+		return err
+	}
+	if err := instr.server.Close(); err != nil {
+		return err
+	}
 	instr.root.End()
 	instr.manifest.Finish(instr.reg)
 	if instr.metricsPath != "" {

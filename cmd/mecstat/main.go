@@ -1,0 +1,432 @@
+// Command mecstat analyzes run manifests written by the other tools'
+// -metrics flag, and the JSON Lines files written by -obs-snapshots.
+// With one manifest it prints a run report: environment header, the
+// largest counters, every gauge, and histogram percentiles. With two it
+// prints a comparison: the top metric deltas and histogram percentile
+// shifts, and with -threshold it exits non-zero when a histogram p95 or
+// the wall clock regresses past the allowed fraction — the same
+// regression-gate role mecbench -check plays, but for two recorded runs
+// instead of one run against a budget file.
+//
+// Usage:
+//
+//	mecstat run.json                          # single-run report
+//	mecstat base.json new.json                # comparison report
+//	mecstat -top 10 base.json new.json
+//	mecstat -threshold 0.2 base.json new.json # exit 1 on regression
+//	mecstat -snapshots run.jsonl              # timeline of a live run
+//
+// Exit codes: 0 success, 1 runtime failure or gated regression, 2
+// malformed manifest/snapshot input.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"dsmec/internal/obs"
+	"dsmec/internal/texttable"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "mecstat:", err)
+	var pe *statParseError
+	if errors.As(err, &pe) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// statParseError marks malformed input (exit 2), as opposed to a genuine
+// regression or I/O failure (exit 1).
+type statParseError struct {
+	Path string
+	Err  error
+}
+
+func (e *statParseError) Error() string {
+	return fmt.Sprintf("parsing %s: %v", e.Path, e.Err)
+}
+
+func (e *statParseError) Unwrap() error { return e.Err }
+
+// runDoc is the slice of a manifest mecstat reads. Extra fields in the
+// document are ignored, so live /manifest captures load too.
+type runDoc struct {
+	Path         string       `json:"-"`
+	Tool         string       `json:"tool"`
+	Seed         int64        `json:"seed"`
+	ScenarioHash string       `json:"scenario_hash"`
+	GoVersion    string       `json:"go_version"`
+	WallSeconds  float64      `json:"wall_seconds"`
+	CPUSeconds   float64      `json:"cpu_seconds"`
+	Metrics      obs.Snapshot `json:"metrics"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mecstat", flag.ContinueOnError)
+	var (
+		top       = fs.Int("top", 15, "number of rows in each ranked section")
+		threshold = fs.Float64("threshold", 0, "with two manifests: allowed fractional regression of histogram p95s and wall_seconds before exiting non-zero (0 = report only)")
+		snapPath  = fs.String("snapshots", "", "print a timeline from an -obs-snapshots JSON Lines file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if *snapPath != "" {
+		if len(paths) != 0 {
+			return fmt.Errorf("-snapshots does not combine with manifest arguments")
+		}
+		return reportSnapshots(stdout, *snapPath, *top)
+	}
+	switch len(paths) {
+	case 1:
+		doc, err := loadRun(paths[0])
+		if err != nil {
+			return err
+		}
+		return reportSingle(stdout, doc, *top)
+	case 2:
+		base, err := loadRun(paths[0])
+		if err != nil {
+			return err
+		}
+		cur, err := loadRun(paths[1])
+		if err != nil {
+			return err
+		}
+		return reportCompare(stdout, base, cur, *top, *threshold)
+	default:
+		return fmt.Errorf("pass one manifest (report), two (comparison), or -snapshots file.jsonl")
+	}
+}
+
+func loadRun(path string) (*runDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &runDoc{Path: path}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, &statParseError{Path: path, Err: err}
+	}
+	if doc.Tool == "" && doc.Metrics.Counters == nil && doc.Metrics.Histograms == nil {
+		return nil, &statParseError{Path: path, Err: fmt.Errorf("no manifest fields found")}
+	}
+	return doc, nil
+}
+
+func header(w io.Writer, label string, d *runDoc) {
+	fmt.Fprintf(w, "%s %s: tool=%s seed=%d hash=%s go=%s wall=%.3fs cpu=%.3fs\n",
+		label, d.Path, d.Tool, d.Seed, d.ScenarioHash, d.GoVersion, d.WallSeconds, d.CPUSeconds)
+}
+
+func reportSingle(w io.Writer, d *runDoc, top int) error {
+	header(w, "run", d)
+
+	type kv struct {
+		name string
+		v    float64
+	}
+	counters := make([]kv, 0, len(d.Metrics.Counters))
+	for name, v := range d.Metrics.Counters {
+		counters = append(counters, kv{name, float64(v)})
+	}
+	sort.Slice(counters, func(i, j int) bool {
+		if counters[i].v != counters[j].v {
+			return counters[i].v > counters[j].v
+		}
+		return counters[i].name < counters[j].name
+	})
+	fmt.Fprintf(w, "\ncounters (top %d by value):\n", top)
+	tb := texttable.New("counter", "value")
+	for i, c := range counters {
+		if i >= top {
+			break
+		}
+		tb.AddRowf(c.name, fmt.Sprintf("%.0f", c.v))
+	}
+	if _, err := tb.WriteTo(w); err != nil {
+		return err
+	}
+
+	gauges := make([]string, 0, len(d.Metrics.Gauges))
+	for name := range d.Metrics.Gauges {
+		gauges = append(gauges, name)
+	}
+	sort.Strings(gauges)
+	if len(gauges) > 0 {
+		fmt.Fprintf(w, "\ngauges:\n")
+		tb := texttable.New("gauge", "value")
+		for _, name := range gauges {
+			tb.AddRowf(name, fmt.Sprintf("%g", d.Metrics.Gauges[name]))
+		}
+		if _, err := tb.WriteTo(w); err != nil {
+			return err
+		}
+	}
+
+	hists := make([]string, 0, len(d.Metrics.Histograms))
+	for name := range d.Metrics.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	if len(hists) > 0 {
+		fmt.Fprintf(w, "\nhistograms:\n")
+		tb := texttable.New("histogram", "count", "mean", "p50", "p95", "p99")
+		for _, name := range hists {
+			h := d.Metrics.Histograms[name]
+			tb.AddRowf(name, fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%.4g", h.Mean()),
+				fmt.Sprintf("%.4g", h.Quantile(50)),
+				fmt.Sprintf("%.4g", h.Quantile(95)),
+				fmt.Sprintf("%.4g", h.Quantile(99)))
+		}
+		if _, err := tb.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// relChange is (cur-base)/|base|; +Inf when the metric is new (base 0).
+func relChange(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / math.Abs(base)
+}
+
+func fmtChange(rel float64) string {
+	if math.IsInf(rel, 1) {
+		return "new"
+	}
+	if math.IsInf(rel, -1) {
+		return "gone"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*rel)
+}
+
+func reportCompare(w io.Writer, base, cur *runDoc, top int, threshold float64) error {
+	header(w, "base", base)
+	header(w, " new", cur)
+	if base.ScenarioHash != "" && cur.ScenarioHash != "" && base.ScenarioHash != cur.ScenarioHash {
+		fmt.Fprintf(w, "note: scenario hashes differ; the runs solved different inputs\n")
+	}
+	fmt.Fprintf(w, "wall %.3fs -> %.3fs (%s), cpu %.3fs -> %.3fs (%s)\n",
+		base.WallSeconds, cur.WallSeconds, fmtChange(relChange(base.WallSeconds, cur.WallSeconds)),
+		base.CPUSeconds, cur.CPUSeconds, fmtChange(relChange(base.CPUSeconds, cur.CPUSeconds)))
+
+	type delta struct {
+		name      string
+		base, cur float64
+		rel       float64
+	}
+	rank := func(ds []delta) []delta {
+		sort.Slice(ds, func(i, j int) bool {
+			ai, aj := math.Abs(ds[i].rel), math.Abs(ds[j].rel)
+			if ai != aj {
+				return ai > aj
+			}
+			return ds[i].name < ds[j].name
+		})
+		if len(ds) > top {
+			ds = ds[:top]
+		}
+		return ds
+	}
+
+	var counterDeltas []delta
+	for name := range union(base.Metrics.Counters, cur.Metrics.Counters) {
+		b, c := float64(base.Metrics.Counters[name]), float64(cur.Metrics.Counters[name])
+		if b == c {
+			continue
+		}
+		counterDeltas = append(counterDeltas, delta{name, b, c, relChange(b, c)})
+	}
+	if len(counterDeltas) > 0 {
+		fmt.Fprintf(w, "\ncounter deltas (top %d by relative change):\n", top)
+		tb := texttable.New("counter", "base", "new", "change")
+		for _, d := range rank(counterDeltas) {
+			tb.AddRowf(d.name, fmt.Sprintf("%.0f", d.base), fmt.Sprintf("%.0f", d.cur), fmtChange(d.rel))
+		}
+		if _, err := tb.WriteTo(w); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(w, "\ncounters: identical\n")
+	}
+
+	var gaugeDeltas []delta
+	for name := range unionF(base.Metrics.Gauges, cur.Metrics.Gauges) {
+		b, c := base.Metrics.Gauges[name], cur.Metrics.Gauges[name]
+		if b == c {
+			continue
+		}
+		gaugeDeltas = append(gaugeDeltas, delta{name, b, c, relChange(b, c)})
+	}
+	if len(gaugeDeltas) > 0 {
+		fmt.Fprintf(w, "\ngauge deltas (top %d by relative change):\n", top)
+		tb := texttable.New("gauge", "base", "new", "change")
+		for _, d := range rank(gaugeDeltas) {
+			tb.AddRowf(d.name, fmt.Sprintf("%g", d.base), fmt.Sprintf("%g", d.cur), fmtChange(d.rel))
+		}
+		if _, err := tb.WriteTo(w); err != nil {
+			return err
+		}
+	}
+
+	// Histogram percentile shifts, ranked by the p95 move; the p95 shift is
+	// also what -threshold gates on.
+	type shift struct {
+		name                   string
+		p50b, p50c, p95b, p95c float64
+		p99b, p99c             float64
+		rel                    float64
+	}
+	var shifts []shift
+	var regressions []string
+	for name, hb := range base.Metrics.Histograms {
+		hc, ok := cur.Metrics.Histograms[name]
+		if !ok {
+			continue
+		}
+		s := shift{
+			name: name,
+			p50b: hb.Quantile(50), p50c: hc.Quantile(50),
+			p95b: hb.Quantile(95), p95c: hc.Quantile(95),
+			p99b: hb.Quantile(99), p99c: hc.Quantile(99),
+		}
+		s.rel = relChange(s.p95b, s.p95c)
+		if s.p50b != s.p50c || s.p95b != s.p95c || s.p99b != s.p99c {
+			shifts = append(shifts, s)
+		}
+		if threshold > 0 && s.p95b > 0 && s.p95c > s.p95b*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf("%s p95 %+.1f%%", name, 100*s.rel))
+		}
+	}
+	sort.Slice(shifts, func(i, j int) bool {
+		ai, aj := math.Abs(shifts[i].rel), math.Abs(shifts[j].rel)
+		if ai != aj {
+			return ai > aj
+		}
+		return shifts[i].name < shifts[j].name
+	})
+	if len(shifts) > top {
+		shifts = shifts[:top]
+	}
+	if len(shifts) > 0 {
+		fmt.Fprintf(w, "\nhistogram percentile shifts (top %d by p95 change):\n", top)
+		tb := texttable.New("histogram", "p50", "p95", "p99")
+		for _, s := range shifts {
+			tb.AddRowf(s.name,
+				fmt.Sprintf("%.4g -> %.4g", s.p50b, s.p50c),
+				fmt.Sprintf("%.4g -> %.4g (%s)", s.p95b, s.p95c, fmtChange(s.rel)),
+				fmt.Sprintf("%.4g -> %.4g", s.p99b, s.p99c))
+		}
+		if _, err := tb.WriteTo(w); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(w, "\nhistograms: identical percentiles\n")
+	}
+
+	if threshold > 0 {
+		if base.WallSeconds > 0 && cur.WallSeconds > base.WallSeconds*(1+threshold) {
+			regressions = append(regressions,
+				fmt.Sprintf("wall_seconds %s", fmtChange(relChange(base.WallSeconds, cur.WallSeconds))))
+		}
+		sort.Strings(regressions)
+		if len(regressions) > 0 {
+			return fmt.Errorf("%d regression(s) beyond %.0f%%: %s",
+				len(regressions), 100*threshold, strings.Join(regressions, "; "))
+		}
+		fmt.Fprintf(w, "\nno regressions beyond %.0f%%\n", 100*threshold)
+	}
+	return nil
+}
+
+func reportSnapshots(w io.Writer, path string, top int) error {
+	recs, err := obs.ReadSnapshots(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return err
+		}
+		return &statParseError{Path: path, Err: err}
+	}
+	if len(recs) == 0 {
+		return &statParseError{Path: path, Err: fmt.Errorf("no snapshot records")}
+	}
+	fmt.Fprintf(w, "snapshots %s: %d records over %.3fs\n\n",
+		path, len(recs), recs[len(recs)-1].ElapsedSeconds)
+	for _, r := range recs {
+		mark := " "
+		if r.Final {
+			mark = "*"
+		}
+		type kv struct {
+			name string
+			v    int64
+		}
+		deltas := make([]kv, 0, len(r.DeltaCounters))
+		for name, v := range r.DeltaCounters {
+			deltas = append(deltas, kv{name, v})
+		}
+		sort.Slice(deltas, func(i, j int) bool {
+			if deltas[i].v != deltas[j].v {
+				return deltas[i].v > deltas[j].v
+			}
+			return deltas[i].name < deltas[j].name
+		})
+		if len(deltas) > top {
+			deltas = deltas[:top]
+		}
+		parts := make([]string, 0, len(deltas))
+		for _, d := range deltas {
+			parts = append(parts, fmt.Sprintf("%s+%d", d.name, d.v))
+		}
+		line := strings.Join(parts, " ")
+		if line == "" {
+			line = "(no counter movement)"
+		}
+		fmt.Fprintf(w, "%s %8.3fs %s\n", mark, r.ElapsedSeconds, line)
+	}
+	return nil
+}
+
+func union(a, b map[string]int64) map[string]struct{} {
+	u := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		u[k] = struct{}{}
+	}
+	for k := range b {
+		u[k] = struct{}{}
+	}
+	return u
+}
+
+func unionF(a, b map[string]float64) map[string]struct{} {
+	u := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		u[k] = struct{}{}
+	}
+	for k := range b {
+		u[k] = struct{}{}
+	}
+	return u
+}

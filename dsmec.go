@@ -28,7 +28,10 @@
 package dsmec
 
 import (
+	"io"
 	"math/rand"
+	"net/http"
+	"time"
 
 	"dsmec/internal/baseline"
 	"dsmec/internal/core"
@@ -318,6 +321,70 @@ func SetGlobalMetrics(reg *MetricRegistry) { obs.SetGlobal(reg) }
 // GlobalMetrics returns the process-wide default registry, nil when
 // disabled.
 func GlobalMetrics() *MetricRegistry { return obs.Global() }
+
+// Live introspection: structured logging, the exposition server, and
+// periodic registry snapshots.
+type (
+	// Logger is a nil-safe slog wrapper; a nil *Logger discards
+	// everything, so instrumented code never branches on "logging on?".
+	Logger = obs.Logger
+	// ObsServer serves /metrics (Prometheus text), /metrics.json,
+	// /manifest, and /debug/pprof for a live run.
+	ObsServer = obs.Server
+	// RegistrySnapshotter appends timestamped registry snapshots to a
+	// JSON Lines file while a run progresses.
+	RegistrySnapshotter = obs.Snapshotter
+	// RegistrySnapshotRecord is one line of that file: cumulative
+	// metrics plus the counter deltas since the previous record.
+	RegistrySnapshotRecord = obs.SnapshotRecord
+)
+
+// NewLogger builds a structured logger writing to w at the given level
+// ("debug", "info", "warn", "error", or "off") and format ("text" or
+// "json"). Level "off" returns nil, which every log call treats as a
+// no-op.
+func NewLogger(w io.Writer, level, format string) (*Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
+
+// SetGlobalLogger installs the process-wide default logger that
+// instrumented code without an explicit Instruments.Log records to (nil
+// disables).
+func SetGlobalLogger(l *Logger) { obs.SetGlobalLogger(l) }
+
+// GlobalLogger returns the process-wide default logger, nil when
+// disabled.
+func GlobalLogger() *Logger { return obs.GlobalLogger() }
+
+// NewObsServer starts the live exposition server on addr (host:port;
+// port 0 picks a free one) over a registry and an optional in-flight
+// manifest. Close it when the run ends.
+func NewObsServer(addr string, reg *MetricRegistry, m *RunManifest) (*ObsServer, error) {
+	return obs.NewServer(addr, reg, m)
+}
+
+// ObsHandler returns the exposition server's http.Handler without
+// binding a listener, for embedding into an existing mux.
+func ObsHandler(reg *MetricRegistry, m *RunManifest) http.Handler {
+	return obs.Handler(reg, m)
+}
+
+// StartRegistrySnapshotter appends a snapshot of reg to path every
+// interval until Close, which writes one final record.
+func StartRegistrySnapshotter(path string, interval time.Duration, reg *MetricRegistry) (*RegistrySnapshotter, error) {
+	return obs.StartSnapshotter(path, interval, reg)
+}
+
+// ReadRegistrySnapshots loads every record of a snapshot JSONL file.
+func ReadRegistrySnapshots(path string) ([]RegistrySnapshotRecord, error) {
+	return obs.ReadSnapshots(path)
+}
+
+// WritePrometheus renders a metric snapshot in the Prometheus text
+// exposition format (version 0.0.4).
+func WritePrometheus(w io.Writer, s MetricSnapshot) error {
+	return obs.WritePrometheus(w, s)
+}
 
 // BatteryReport is the per-device battery drain of an assignment.
 type BatteryReport = core.BatteryReport

@@ -220,10 +220,20 @@ func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult,
 		copts.Obs = opts.Obs.WithSpan(cspan)
 		start := time.Now()
 		out, err := lphtaCluster(m, c.station, c.tasks, copts)
-		clusterSeconds.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		clusterSeconds.Observe(elapsed)
 		cspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: cluster %d: %w", c.station, err)
+		}
+		if log := opts.Obs.Logger(); log.Enabled(obs.LevelDebug) {
+			log.Debug("lphta cluster done",
+				"station", c.station,
+				"tasks", len(c.tasks),
+				"fractional", out.fractional,
+				"pre_cancelled", out.preCancelled,
+				"lp_iterations", out.lpIterations,
+				"seconds", elapsed)
 		}
 		return out, nil
 	}
@@ -330,6 +340,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 
 	// Steps 2–3: round to x̂.
 	rspan := opts.Obs.Span.Child("lphta.round")
+	roundStart := time.Now()
 	chosen := make([]costmodel.Subsystem, len(cts))
 	out.rounded = make([]units.Energy, len(cts))
 	for i := range cts {
@@ -346,12 +357,17 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 		out.rounded[i] = cts[i].opts.At(chosen[i]).Energy
 	}
 	opts.Obs.Counter("lphta.fractional_tasks").Add(int64(out.fractional))
+	opts.Obs.Histogram("lphta.stage_seconds.round", obs.TimeBuckets).Observe(time.Since(roundStart).Seconds())
 	rspan.Annotate("tasks", len(cts))
 	rspan.Annotate("fractional", out.fractional)
 	rspan.End()
 
 	pspan := opts.Obs.Span.Child("lphta.repair")
-	defer pspan.End()
+	repairStart := time.Now()
+	defer func() {
+		opts.Obs.Histogram("lphta.stage_seconds.repair", obs.TimeBuckets).Observe(time.Since(repairStart).Seconds())
+		pspan.End()
+	}()
 
 	// Step 4: deadline repair.
 	for i, ct := range cts {
@@ -479,6 +495,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 //
 // It returns the fractional assignment per task and the LP solution.
 func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, method lp.Method, ins obs.Instruments) ([][3]float64, *lp.Solution, error) {
+	buildStart := time.Now()
 	nVars := 3 * len(cts)
 	p := &lp.Problem{
 		Minimize: make([]float64, nVars),
@@ -548,7 +565,9 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, method l
 	}
 	p.Constraints = append(p.Constraints, lp.Sparse(
 		cols, vals, lp.LE, sys.Stations[station].ResourceCap))
+	ins.Histogram("lphta.stage_seconds.build", obs.TimeBuckets).Observe(time.Since(buildStart).Seconds())
 
+	solveStart := time.Now()
 	sol, err := lp.SolveObserved(p, ins)
 	if err != nil {
 		return nil, nil, fmt.Errorf("relaxation: %w", err)
@@ -562,6 +581,10 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, method l
 		// task at all, and re-enabling them would let the rounding place a
 		// task somewhere it can never run.
 		ins.Counter("lphta.lp_fallbacks").Inc()
+		ins.Logger().Warn("lphta lp fallback: relaxing deadline-derived bounds",
+			"station", station,
+			"tasks", len(cts),
+			"status", sol.Status.String())
 		for v := range p.Upper {
 			if reachable[v] {
 				p.Upper[v] = 1
@@ -575,6 +598,7 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, method l
 			return nil, nil, fmt.Errorf("relaxation fallback: status %v", sol.Status)
 		}
 	}
+	ins.Histogram("lphta.stage_seconds.solve", obs.TimeBuckets).Observe(time.Since(solveStart).Seconds())
 
 	frac := make([][3]float64, len(cts))
 	for i := range cts {

@@ -259,6 +259,7 @@ func SolveObserved(p *Problem, ins obs.Instruments) (*Solution, error) {
 	}
 	method := p.Method.resolve()
 	span := ins.Span.Child("lp.solve")
+	log := ins.Logger()
 	var (
 		sol *Solution
 		err error
@@ -267,10 +268,10 @@ func SolveObserved(p *Problem, ins obs.Instruments) (*Solution, error) {
 		var t *tableau
 		t, err = newTableau(p)
 		if err == nil {
-			sol, err = t.solve(p, span)
+			sol, err = t.solve(p, span, log)
 		}
 	} else {
-		sol, err = solveRevised(p, span)
+		sol, err = solveRevised(p, span, log)
 	}
 	if sol != nil {
 		sol.Method = method
@@ -284,12 +285,13 @@ func SolveObserved(p *Problem, ins obs.Instruments) (*Solution, error) {
 // nanoseconds each against a disabled (nil) registry.
 func record(ins obs.Instruments, span *obs.Span, p *Problem, method Method, sol *Solution, err error) {
 	reg := ins.Registry()
+	log := ins.Logger()
 	if span != nil {
 		span.Annotate("vars", p.NumVars())
 		span.Annotate("constraints", len(p.Constraints))
 		span.Annotate("method", method.String())
 	}
-	if reg == nil && span == nil {
+	if reg == nil && span == nil && log == nil {
 		return
 	}
 	reg.Counter("lp.solves").Inc()
@@ -299,6 +301,11 @@ func record(ins obs.Instruments, span *obs.Span, p *Problem, method Method, sol 
 		if span != nil {
 			span.Annotate("error", err.Error())
 		}
+		log.Warn("lp solve failed",
+			"method", method.String(),
+			"vars", p.NumVars(),
+			"constraints", len(p.Constraints),
+			"err", err.Error())
 		return
 	}
 	st := sol.Stats
@@ -320,10 +327,29 @@ func record(ins obs.Instruments, span *obs.Span, p *Problem, method Method, sol 
 	}
 	reg.Histogram("lp.solve_seconds", obs.TimeBuckets).Observe(st.Phase1Seconds + st.Phase2Seconds)
 	reg.Histogram("lp.pivots_per_solve", obs.CountBuckets).Observe(float64(st.Pivots))
+	reg.Histogram("lp.degenerate_pivots_per_solve", obs.CountBuckets).Observe(float64(st.DegeneratePivots))
+	if method == MethodRevised {
+		reg.Histogram("lp.eta_vectors_per_solve", obs.CountBuckets).Observe(float64(st.EtaVectors))
+		// Mean pivots between basis refactorizations this solve (the
+		// initial factorization counts as interval zero's start).
+		reg.Histogram("lp.refactor_interval_pivots", obs.CountBuckets).
+			Observe(float64(st.Pivots) / float64(st.Refactorizations+1))
+	}
 	if span != nil {
 		span.Annotate("status", sol.Status.String())
 		span.Annotate("iterations", sol.Iterations)
 		span.Annotate("pivots", st.Pivots)
+	}
+	if log.Enabled(obs.LevelDebug) {
+		log.Debug("lp solve done",
+			"method", method.String(),
+			"status", sol.Status.String(),
+			"vars", p.NumVars(),
+			"constraints", len(p.Constraints),
+			"pivots", st.Pivots,
+			"degenerate_pivots", st.DegeneratePivots,
+			"refactorizations", st.Refactorizations,
+			"seconds", st.Phase1Seconds+st.Phase2Seconds)
 	}
 }
 
@@ -665,8 +691,9 @@ func (t *tableau) runSimplex(allowed func(col int) bool) error {
 }
 
 // solve runs the two phases and extracts the solution. span, when
-// non-nil, receives one child span per phase.
-func (t *tableau) solve(p *Problem, span *obs.Span) (*Solution, error) {
+// non-nil, receives one child span per phase; log, when enabled at debug,
+// receives one record per phase transition.
+func (t *tableau) solve(p *Problem, span *obs.Span, log *obs.Logger) (*Solution, error) {
 	allowAll := func(int) bool { return true }
 	artStart := t.n - t.nArt
 
@@ -683,6 +710,12 @@ func (t *tableau) solve(p *Problem, span *obs.Span) (*Solution, error) {
 		t.stats.Phase1Seconds = time.Since(p1Start).Seconds()
 		p1Span.Annotate("iterations", t.iterations)
 		p1Span.End()
+		if log.Enabled(obs.LevelDebug) {
+			log.Debug("lp phase1 done",
+				"method", "dense",
+				"iterations", t.stats.Phase1Iterations,
+				"seconds", t.stats.Phase1Seconds)
+		}
 		if errors.Is(err, errUnbounded) {
 			return nil, errors.New("lp: phase-1 simplex reported unbounded")
 		}
@@ -739,6 +772,12 @@ func (t *tableau) solve(p *Problem, span *obs.Span) (*Solution, error) {
 	t.stats.Phase2Seconds = time.Since(p2Start).Seconds()
 	p2Span.Annotate("iterations", t.stats.Phase2Iterations)
 	p2Span.End()
+	if log.Enabled(obs.LevelDebug) {
+		log.Debug("lp phase2 done",
+			"method", "dense",
+			"iterations", t.stats.Phase2Iterations,
+			"seconds", t.stats.Phase2Seconds)
+	}
 	if errors.Is(err, errUnbounded) {
 		return &Solution{Status: Unbounded, Iterations: t.iterations, Stats: t.stats}, nil
 	}

@@ -55,6 +55,7 @@ type rsimplex struct {
 
 	lu   *luFactors
 	etas []etaVec
+	log  *obs.Logger // refactorization debug records (nil disables)
 
 	cost []float64 // current phase costs
 
@@ -210,10 +211,17 @@ func (s *rsimplex) factor() error {
 // basic values from the original right-hand side, discarding the
 // incremental update drift: x_B = B⁻¹(b − Σ_{j at upper} u_j·A_j).
 func (s *rsimplex) refactor() error {
+	etas := len(s.etas)
 	if err := s.factor(); err != nil {
 		return err
 	}
 	s.stats.Refactorizations++
+	if s.log.Enabled(obs.LevelDebug) {
+		s.log.Debug("lp refactorization",
+			"number", s.stats.Refactorizations,
+			"pivots", s.stats.Pivots,
+			"etas_dropped", etas)
+	}
 	copy(s.rhsDense, s.b)
 	for j := 0; j < s.n; j++ {
 		if s.status[j] != atUpper {
@@ -489,8 +497,9 @@ func (s *rsimplex) run(maxCol int) error {
 // redundant row's place without ever affecting feasibility (any pivot
 // that would move it hits a zero-length ratio step and evicts it
 // instead).
-func solveRevised(p *Problem, span *obs.Span) (*Solution, error) {
+func solveRevised(p *Problem, span *obs.Span, log *obs.Logger) (*Solution, error) {
 	s := newRevised(p)
+	s.log = log
 	if err := s.factor(); err != nil {
 		return nil, err
 	}
@@ -505,6 +514,13 @@ func solveRevised(p *Problem, span *obs.Span) (*Solution, error) {
 		s.stats.Phase1Seconds = time.Since(p1Start).Seconds()
 		p1Span.Annotate("iterations", s.iterations)
 		p1Span.End()
+		if log.Enabled(obs.LevelDebug) {
+			log.Debug("lp phase1 done",
+				"method", "revised",
+				"iterations", s.stats.Phase1Iterations,
+				"seconds", s.stats.Phase1Seconds,
+				"refactorizations", s.stats.Refactorizations)
+		}
 		if errors.Is(err, errUnbounded) {
 			return nil, errors.New("lp: phase-1 simplex reported unbounded")
 		}
@@ -533,6 +549,13 @@ func solveRevised(p *Problem, span *obs.Span) (*Solution, error) {
 	s.stats.Phase2Seconds = time.Since(p2Start).Seconds()
 	p2Span.Annotate("iterations", s.stats.Phase2Iterations)
 	p2Span.End()
+	if log.Enabled(obs.LevelDebug) {
+		log.Debug("lp phase2 done",
+			"method", "revised",
+			"iterations", s.stats.Phase2Iterations,
+			"seconds", s.stats.Phase2Seconds,
+			"refactorizations", s.stats.Refactorizations)
+	}
 	if errors.Is(err, errUnbounded) {
 		return &Solution{Status: Unbounded, Iterations: s.iterations, Stats: s.stats}, nil
 	}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// Log levels, re-exported so instrumented packages need not import
+// log/slog directly.
+const (
+	LevelDebug = slog.LevelDebug
+	LevelInfo  = slog.LevelInfo
+	LevelWarn  = slog.LevelWarn
+	LevelError = slog.LevelError
+)
+
+// Logger is a nil-safe structured logger over log/slog. A nil *Logger is
+// a valid disabled logger: every method is a no-op and Enabled reports
+// false, so instrumented code never branches on configuration. Hot loops
+// should still guard calls with Enabled — the variadic attribute list
+// allocates at the call site even when the logger is nil, and the
+// disabled observability path must stay at zero allocations:
+//
+//	if log.Enabled(obs.LevelDebug) {
+//		log.Debug("lp refactorization", "pivots", pivots)
+//	}
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger builds a logger writing to w. Level is one of "debug",
+// "info", "warn", "error", or "off" (returns a nil, disabled logger);
+// format is "text" or "json".
+func NewLogger(w io.Writer, level, format string) (*Logger, error) {
+	lv, off, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	if off {
+		return nil, nil
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return &Logger{s: slog.New(h)}, nil
+}
+
+// ParseLogLevel maps a level name to a slog level. The second result is
+// true for "off" (logging disabled entirely).
+func ParseLogLevel(level string) (slog.Level, bool, error) {
+	switch strings.ToLower(level) {
+	case "debug":
+		return LevelDebug, false, nil
+	case "", "info":
+		return LevelInfo, false, nil
+	case "warn", "warning":
+		return LevelWarn, false, nil
+	case "error":
+		return LevelError, false, nil
+	case "off", "none":
+		return LevelInfo, true, nil
+	}
+	return LevelInfo, false, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, error, or off)", level)
+}
+
+// Enabled reports whether records at the given level would be emitted.
+// False on a nil logger.
+func (l *Logger) Enabled(level slog.Level) bool {
+	return l != nil && l.s.Enabled(context.Background(), level)
+}
+
+// Log emits a record at an arbitrary level.
+func (l *Logger) Log(level slog.Level, msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Log(context.Background(), level, msg, args...)
+}
+
+// Debug emits a debug record.
+func (l *Logger) Debug(msg string, args ...any) { l.Log(LevelDebug, msg, args...) }
+
+// Info emits an info record.
+func (l *Logger) Info(msg string, args ...any) { l.Log(LevelInfo, msg, args...) }
+
+// Warn emits a warning record.
+func (l *Logger) Warn(msg string, args ...any) { l.Log(LevelWarn, msg, args...) }
+
+// Error emits an error record.
+func (l *Logger) Error(msg string, args ...any) { l.Log(LevelError, msg, args...) }
+
+// With returns a logger whose records all carry the given attributes.
+// Nil in, nil out.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// globalLog is the process-wide default logger (nil = disabled),
+// mirroring the global metric registry.
+var globalLog atomic.Pointer[Logger]
+
+// SetGlobalLogger installs l as the process-wide default logger used by
+// instrumented code whose Instruments carry no explicit logger. Pass nil
+// to disable.
+func SetGlobalLogger(l *Logger) { globalLog.Store(l) }
+
+// GlobalLogger returns the process-wide default logger (nil when
+// disabled).
+func GlobalLogger() *Logger { return globalLog.Load() }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilLoggerNoops(t *testing.T) {
+	var l *Logger
+	l.Debug("a", "k", 1)
+	l.Info("b")
+	l.Warn("c")
+	l.Error("d")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+	if l.With("k", "v") != nil {
+		t.Error("With on nil logger should stay nil")
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Enabled(LevelDebug) || l.Enabled(LevelInfo) {
+		t.Error("warn logger enabled below warn")
+	}
+	if !l.Enabled(LevelWarn) || !l.Enabled(LevelError) {
+		t.Error("warn logger disabled at or above warn")
+	}
+	l.Info("dropped")
+	l.Warn("kept", "why", "test")
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("info record leaked through warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "why=test") {
+		t.Errorf("warn record missing:\n%s", out)
+	}
+}
+
+func TestNewLoggerJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.With("component", "lp").Debug("solve done", "pivots", 42)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "solve done" || rec["component"] != "lp" || rec["pivots"] != float64(42) {
+		t.Errorf("unexpected record: %v", rec)
+	}
+	if rec["level"] != "DEBUG" {
+		t.Errorf("level = %v", rec["level"])
+	}
+}
+
+func TestNewLoggerOff(t *testing.T) {
+	l, err := NewLogger(&bytes.Buffer{}, "off", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != nil {
+		t.Error("off level should yield a nil (disabled) logger")
+	}
+}
+
+func TestNewLoggerErrors(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestGlobalLogger(t *testing.T) {
+	defer SetGlobalLogger(nil)
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "info", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetGlobalLogger(l)
+	var ins Instruments
+	if ins.Logger() != l {
+		t.Error("Instruments.Logger did not fall back to the global logger")
+	}
+	own, _ := NewLogger(&buf, "debug", "text")
+	ins.Log = own
+	if ins.Logger() != own {
+		t.Error("explicit logger should win over the global one")
+	}
+	SetGlobalLogger(nil)
+	ins.Log = nil
+	if ins.Logger() != nil {
+		t.Error("cleared global logger should resolve to nil")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -30,6 +31,7 @@ type Manifest struct {
 	Extra        map[string]any `json:"extra,omitempty"`
 	Metrics      Snapshot       `json:"metrics"`
 
+	mu        sync.Mutex
 	startWall time.Time
 	startCPU  time.Duration
 	cpuKnown  bool
@@ -52,17 +54,38 @@ func NewManifest(tool string, args []string) *Manifest {
 	return m
 }
 
-// Annotate attaches an extra key/value to the manifest.
+// Annotate attaches an extra key/value to the manifest. Safe for
+// concurrent use with LiveJSON.
 func (m *Manifest) Annotate(key string, value any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.Extra == nil {
 		m.Extra = make(map[string]any)
 	}
 	m.Extra[key] = value
 }
 
+// SetSeed records the run's RNG seed. Safe for concurrent use with
+// LiveJSON.
+func (m *Manifest) SetSeed(seed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Seed = seed
+}
+
+// SetScenarioHash records the scenario fingerprint. Safe for concurrent
+// use with LiveJSON.
+func (m *Manifest) SetScenarioHash(hash string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ScenarioHash = hash
+}
+
 // Finish stops the clocks and snapshots reg (which may be nil) into the
 // manifest. Call it once, just before writing.
 func (m *Manifest) Finish(reg *Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.WallSeconds = time.Since(m.startWall).Seconds()
 	if m.cpuKnown {
 		if cpu, ok := processCPUTime(); ok {
@@ -70,6 +93,51 @@ func (m *Manifest) Finish(reg *Registry) {
 		}
 	}
 	m.Metrics = reg.Snapshot()
+}
+
+// LiveJSON marshals a point-in-time view of the manifest for a run that
+// is still in flight: the clocks show elapsed-so-far and Metrics holds a
+// fresh snapshot of reg, without finalizing the manifest itself. The
+// exposition server serves this from /manifest.
+func (m *Manifest) LiveJSON(reg *Registry) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	view := struct {
+		Tool         string         `json:"tool"`
+		Args         []string       `json:"args,omitempty"`
+		Seed         int64          `json:"seed"`
+		ScenarioHash string         `json:"scenario_hash,omitempty"`
+		GoVersion    string         `json:"go_version"`
+		OS           string         `json:"os"`
+		Arch         string         `json:"arch"`
+		NumCPU       int            `json:"num_cpu"`
+		StartedAt    time.Time      `json:"started_at"`
+		WallSeconds  float64        `json:"wall_seconds"`
+		CPUSeconds   float64        `json:"cpu_seconds,omitempty"`
+		Live         bool           `json:"live"`
+		Extra        map[string]any `json:"extra,omitempty"`
+		Metrics      Snapshot       `json:"metrics"`
+	}{
+		Tool:         m.Tool,
+		Args:         m.Args,
+		Seed:         m.Seed,
+		ScenarioHash: m.ScenarioHash,
+		GoVersion:    m.GoVersion,
+		OS:           m.OS,
+		Arch:         m.Arch,
+		NumCPU:       m.NumCPU,
+		StartedAt:    m.StartedAt,
+		WallSeconds:  time.Since(m.startWall).Seconds(),
+		Live:         true,
+		Extra:        m.Extra,
+		Metrics:      reg.Snapshot(),
+	}
+	if m.cpuKnown {
+		if cpu, ok := processCPUTime(); ok {
+			view.CPUSeconds = (cpu - m.startCPU).Seconds()
+		}
+	}
+	return json.MarshalIndent(view, "", " ")
 }
 
 // WriteJSON writes the manifest as indented JSON.

@@ -19,10 +19,11 @@ func SetGlobal(reg *Registry) {
 // Global returns the process-wide default registry (nil when disabled).
 func Global() *Registry { return global.Load() }
 
-// Instruments bundles the optional metric registry and parent trace span
-// an instrumented operation records into. The zero value is disabled
-// (modulo the SetGlobal fallback for metrics); copies are cheap and the
-// struct is meant to be embedded by value in options types.
+// Instruments bundles the optional metric registry, parent trace span,
+// and structured logger an instrumented operation records into. The zero
+// value is disabled (modulo the SetGlobal / SetGlobalLogger fallbacks);
+// copies are cheap and the struct is meant to be embedded by value in
+// options types.
 type Instruments struct {
 	// Metrics receives counters, gauges, and histograms. When nil the
 	// process-wide Global registry (if any) is used instead.
@@ -30,6 +31,9 @@ type Instruments struct {
 	// Span is the parent span for this operation's child spans. Nil
 	// disables tracing.
 	Span *Span
+	// Log receives structured records. When nil the process-wide
+	// GlobalLogger (if any) is used instead.
+	Log *Logger
 }
 
 // Registry resolves the effective registry: the explicit one, else the
@@ -58,6 +62,15 @@ func (in Instruments) Histogram(name string, bounds []float64) *Histogram {
 func (in Instruments) WithSpan(s *Span) Instruments {
 	in.Span = s
 	return in
+}
+
+// Logger resolves the effective logger: the explicit one, else the
+// process-wide default, else nil (disabled).
+func (in Instruments) Logger() *Logger {
+	if in.Log != nil {
+		return in.Log
+	}
+	return GlobalLogger()
 }
 
 // Default histogram bucket bounds.

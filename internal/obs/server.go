@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the exposition mux served by the obs server:
+//
+//	/metrics       Prometheus text-format snapshot of reg
+//	/metrics.json  the same snapshot as JSON
+//	/manifest      live view of the run manifest (clocks-so-far)
+//	/debug/pprof/  the standard runtime profiles
+//	/debug/vars    expvar (runtime memstats and friends)
+//
+// reg and m may each be nil; the endpoints then serve empty documents.
+// Exported separately from Server so tests can mount it on an
+// httptest.Server.
+func Handler(reg *Registry, m *Manifest) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/manifest", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if m == nil {
+			w.Write([]byte("{}\n"))
+			return
+		}
+		b, err := m.LiveJSON(reg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(b)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "dsmec obs endpoints:\n"+
+			"  /metrics       Prometheus text format\n"+
+			"  /metrics.json  registry snapshot as JSON\n"+
+			"  /manifest      live run manifest\n"+
+			"  /debug/pprof/  runtime profiles\n"+
+			"  /debug/vars    expvar\n")
+	})
+	return mux
+}
+
+// Server is the live exposition server behind the -obs-addr flags. It
+// listens immediately on construction (so ":0" callers can learn the
+// bound address) and serves until Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer starts serving Handler(reg, m) on addr. addr follows
+// net.Listen conventions; "127.0.0.1:0" picks a free port, reported by
+// Addr.
+func NewServer(addr string, reg *Registry, m *Manifest) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(reg, m),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server immediately. Safe to call on a nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// SnapshotRecord is one line of the snapshot JSONL stream: a timestamped
+// cumulative registry snapshot plus the counter increments since the
+// previous record, so consumers get both absolute values and deltas
+// without diffing themselves. The final record of a run carries
+// Final=true.
+type SnapshotRecord struct {
+	At             time.Time        `json:"at"`
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	Final          bool             `json:"final,omitempty"`
+	DeltaCounters  map[string]int64 `json:"delta_counters,omitempty"`
+	Metrics        Snapshot         `json:"metrics"`
+}
+
+// Snapshotter periodically appends SnapshotRecords for a registry to a
+// JSONL file. Start one with StartSnapshotter; Close writes a final
+// record and releases the file.
+type Snapshotter struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	reg   *Registry
+	start time.Time
+	prev  map[string]int64
+	done  chan struct{}
+	wg    sync.WaitGroup
+	err   error
+}
+
+// StartSnapshotter opens (truncating) path and records a snapshot of reg
+// every interval until Close. Intervals at or below zero default to one
+// second.
+func StartSnapshotter(path string, interval time.Duration, reg *Registry) (*Snapshotter, error) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: snapshot file: %w", err)
+	}
+	s := &Snapshotter{
+		f:     f,
+		w:     bufio.NewWriter(f),
+		reg:   reg,
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.record(false)
+			case <-s.done:
+				return
+			}
+		}
+	}()
+	return s, nil
+}
+
+// record appends one snapshot line.
+func (s *Snapshotter) record(final bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return
+	}
+	snap := s.reg.Snapshot()
+	rec := SnapshotRecord{
+		At:             time.Now(),
+		ElapsedSeconds: time.Since(s.start).Seconds(),
+		Final:          final,
+		Metrics:        snap,
+	}
+	if len(snap.Counters) > 0 {
+		for name, v := range snap.Counters {
+			if d := v - s.prev[name]; d != 0 {
+				if rec.DeltaCounters == nil {
+					rec.DeltaCounters = make(map[string]int64)
+				}
+				rec.DeltaCounters[name] = d
+			}
+		}
+		if s.prev == nil {
+			s.prev = make(map[string]int64, len(snap.Counters))
+		}
+		for name, v := range snap.Counters {
+			s.prev[name] = v
+		}
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// Close stops the ticker, writes a final record, and closes the file.
+// Safe on a nil snapshotter.
+func (s *Snapshotter) Close() error {
+	if s == nil {
+		return nil
+	}
+	close(s.done)
+	s.wg.Wait()
+	s.record(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return s.err
+	}
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if err := s.f.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.f = nil
+	return s.err
+}
+
+// ReadSnapshots loads a snapshot JSONL file written by a Snapshotter.
+func ReadSnapshots(path string) ([]SnapshotRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []SnapshotRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec SnapshotRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("obs: %s line %d: %w", path, line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSnapshotterRecordsAndDeltas(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("events").Add(5)
+	path := filepath.Join(t.TempDir(), "snap.jsonl")
+	// A huge interval: only the explicit final record is written, so the
+	// test is deterministic.
+	s, err := StartSnapshotter(path, time.Hour, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.record(false)
+	reg.Counter("events").Add(3)
+	reg.Gauge("depth").Set(2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadSnapshots(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	first, last := recs[0], recs[1]
+	if first.Final {
+		t.Error("first record marked final")
+	}
+	if first.Metrics.Counters["events"] != 5 || first.DeltaCounters["events"] != 5 {
+		t.Errorf("first record = %+v", first)
+	}
+	if !last.Final {
+		t.Error("last record not marked final")
+	}
+	if last.Metrics.Counters["events"] != 8 {
+		t.Errorf("final cumulative counters = %v", last.Metrics.Counters)
+	}
+	if last.DeltaCounters["events"] != 3 {
+		t.Errorf("final delta counters = %v", last.DeltaCounters)
+	}
+	if last.Metrics.Gauges["depth"] != 2 {
+		t.Errorf("final gauges = %v", last.Metrics.Gauges)
+	}
+	if last.ElapsedSeconds < first.ElapsedSeconds {
+		t.Errorf("elapsed went backwards: %g then %g", first.ElapsedSeconds, last.ElapsedSeconds)
+	}
+}
+
+func TestSnapshotterPeriodic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ticks").Inc()
+	path := filepath.Join(t.TempDir(), "snap.jsonl")
+	s, err := StartSnapshotter(path, 5*time.Millisecond, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		s.mu.Lock()
+		enough := s.prev != nil
+		s.mu.Unlock()
+		if enough {
+			break
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadSnapshots(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("expected at least one periodic record plus the final one, got %d", len(recs))
+	}
+}
+
+func TestSnapshotterNilClose(t *testing.T) {
+	var s *Snapshotter
+	if err := s.Close(); err != nil {
+		t.Errorf("nil snapshotter close: %v", err)
+	}
+}
+
+func TestReadSnapshotsMissingFile(t *testing.T) {
+	if _, err := ReadSnapshots(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

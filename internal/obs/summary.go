@@ -10,7 +10,8 @@ import (
 // SummaryTable renders a snapshot as a sorted, human-readable table —
 // the thing the cmd binaries print next to the machine-readable
 // manifest. Counters and gauges print their value; histograms print
-// count, mean, and the 50th/99th percentiles.
+// count, mean, and the 50th/95th/99th percentiles, estimated from the
+// bucket counts via the shared stats binning rule.
 func SummaryTable(s Snapshot) *texttable.Table {
 	tb := texttable.New("metric", "type", "value")
 
@@ -39,8 +40,8 @@ func SummaryTable(s Snapshot) *texttable.Table {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		tb.AddRowf(n, "histogram", fmt.Sprintf("count=%d mean=%s p50=%s p99=%s",
-			h.Count, trimFloat(h.Mean()), trimFloat(h.Quantile(50)), trimFloat(h.Quantile(99))))
+		tb.AddRowf(n, "histogram", fmt.Sprintf("count=%d mean=%s p50=%s p95=%s p99=%s",
+			h.Count, trimFloat(h.Mean()), trimFloat(h.Quantile(50)), trimFloat(h.Quantile(95)), trimFloat(h.Quantile(99))))
 	}
 	return tb
 }

@@ -1,0 +1,54 @@
+package obs
+
+import "testing"
+
+// TestDisabledObsZeroAlloc is the zero-alloc guard for the disabled
+// observability path: with a nil registry, nil logger, and no globals
+// installed, every primitive an instrumented hot loop touches must
+// allocate nothing. The companion BenchmarkObsDisabledPath reports the
+// same property as B/op under `make bench-smoke`.
+func TestDisabledObsZeroAlloc(t *testing.T) {
+	SetGlobal(nil)
+	SetGlobalLogger(nil)
+	var ins Instruments
+	var log *Logger
+	c := ins.Counter("c")
+	g := ins.Gauge("g")
+	h := ins.Histogram("h", TimeBuckets)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		g.Add(0.5)
+		g.SetMax(2)
+		h.Observe(0.01)
+		ins.Counter("c").Inc()
+		ins.Registry().Gauge("g").Set(1)
+		if log.Enabled(LevelDebug) {
+			log.Debug("never reached", "k", 1)
+		}
+		if l := ins.Logger(); l.Enabled(LevelDebug) {
+			l.Debug("never reached", "k", 2)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkObsDisabledPath(b *testing.B) {
+	SetGlobal(nil)
+	SetGlobalLogger(nil)
+	var ins Instruments
+	var log *Logger
+	c := ins.Counter("c")
+	h := ins.Histogram("h", TimeBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(0.01)
+		if log.Enabled(LevelDebug) {
+			log.Debug("never reached", "k", i)
+		}
+	}
+}

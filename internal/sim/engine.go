@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"sort"
 
 	"dsmec/internal/obs"
@@ -115,6 +114,38 @@ type waitBins struct {
 	n      int64
 }
 
+// desSampler accumulates engine-wide queue-depth and busy-server samples
+// taken on event boundaries (each distinct simulated timestamp). Like
+// waitBins it is plain local state on the single-threaded event loop,
+// merged into the registry once per run; nil when metrics are disabled,
+// which keeps the disabled hot path free of any sampling work.
+type desSampler struct {
+	queued      int // stages queued across all resources right now
+	busyServers int // servers occupied across all resources right now
+
+	queueBins []int64 // obs.CountBuckets binning plus overflow
+	busyBins  []int64
+	queueSum  float64
+	busySum   float64
+	n         int64
+}
+
+func newDESSampler() *desSampler {
+	return &desSampler{
+		queueBins: make([]int64, len(obs.CountBuckets)+1),
+		busyBins:  make([]int64, len(obs.CountBuckets)+1),
+	}
+}
+
+// sample records the current depth and occupancy.
+func (d *desSampler) sample() {
+	d.queueBins[stats.Bucketize(float64(d.queued), obs.CountBuckets)]++
+	d.busyBins[stats.Bucketize(float64(d.busyServers), obs.CountBuckets)]++
+	d.queueSum += float64(d.queued)
+	d.busySum += float64(d.busyServers)
+	d.n++
+}
+
 func (w *waitBins) observe(wait units.Duration) {
 	// Uncontended starts wait exactly zero; skip the bucket search for
 	// them — they land in the first bucket.
@@ -149,6 +180,9 @@ func (r *resource) enqueue(s *stage, now units.Duration) {
 	if len(r.queue) > r.peakQueue {
 		r.peakQueue = len(r.queue)
 	}
+	if smp := r.eng.smp; smp != nil {
+		smp.queued++
+	}
 }
 
 func (r *resource) start(s *stage, now units.Duration) {
@@ -173,6 +207,9 @@ func (r *resource) start(s *stage, now units.Duration) {
 	if r.waits != nil {
 		r.waits.observe(wait)
 	}
+	if smp := r.eng.smp; smp != nil {
+		smp.busyServers++
+	}
 	r.eng.schedule(now+svc, s)
 }
 
@@ -180,9 +217,16 @@ func (r *resource) start(s *stage, now units.Duration) {
 // stages whose attempt already failed, under fault injection).
 func (r *resource) finish(now units.Duration) {
 	r.busy--
+	smp := r.eng.smp
+	if smp != nil {
+		smp.busyServers--
+	}
 	for len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
+		if smp != nil {
+			smp.queued--
+		}
 		if r.eng.flt != nil && next.plan.failed {
 			continue
 		}
@@ -206,6 +250,10 @@ func (r *resource) dropRunning(s *stage) {
 // its attempt, and new arrivals fail until repair.
 func (r *resource) outage(now units.Duration, reason string) {
 	r.down = true
+	if smp := r.eng.smp; smp != nil {
+		smp.busyServers -= r.busy
+		smp.queued -= len(r.queue)
+	}
 	for _, s := range r.running {
 		s.aborted = true
 		// The work performed after `now` never happens; give the busy
@@ -236,20 +284,61 @@ type event struct {
 	act   func(at units.Duration)
 }
 
-// eventHeap orders events by time, then insertion order.
+// eventHeap orders events by time, then insertion order. The sift
+// operations are hand-rolled rather than delegated to container/heap:
+// heap.Push boxes every event into an interface, which allocates on each
+// schedule and would keep the disabled-observability hot path from being
+// allocation-free in steady state.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() event   { return h[0] }
+
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	// Sift up.
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop pointers so finished stages can be collected
+	s = s[:n]
+	// Sift down.
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && s.less(right, left) {
+			child = right
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	*h = s
+	return top
+}
 
 // engine drives the event loop.
 type engine struct {
@@ -259,6 +348,7 @@ type engine struct {
 	dispatched int64
 	resources  []*resource
 	waits      map[string]*waitBins // per class; nil when disabled
+	smp        *desSampler          // event-boundary sampling; nil when disabled
 	ins        obs.Instruments
 	flt        *faultRunner // nil: fault injection disabled, path untouched
 }
@@ -277,6 +367,9 @@ func (e *engine) newResource(servers int, class string) *resource {
 			e.waits[class] = wb
 		}
 		r.waits = wb
+		if e.smp == nil {
+			e.smp = newDESSampler()
+		}
 	}
 	e.resources = append(e.resources, r)
 	return r
@@ -284,14 +377,14 @@ func (e *engine) newResource(servers int, class string) *resource {
 
 // schedule arms a completion event.
 func (e *engine) schedule(at units.Duration, s *stage) {
-	heap.Push(&e.events, event{at: at, seq: e.seq, stage: s})
+	e.events.push(event{at: at, seq: e.seq, stage: s})
 	e.seq++
 }
 
 // scheduleAction arms a fault-injection action (outage, repair, churn,
 // degradation window edge) as a first-class event.
 func (e *engine) scheduleAction(at units.Duration, act func(at units.Duration)) {
-	heap.Push(&e.events, event{at: at, seq: e.seq, act: act})
+	e.events.push(event{at: at, seq: e.seq, act: act})
 	e.seq++
 }
 
@@ -315,14 +408,19 @@ func (e *engine) releaseAt(p *plan, at units.Duration) {
 		e.release(p)
 		return
 	}
-	heap.Push(&e.events, event{at: at, seq: e.seq, plan: p})
+	e.events.push(event{at: at, seq: e.seq, plan: p})
 	e.seq++
 }
 
 // run processes events until none remain.
 func (e *engine) run() {
 	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
+		if e.smp != nil && ev.at != e.now {
+			// Event boundary: simulated time is about to advance, so the
+			// current depth/occupancy held for a nonzero interval.
+			e.smp.sample()
+		}
 		e.now = ev.at
 		e.dispatched++
 		if ev.act != nil {
@@ -387,6 +485,7 @@ func (e *engine) recordMetrics() {
 		busy      units.Duration
 		wait      units.Duration
 		peakQueue int
+		servers   int
 	}
 	byClass := make(map[string]*agg)
 	busyHist := reg.Histogram("sim.busy_seconds_per_resource", obs.TimeBuckets)
@@ -399,6 +498,7 @@ func (e *engine) recordMetrics() {
 		a.started += r.started
 		a.busy += r.busyTime
 		a.wait += r.queueWait
+		a.servers += r.servers
 		if r.peakQueue > a.peakQueue {
 			a.peakQueue = r.peakQueue
 		}
@@ -417,6 +517,13 @@ func (e *engine) recordMetrics() {
 		reg.Gauge("sim.busy_seconds." + c).Add(a.busy.Seconds())
 		reg.Gauge("sim.queue_wait_seconds_total." + c).Add(a.wait.Seconds())
 		reg.Gauge("sim.queue_peak." + c).SetMax(float64(a.peakQueue))
+		// Utilization over the run horizon (the last event time): busy
+		// server-seconds over available server-seconds. SetMax keeps the
+		// most loaded run when many runs share a registry.
+		if a.servers > 0 && e.now > 0 {
+			util := a.busy.Seconds() / (float64(a.servers) * e.now.Seconds())
+			reg.Gauge("sim.utilization." + c).SetMax(util)
+		}
 		if wb := e.waits[c]; wb != nil {
 			_ = reg.Histogram("sim.queue_wait_seconds."+c, obs.TimeBuckets).Merge(stats.HistogramCounts{
 				Bounds: obs.TimeBuckets,
@@ -425,5 +532,19 @@ func (e *engine) recordMetrics() {
 				Sum:    wb.sum,
 			})
 		}
+	}
+	if e.smp != nil && e.smp.n > 0 {
+		_ = reg.Histogram("sim.queue_depth", obs.CountBuckets).Merge(stats.HistogramCounts{
+			Bounds: obs.CountBuckets,
+			Counts: e.smp.queueBins,
+			Count:  e.smp.n,
+			Sum:    e.smp.queueSum,
+		})
+		_ = reg.Histogram("sim.busy_servers", obs.CountBuckets).Merge(stats.HistogramCounts{
+			Bounds: obs.CountBuckets,
+			Counts: e.smp.busyBins,
+			Count:  e.smp.n,
+			Sum:    e.smp.busySum,
+		})
 	}
 }

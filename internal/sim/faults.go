@@ -358,6 +358,7 @@ type faultRunner struct {
 	deg         map[*resource][]degWindow
 	log         []FaultEvent
 	stats       FaultStats
+	logger      *obs.Logger // mirrors the event log to slog; nil disables
 }
 
 // newFaultRunner wires the plan into the engine: classifies resources,
@@ -371,6 +372,7 @@ func newFaultRunner(eng *engine, plan *FaultPlan, sys *mecnet.System, res planRe
 		deviceGone:  make([]bool, sys.NumDevices()),
 		info:        make(map[*resource]resInfo),
 		deg:         make(map[*resource][]degWindow),
+		logger:      eng.ins.Logger(),
 	}
 	for i := range res.devUp {
 		fr.info[res.devUp[i]] = resInfo{name: fmt.Sprintf("dev.up[%d]", i)}
@@ -478,9 +480,18 @@ func mergeOutages(outages []StationOutage, numStations int) map[int][]interval {
 	return byStation
 }
 
-// record appends one event to the run log.
+// record appends one event to the run log and mirrors it to the
+// structured logger, so fault injections and every recovery-ladder
+// decision (attempt.fail → task.retry → task.reassign → task.lost) are
+// observable live, not only in the post-run event log.
 func (fr *faultRunner) record(at units.Duration, kind, detail string) {
 	fr.log = append(fr.log, FaultEvent{At: at, Kind: kind, Detail: detail})
+	if fr.logger.Enabled(obs.LevelDebug) {
+		fr.logger.Debug("sim fault event",
+			"at_seconds", at.Seconds(),
+			"kind", kind,
+			"detail", detail)
+	}
 }
 
 // serviceTime applies the degradation windows covering the stage's start.

@@ -275,6 +275,16 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 	cfg.Obs.Counter("sim.deadline_misses").Add(int64(res.DeadlineViolations))
 	span.Annotate("makespan_seconds", res.Makespan.Seconds())
 	span.Annotate("deadline_misses", res.DeadlineViolations)
+	if log := cfg.Obs.Logger(); log.Enabled(obs.LevelDebug) {
+		log.Debug("sim run done",
+			"tasks", ts.Len(),
+			"placed", len(res.Outcomes),
+			"cancelled", res.Cancelled,
+			"lost", lost,
+			"events", eng.dispatched,
+			"makespan_seconds", res.Makespan.Seconds(),
+			"deadline_misses", res.DeadlineViolations)
+	}
 	return res, nil
 }
 

@@ -36,9 +36,13 @@ bench-go:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
 # One iteration of every benchmark: catches bitrot without the cost of a
-# real measurement run.
+# real measurement run. The second step is the large-scenario memory
+# gate: a 100k-device scenario generated, streamed to JSON, and
+# stream-decoded under a pinned B/op budget (see
+# internal/scenarioio/largescale_test.go).
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	MEC_LARGE_SMOKE=1 $(GO) test -run TestLargeScenarioMemoryBudget ./internal/scenarioio/
 
 # Every internal/ package must keep its package comment in a doc.go.
 doc-check:

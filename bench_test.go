@@ -151,7 +151,7 @@ func BenchmarkCostModelEval(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sc.Model.Eval(tasks[i%len(tasks)]); err != nil {
+		if _, err := sc.Model.Eval(&tasks[i%len(tasks)]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -22,7 +22,7 @@
 package main
 
 import (
-	"bytes"
+	"bufio"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -109,6 +109,7 @@ func run(args []string, stdout io.Writer) error {
 		simulate    = fs.Bool("sim", true, "replay the LP-HTA assignment in the discrete-event simulator")
 		load        = fs.String("load", "", "load a scenario JSON document instead of generating one")
 		parallel    = fs.Int("parallel", 0, "LP-HTA cluster worker count (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		shards      = fs.Int("shards", 0, "simulator event-heap shard count (0 = auto); output is byte-identical for any value")
 		lpMethod    = fs.String("lp-method", "auto", "simplex implementation for the LP relaxations: auto, revised, or dense")
 		metricsPath = fs.String("metrics", "", "write a run manifest (metrics + environment) to this JSON file")
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
@@ -167,7 +168,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	runErr := runScenario(instr, *load, *seed, *devices, *stations, *tasks, *inputKB,
-		*parallel, method, *divisible, *simulate, *faults, *faultSeed, stdout)
+		*parallel, *shards, method, *divisible, *simulate, *faults, *faultSeed, stdout)
 	if instr.enabled() {
 		if err := finishInstrumentation(instr, stdout); err != nil && runErr == nil {
 			runErr = err
@@ -179,20 +180,33 @@ func run(args []string, stdout io.Writer) error {
 // runScenario executes the selected pipeline under the (possibly nil)
 // instrumentation bundle.
 func runScenario(instr *instrumentation, load string, seed int64,
-	devices, stations, tasks, inputKB, parallel int, method dsmec.LPMethod,
+	devices, stations, tasks, inputKB, parallel, shards int, method dsmec.LPMethod,
 	divisible, simulate, faults bool, faultSeed int64, stdout io.Writer) error {
 	if load != "" {
-		data, err := os.ReadFile(load)
+		f, err := os.Open(load)
 		if err != nil {
 			return err
 		}
+		defer f.Close()
+		// Stream the document through the decoder instead of slurping it:
+		// a million-device scenario never exists in memory as one []byte.
+		// The fingerprint accumulates through a tee on the same pass.
+		var r io.Reader = bufio.NewReaderSize(f, 1<<20)
+		var h *obs.StreamHash
 		if instr.enabled() {
-			instr.manifest.SetScenarioHash(obs.HashBytes(data))
+			h = obs.NewStreamHash()
+			r = io.TeeReader(r, h)
 			instr.manifest.Annotate("scenario_file", load)
 		}
-		sc, fp, err := scenarioio.DecodeWithFaults(bytes.NewReader(data))
+		sc, fp, err := scenarioio.DecodeWithFaults(r)
 		if err != nil {
 			return &scenarioParseError{Path: load, Err: err}
+		}
+		if h != nil {
+			// Drain past the closing brace (trailing newline) so the
+			// digest matches HashBytes over the whole file.
+			_, _ = io.Copy(io.Discard, r)
+			instr.manifest.SetScenarioHash(h.Sum())
 		}
 		if sc.Placement != nil {
 			if faults {
@@ -206,7 +220,7 @@ func runScenario(instr *instrumentation, load string, seed int64,
 			// No plan embedded in the document: draw one for its topology.
 			fp = dsmec.GenerateFaultPlan(dsmec.NewSeed(faultSeed), sc.System, dsmec.DefaultFaultParams())
 		}
-		return runHolisticScenario(sc, parallel, method, simulate, fp, instr, stdout)
+		return runHolisticScenario(sc, parallel, shards, method, simulate, fp, instr, stdout)
 	}
 
 	params := dsmec.WorkloadParams{
@@ -248,10 +262,10 @@ func runScenario(instr *instrumentation, load string, seed int64,
 	if faults {
 		fp = dsmec.GenerateFaultPlan(dsmec.NewSeed(faultSeed), sc.System, dsmec.DefaultFaultParams())
 	}
-	return runHolisticScenario(sc, parallel, method, simulate, fp, instr, stdout)
+	return runHolisticScenario(sc, parallel, shards, method, simulate, fp, instr, stdout)
 }
 
-func runHolisticScenario(sc *dsmec.Scenario, parallel int, method dsmec.LPMethod,
+func runHolisticScenario(sc *dsmec.Scenario, parallel, shards int, method dsmec.LPMethod,
 	simulate bool, fp *dsmec.FaultPlan, instr *instrumentation, stdout io.Writer) error {
 	ins := instr.ins()
 	fmt.Fprintf(stdout, "scenario: %d devices, %d stations, %d holistic tasks\n\n",
@@ -301,7 +315,8 @@ func runHolisticScenario(sc *dsmec.Scenario, parallel int, method dsmec.LPMethod
 	if !simulate {
 		return nil
 	}
-	simRes, err := dsmec.Simulate(sc.Model, sc.Tasks, lph.Assignment, dsmec.SimConfig{Obs: ins, Faults: fp})
+	simRes, err := dsmec.Simulate(sc.Model, sc.Tasks, lph.Assignment,
+		dsmec.SimConfig{Obs: ins, Faults: fp, Shards: shards})
 	if err != nil {
 		return err
 	}

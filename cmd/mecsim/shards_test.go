@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestShardsDeterministic pins the acceptance criterion of the sharded
+// DES: stdout is byte-identical at every -shards × -parallel
+// combination. Sharding is a memory-locality layout, never a semantic
+// knob.
+func TestShardsDeterministic(t *testing.T) {
+	base := []string{"-seed", "3", "-tasks", "40", "-devices", "12", "-stations", "3"}
+	var ref string
+	for _, shards := range []int{1, 2, 8} {
+		for _, parallel := range []int{1, 2, 8} {
+			args := append(append([]string{}, base...),
+				"-shards", fmt.Sprint(shards), "-parallel", fmt.Sprint(parallel))
+			var out strings.Builder
+			if err := run(args, &out); err != nil {
+				t.Fatalf("-shards %d -parallel %d: %v", shards, parallel, err)
+			}
+			if ref == "" {
+				ref = out.String()
+				continue
+			}
+			if out.String() != ref {
+				t.Errorf("-shards %d -parallel %d output differs from -shards 1 -parallel 1:\n%s",
+					shards, parallel, out.String())
+			}
+		}
+	}
+	if !strings.Contains(ref, "discrete-event replay") {
+		t.Fatalf("replay summary missing:\n%s", ref)
+	}
+}
+
+// TestShardsDeterministicWithFaults repeats the grid with fault
+// injection active: outages, departures, retries and reassignments must
+// resolve identically regardless of how the event heaps are sharded.
+func TestShardsDeterministicWithFaults(t *testing.T) {
+	base := []string{"-seed", "3", "-tasks", "30", "-devices", "10", "-stations", "2",
+		"-faults", "-fault-seed", "2"}
+	var ref string
+	for _, shards := range []int{1, 2, 8} {
+		for _, parallel := range []int{1, 8} {
+			args := append(append([]string{}, base...),
+				"-shards", fmt.Sprint(shards), "-parallel", fmt.Sprint(parallel))
+			var out strings.Builder
+			if err := run(args, &out); err != nil {
+				t.Fatalf("-shards %d -parallel %d: %v", shards, parallel, err)
+			}
+			if ref == "" {
+				ref = out.String()
+				continue
+			}
+			if out.String() != ref {
+				t.Errorf("-shards %d -parallel %d faulty output differs:\n%s",
+					shards, parallel, out.String())
+			}
+		}
+	}
+	if !strings.Contains(ref, "fault injection:") || !strings.Contains(ref, "recovery:") {
+		t.Fatalf("fault summary missing:\n%s", ref)
+	}
+}

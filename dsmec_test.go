@@ -185,7 +185,7 @@ func TestCostModelFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts, err := m.Eval(sc.Tasks.All()[0])
+	opts, err := m.Eval(sc.Tasks.At(0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -63,7 +63,8 @@ func run() error {
 
 	// Where did the first few tasks go, and what did each choice cost?
 	fmt.Println("\nper-task detail (first 5):")
-	for _, t := range sc.Tasks.All()[:5] {
+	for i := 0; i < 5; i++ {
+		t := sc.Tasks.At(i)
 		opts, err := sc.Model.Eval(t)
 		if err != nil {
 			return err

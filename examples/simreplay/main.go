@@ -77,9 +77,10 @@ func run() error {
 			factor float64
 		}
 		var worst []inflated
-		for id, o := range sm.Outcomes {
-			if o.Analytic > 0 {
-				worst = append(worst, inflated{id, o.Completion.Seconds() / o.Analytic.Seconds()})
+		for i := range sm.Outcomes {
+			o := &sm.Outcomes[i]
+			if o.Placed && o.Analytic > 0 {
+				worst = append(worst, inflated{o.ID, o.Completion.Seconds() / o.Analytic.Seconds()})
 			}
 		}
 		sort.Slice(worst, func(i, j int) bool {
@@ -90,7 +91,7 @@ func run() error {
 		})
 		fmt.Println("  most-delayed tasks (simulated/analytic):")
 		for _, w := range worst[:3] {
-			o := sm.Outcomes[w.id]
+			o, _ := sm.Outcome(w.id)
 			fmt.Printf("    %v on %v: %v vs %v (%.1fx)\n",
 				w.id, o.Subsystem, o.Completion, o.Analytic, w.factor)
 		}

@@ -13,9 +13,9 @@ import (
 
 // AllToC assigns every task to the cloud.
 func AllToC(ts *task.Set) *core.Assignment {
-	a := core.NewAssignment()
-	for _, t := range ts.All() {
-		a.Place(t.ID, costmodel.SubsystemCloud)
+	a := core.NewAssignment(ts)
+	for i := 0; i < ts.Len(); i++ {
+		a.PlaceAt(i, costmodel.SubsystemCloud)
 	}
 	return a
 }
@@ -25,7 +25,7 @@ func AllToC(ts *task.Set) *core.Assignment {
 // considered in ID order within each cluster.
 func AllOffload(m *costmodel.Model, ts *task.Set) (*core.Assignment, error) {
 	sys := m.System()
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	stationLoad := make([]float64, sys.NumStations())
 	for _, t := range sorted(ts) {
 		st, err := sys.StationOf(t.ID.User)
@@ -50,7 +50,7 @@ func AllOffload(m *costmodel.Model, ts *task.Set) (*core.Assignment, error) {
 // the package comment.
 func HGOS(m *costmodel.Model, ts *task.Set) (*core.Assignment, error) {
 	sys := m.System()
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	deviceLoad := make([]float64, sys.NumDevices())
 	stationLoad := make([]float64, sys.NumStations())
 
@@ -96,9 +96,9 @@ func HGOS(m *costmodel.Model, ts *task.Set) (*core.Assignment, error) {
 // Random places every task uniformly at random; for tests and sanity
 // floors only.
 func Random(r *rand.Rand, ts *task.Set) *core.Assignment {
-	a := core.NewAssignment()
-	for _, t := range ts.All() {
-		a.Place(t.ID, costmodel.Subsystems[r.Intn(3)])
+	a := core.NewAssignment(ts)
+	for i := 0; i < ts.Len(); i++ {
+		a.PlaceAt(i, costmodel.Subsystems[r.Intn(3)])
 	}
 	return a
 }
@@ -181,17 +181,21 @@ func BruteForceHTA(m *costmodel.Model, ts *task.Set) (*core.Assignment, error) {
 	if math.IsInf(bestEnergy, 1) {
 		return nil, core.ErrNoFeasible
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	for i, t := range tasks {
 		a.Place(t.ID, bestChoice[i])
 	}
 	return a, nil
 }
 
-// sorted returns the tasks in deterministic ID order.
+// sorted returns pointers to the tasks in deterministic ID order. The
+// pointers reference the set's arena and stay valid while it is not
+// mutated.
 func sorted(ts *task.Set) []*task.Task {
 	out := make([]*task.Task, ts.Len())
-	copy(out, ts.All())
+	for i := range out {
+		out[i] = ts.At(i)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
 	return out
 }

@@ -19,7 +19,7 @@ import (
 // nodeLimit bounds the branch-and-bound nodes per cluster (0 = default).
 func ILPOptimalHTA(m *costmodel.Model, ts *task.Set, nodeLimit int) (*core.Assignment, error) {
 	sys := m.System()
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 
 	perCluster := make([][]*task.Task, sys.NumStations())
 	for _, t := range sorted(ts) {

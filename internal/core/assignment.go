@@ -17,41 +17,123 @@ var ErrNoFeasible = errors.New("core: no feasible full assignment exists")
 // Assignment maps every task to the subsystem chosen for it.
 // SubsystemNone marks a cancelled task (the algorithm could not place it
 // within its deadline and the resource caps, and "informed the user").
+//
+// The assignment is a dense int8 level array parallel to the task set's
+// arena order: one byte per task instead of a map entry, addressed by the
+// same int32 indices the set hands out. A level of -1 means the task has
+// not been placed or cancelled yet.
 type Assignment struct {
-	Placement map[task.ID]costmodel.Subsystem
+	ts     *task.Set
+	levels []int8
 }
 
-// NewAssignment returns an empty assignment.
-func NewAssignment() *Assignment {
-	return &Assignment{Placement: make(map[task.ID]costmodel.Subsystem)}
+const levelUnset = int8(-1)
+
+// NewAssignment returns an empty assignment over the given task set.
+func NewAssignment(ts *task.Set) *Assignment {
+	levels := make([]int8, ts.Len())
+	for i := range levels {
+		levels[i] = levelUnset
+	}
+	return &Assignment{ts: ts, levels: levels}
+}
+
+// Tasks returns the task set the assignment is built over.
+func (a *Assignment) Tasks() *task.Set { return a.ts }
+
+// Len returns the number of tasks the assignment covers (placed or not).
+func (a *Assignment) Len() int { return len(a.levels) }
+
+func (a *Assignment) indexOf(id task.ID) int {
+	i, ok := a.ts.IndexOf(id)
+	if !ok {
+		panic(fmt.Sprintf("core: task %v is not in the assignment's task set", id))
+	}
+	return i
 }
 
 // Place records that the task runs on subsystem l.
 func (a *Assignment) Place(id task.ID, l costmodel.Subsystem) {
-	a.Placement[id] = l
+	a.levels[a.indexOf(id)] = int8(l)
 }
 
 // Cancel marks the task as cancelled.
 func (a *Assignment) Cancel(id task.ID) {
-	a.Placement[id] = costmodel.SubsystemNone
+	a.levels[a.indexOf(id)] = int8(costmodel.SubsystemNone)
+}
+
+// PlaceAt records by dense arena index that the task runs on subsystem l.
+func (a *Assignment) PlaceAt(i int, l costmodel.Subsystem) {
+	a.levels[i] = int8(l)
 }
 
 // Of returns the subsystem assigned to the task; SubsystemNone when the
 // task is cancelled or unknown.
 func (a *Assignment) Of(id task.ID) costmodel.Subsystem {
-	return a.Placement[id]
+	i, ok := a.ts.IndexOf(id)
+	if !ok {
+		return costmodel.SubsystemNone
+	}
+	l, _ := a.LevelAt(i)
+	return l
+}
+
+// LevelAt returns the subsystem assigned to the i-th task of the set, and
+// whether the task has been placed or cancelled at all.
+func (a *Assignment) LevelAt(i int) (costmodel.Subsystem, bool) {
+	l := a.levels[i]
+	if l == levelUnset {
+		return costmodel.SubsystemNone, false
+	}
+	return costmodel.Subsystem(l), true
+}
+
+// Lookup returns the subsystem assigned to the task and whether the task
+// has been placed or cancelled at all (false also when the id is not in
+// the assignment's task set).
+func (a *Assignment) Lookup(id task.ID) (costmodel.Subsystem, bool) {
+	i, ok := a.ts.IndexOf(id)
+	if !ok {
+		return costmodel.SubsystemNone, false
+	}
+	return a.LevelAt(i)
+}
+
+// LevelFor returns the level of the i-th task of ts. When the assignment
+// was built over ts itself this is a direct array read; otherwise it
+// falls back to an ID lookup, so assignments built over a rebuilt set
+// with the same IDs (the feedback planner does this) still resolve.
+func (a *Assignment) LevelFor(ts *task.Set, i int) (costmodel.Subsystem, bool) {
+	if a.ts == ts {
+		return a.LevelAt(i)
+	}
+	return a.Lookup(ts.At(i).ID)
 }
 
 // Cancelled returns the cancelled task IDs in deterministic order.
 func (a *Assignment) Cancelled() []task.ID {
 	var out []task.ID
-	for id, l := range a.Placement {
-		if l == costmodel.SubsystemNone {
-			out = append(out, id)
+	for i, l := range a.levels {
+		if l == int8(costmodel.SubsystemNone) {
+			out = append(out, a.ts.At(i).ID)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
+}
+
+// Equal reports whether both assignments place every task identically.
+// Assignments over different task sets are never equal.
+func (a *Assignment) Equal(b *Assignment) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i, l := range a.levels {
+		if a.ts.At(i).ID != b.ts.At(i).ID || l != b.levels[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Metrics summarizes an assignment under the analytic cost model. They are
@@ -90,8 +172,9 @@ func (m *Metrics) UnsatisfiedRate() float64 {
 // appear in the assignment (placed or cancelled).
 func Evaluate(m *costmodel.Model, ts *task.Set, a *Assignment) (*Metrics, error) {
 	out := &Metrics{NumTasks: ts.Len()}
-	for _, t := range ts.All() {
-		l, ok := a.Placement[t.ID]
+	for i := 0; i < ts.Len(); i++ {
+		t := ts.At(i)
+		l, ok := a.LevelFor(ts, i)
 		if !ok {
 			return nil, fmt.Errorf("core: task %v missing from assignment", t.ID)
 		}
@@ -133,8 +216,9 @@ func CheckFeasible(m *costmodel.Model, ts *task.Set, a *Assignment) error {
 	deviceLoad := make([]float64, sys.NumDevices())
 	stationLoad := make([]float64, sys.NumStations())
 
-	for _, t := range ts.All() {
-		l, ok := a.Placement[t.ID]
+	for i := 0; i < ts.Len(); i++ {
+		t := ts.At(i)
+		l, ok := a.LevelFor(ts, i)
 		if !ok {
 			return fmt.Errorf("core: task %v unassigned (violates C4)", t.ID)
 		}

@@ -52,9 +52,14 @@ func simpleTask(user, index int, input units.ByteSize, resource float64, deadlin
 }
 
 func TestAssignmentBasics(t *testing.T) {
-	a := NewAssignment()
-	id1 := task.ID{User: 0, Index: 0}
-	id2 := task.ID{User: 0, Index: 1}
+	t1 := simpleTask(0, 0, units.Kilobyte, 1, units.Second)
+	t2 := simpleTask(0, 1, units.Kilobyte, 1, units.Second)
+	ts, err := task.NewSet(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssignment(ts)
+	id1, id2 := t1.ID, t2.ID
 	a.Place(id1, costmodel.SubsystemStation)
 	a.Cancel(id2)
 
@@ -74,10 +79,17 @@ func TestAssignmentBasics(t *testing.T) {
 }
 
 func TestCancelledSorted(t *testing.T) {
-	a := NewAssignment()
-	ids := []task.ID{{User: 2, Index: 0}, {User: 0, Index: 1}, {User: 0, Index: 0}}
-	for _, id := range ids {
-		a.Cancel(id)
+	ts, err := task.NewSet(
+		simpleTask(2, 0, units.Kilobyte, 1, units.Second),
+		simpleTask(0, 1, units.Kilobyte, 1, units.Second),
+		simpleTask(0, 0, units.Kilobyte, 1, units.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssignment(ts)
+	for i := 0; i < ts.Len(); i++ {
+		a.Cancel(ts.At(i).ID)
 	}
 	got := a.Cancelled()
 	for i := 1; i < len(got); i++ {
@@ -96,7 +108,7 @@ func TestEvaluate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	a := NewAssignment()
+	a := NewAssignment(ts)
 	a.Place(t1.ID, costmodel.SubsystemDevice)
 	a.Place(t2.ID, costmodel.SubsystemDevice)
 
@@ -131,7 +143,7 @@ func TestEvaluateCancelledCountsUnsatisfied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := NewAssignment()
+	a := NewAssignment(ts)
 	a.Cancel(t1.ID)
 	got, err := Evaluate(m, ts, a)
 	if err != nil {
@@ -155,7 +167,7 @@ func TestEvaluateMissingTask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Evaluate(m, ts, NewAssignment()); err == nil {
+	if _, err := Evaluate(m, ts, NewAssignment(ts)); err == nil {
 		t.Error("Evaluate with missing task should fail")
 	}
 }
@@ -181,7 +193,7 @@ func TestCheckFeasible(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	good := NewAssignment()
+	good := NewAssignment(ts)
 	good.Place(t0.ID, costmodel.SubsystemDevice)
 	good.Place(t1.ID, costmodel.SubsystemStation)
 	good.Place(t2.ID, costmodel.SubsystemCloud)
@@ -195,27 +207,27 @@ func TestCheckFeasible(t *testing.T) {
 		wantSub string
 	}{
 		{"unassigned task", func() *Assignment {
-			a := NewAssignment()
+			a := NewAssignment(ts)
 			a.Place(t0.ID, costmodel.SubsystemDevice)
 			a.Place(t1.ID, costmodel.SubsystemCloud)
 			return a
 		}, "C4"},
 		{"invalid subsystem", func() *Assignment {
-			a := NewAssignment()
+			a := NewAssignment(ts)
 			a.Place(t0.ID, costmodel.Subsystem(7))
 			a.Place(t1.ID, costmodel.SubsystemCloud)
 			a.Place(t2.ID, costmodel.SubsystemCloud)
 			return a
 		}, "C5"},
 		{"device overload", func() *Assignment {
-			a := NewAssignment()
+			a := NewAssignment(ts)
 			a.Place(t0.ID, costmodel.SubsystemDevice)
 			a.Place(t1.ID, costmodel.SubsystemDevice)
 			a.Place(t2.ID, costmodel.SubsystemCloud)
 			return a
 		}, "C2"},
 		{"station overload", func() *Assignment {
-			a := NewAssignment()
+			a := NewAssignment(ts)
 			a.Place(t0.ID, costmodel.SubsystemStation)
 			a.Place(t1.ID, costmodel.SubsystemStation)
 			a.Place(t2.ID, costmodel.SubsystemCloud)
@@ -244,21 +256,21 @@ func TestCheckFeasibleDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := NewAssignment()
+	bad := NewAssignment(ts)
 	bad.Place(tk.ID, costmodel.SubsystemCloud)
 	err = CheckFeasible(m, ts, bad)
 	if err == nil || !strings.Contains(err.Error(), "C1") {
 		t.Errorf("deadline violation not caught: %v", err)
 	}
 
-	ok := NewAssignment()
+	ok := NewAssignment(ts)
 	ok.Place(tk.ID, costmodel.SubsystemDevice)
 	if err := CheckFeasible(m, ts, ok); err != nil {
 		t.Errorf("local placement should be feasible: %v", err)
 	}
 
 	// Cancelled tasks are exempt from C1.
-	cancelled := NewAssignment()
+	cancelled := NewAssignment(ts)
 	cancelled.Cancel(tk.ID)
 	if err := CheckFeasible(m, ts, cancelled); err != nil {
 		t.Errorf("cancelled task should be exempt: %v", err)

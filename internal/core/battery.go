@@ -53,8 +53,9 @@ func (r *BatteryReport) Max() units.Energy {
 // the cost model's energy attribution. Cancelled tasks drain nothing.
 func Battery(m *costmodel.Model, ts *task.Set, a *Assignment) (*BatteryReport, error) {
 	report := &BatteryReport{ByDevice: make([]units.Energy, m.System().NumDevices())}
-	for _, t := range ts.All() {
-		l := a.Of(t.ID)
+	for i := 0; i < ts.Len(); i++ {
+		t := ts.At(i)
+		l, _ := a.LevelFor(ts, i)
 		if l == costmodel.SubsystemNone {
 			continue
 		}

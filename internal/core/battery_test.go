@@ -48,7 +48,7 @@ func TestBatteryCancelledTasksDrainNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := NewAssignment()
+	a := NewAssignment(ts)
 	a.Cancel(tk.ID)
 	report, err := Battery(m, ts, a)
 	if err != nil {

@@ -106,9 +106,12 @@ type DTAResult struct {
 	Battery *BatteryReport
 }
 
-// rearranged links a new per-device task to the original task it serves.
+// rearranged links a new per-device task (by its dense index in the
+// NewTasks arena, which stays valid as the arena grows) to the original
+// task it serves (a pointer into the input set's arena, which is not
+// mutated here).
 type rearranged struct {
-	nt     *task.Task
+	nt     int32
 	origin *task.Task
 }
 
@@ -181,7 +184,7 @@ func DTA(m *costmodel.Model, ts *task.Set, placement *datamap.Placement, opts DT
 	}
 
 	aspan := opts.Obs.Span.Child("dta.account")
-	metrics, battery, err := accountDTA(m, links, sched, cov)
+	metrics, battery, err := accountDTA(m, newTasks, links, sched, cov)
 	aspan.End()
 	if err != nil {
 		return nil, err
@@ -210,7 +213,9 @@ func rearrange(ts *task.Set, placement *datamap.Placement, cov *cover.Result) (*
 	var links []rearranged
 
 	origins := make([]*task.Task, ts.Len())
-	copy(origins, ts.All())
+	for i := range origins {
+		origins[i] = ts.At(i)
+	}
 	sort.Slice(origins, func(i, j int) bool { return origins[i].ID.Less(origins[j].ID) })
 
 	seq := make(map[int]int) // per-device new-task index
@@ -241,7 +246,7 @@ func rearrange(ts *task.Set, placement *datamap.Placement, cov *cover.Result) (*
 				return nil, nil, fmt.Errorf("core: rearrange: %w", err)
 			}
 			seq[dev]++
-			links = append(links, rearranged{nt: nt, origin: origin})
+			links = append(links, rearranged{nt: int32(newTasks.Len() - 1), origin: origin})
 		}
 	}
 	return newTasks, links, nil
@@ -249,7 +254,7 @@ func rearrange(ts *task.Set, placement *datamap.Placement, cov *cover.Result) (*
 
 // accountDTA computes the DTA cost breakdown and per-device battery
 // drain.
-func accountDTA(m *costmodel.Model, links []rearranged, sched *HTAResult, cov *cover.Result) (*DTAMetrics, *BatteryReport, error) {
+func accountDTA(m *costmodel.Model, newTasks *task.Set, links []rearranged, sched *HTAResult, cov *cover.Result) (*DTAMetrics, *BatteryReport, error) {
 	sys := m.System()
 	out := &DTAMetrics{
 		InvolvedDevices: len(cov.Involved),
@@ -263,20 +268,21 @@ func accountDTA(m *costmodel.Model, links []rearranged, sched *HTAResult, cov *c
 	aggDev := make(map[task.ID]int)
 
 	for _, ln := range links {
-		l := sched.Assignment.Of(ln.nt.ID)
+		nt := newTasks.At(int(ln.nt))
+		l, _ := sched.Assignment.LevelAt(int(ln.nt))
 		if l == costmodel.SubsystemNone {
 			out.CancelledNewTasks++
 			continue
 		}
-		opts, err := m.Eval(ln.nt)
+		opts, err := m.Eval(nt)
 		if err != nil {
 			return nil, nil, err
 		}
 		c := opts.At(l)
 		out.HTAEnergy += c.Energy
-		worker := ln.nt.ID.User
+		worker := nt.ID.User
 		chain[worker] += c.Time
-		attr, err := m.Attribute(ln.nt, l)
+		attr, err := m.Attribute(nt, l)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -290,7 +296,7 @@ func accountDTA(m *costmodel.Model, links []rearranged, sched *HTAResult, cov *c
 
 		origin := ln.origin.ID.User
 		aggDev[ln.origin.ID] = origin
-		result := m.ResultSize(ln.nt.LocalSize)
+		result := m.ResultSize(nt.LocalSize)
 		aggIn[ln.origin.ID] += result
 
 		if worker == origin {

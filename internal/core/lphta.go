@@ -129,15 +129,19 @@ func (r *HTAResult) RatioBoundEstimate() float64 {
 }
 
 // clusterTask carries one task plus its evaluated per-subsystem costs
-// through the per-cluster pipeline.
+// through the per-cluster pipeline. idx is the task's dense index in the
+// set arena; t points into that arena (stable while LPHTA runs, since
+// the set is not mutated).
 type clusterTask struct {
 	t    *task.Task
+	idx  int32
 	opts costmodel.Options
 }
 
-// taskPlacement is one task's final placement (SubsystemNone = cancelled).
+// taskPlacement is one task's final placement (SubsystemNone = cancelled),
+// keyed by its dense arena index.
 type taskPlacement struct {
-	id    task.ID
+	idx   int32
 	level costmodel.Subsystem
 }
 
@@ -172,20 +176,20 @@ func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult,
 	opts.Obs.Counter("lphta.tasks").Add(int64(ts.Len()))
 
 	sys := m.System()
-	res := &HTAResult{Assignment: NewAssignment()}
+	res := &HTAResult{Assignment: NewAssignment(ts)}
 
-	// Group tasks per cluster via their raising device.
-	perCluster := make([][]*task.Task, sys.NumStations())
-	for _, t := range ts.All() {
-		st, err := sys.StationOf(t.ID.User)
+	// Group task arena indices per cluster via their raising device.
+	perCluster := make([][]int32, sys.NumStations())
+	for i := 0; i < ts.Len(); i++ {
+		st, err := sys.StationOf(ts.At(i).ID.User)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		perCluster[st] = append(perCluster[st], t)
+		perCluster[st] = append(perCluster[st], int32(i))
 	}
 	type cluster struct {
 		station int
-		tasks   []*task.Task
+		tasks   []int32
 	}
 	var clusters []cluster
 	for st, tasks := range perCluster {
@@ -219,7 +223,7 @@ func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult,
 		copts := opts
 		copts.Obs = opts.Obs.WithSpan(cspan)
 		start := time.Now()
-		out, err := lphtaCluster(m, c.station, c.tasks, copts)
+		out, err := lphtaCluster(m, ts, c.station, c.tasks, copts)
 		elapsed := time.Since(start).Seconds()
 		clusterSeconds.Observe(elapsed)
 		cspan.End()
@@ -285,11 +289,7 @@ func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult,
 			res.Delta += o.delta
 		}
 		for _, p := range o.placements {
-			if p.level == costmodel.SubsystemNone {
-				res.Assignment.Cancel(p.id)
-			} else {
-				res.Assignment.Place(p.id, p.level)
-			}
+			res.Assignment.PlaceAt(int(p.idx), p.level)
 		}
 	}
 	span.Annotate("fractional_tasks", res.FractionalTasks)
@@ -298,7 +298,8 @@ func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult,
 }
 
 // lphtaCluster runs Steps 1–6 for one cluster and returns its outcome.
-func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHTAOptions) (*clusterOutcome, error) {
+// tasks holds the cluster's dense indices into the set arena.
+func lphtaCluster(m *costmodel.Model, ts *task.Set, station int, tasks []int32, opts LPHTAOptions) (*clusterOutcome, error) {
 	sys := m.System()
 	out := &clusterOutcome{placements: make([]taskPlacement, 0, len(tasks))}
 
@@ -306,7 +307,8 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 	// within its deadline (the LP would be infeasible with it, and Step 4
 	// would cancel it anyway).
 	cts := make([]clusterTask, 0, len(tasks))
-	for _, t := range tasks {
+	for _, ti := range tasks {
+		t := ts.At(int(ti))
 		o, err := m.Eval(t)
 		if err != nil {
 			return nil, err
@@ -319,12 +321,12 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 			}
 		}
 		if !feasibleSomewhere {
-			out.placements = append(out.placements, taskPlacement{id: t.ID, level: costmodel.SubsystemNone})
+			out.placements = append(out.placements, taskPlacement{idx: ti, level: costmodel.SubsystemNone})
 			out.preCancelled++
 			opts.Obs.Counter("lphta.pre_cancelled").Inc()
 			continue
 		}
-		cts = append(cts, clusterTask{t: t, opts: o})
+		cts = append(cts, clusterTask{t: t, idx: ti, opts: o})
 	}
 	if len(cts) == 0 {
 		return out, nil
@@ -470,7 +472,7 @@ func lphtaCluster(m *costmodel.Model, station int, tasks []*task.Task, opts LPHT
 	// remain placed).
 	for i, ct := range cts {
 		l := chosen[i]
-		out.placements = append(out.placements, taskPlacement{id: ct.t.ID, level: l})
+		out.placements = append(out.placements, taskPlacement{idx: ct.idx, level: l})
 		if l == costmodel.SubsystemNone {
 			continue
 		}

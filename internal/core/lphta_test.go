@@ -204,10 +204,8 @@ func TestLPHTADeterministic(t *testing.T) {
 	if a.LPObjective != b.LPObjective || a.Delta != b.Delta {
 		t.Error("LPHTA not deterministic across identical runs")
 	}
-	for id, l := range a.Assignment.Placement {
-		if b.Assignment.Placement[id] != l {
-			t.Fatalf("placement of %v differs", id)
-		}
+	if !a.Assignment.Equal(b.Assignment) {
+		t.Fatal("placements differ between identical runs")
 	}
 }
 
@@ -344,14 +342,8 @@ func TestLPHTAParallelMatchesSequential(t *testing.T) {
 		seq.FractionalTasks != par.FractionalTasks || seq.PreCancelled != par.PreCancelled {
 		t.Errorf("parallel result differs from sequential:\nseq %+v\npar %+v", seq, par)
 	}
-	for id, l := range seq.Assignment.Placement {
-		if par.Assignment.Placement[id] != l {
-			t.Fatalf("placement of %v differs: seq %v, par %v", id, l, par.Assignment.Placement[id])
-		}
-	}
-	if len(par.Assignment.Placement) != len(seq.Assignment.Placement) {
-		t.Errorf("placement sizes differ: seq %d, par %d",
-			len(seq.Assignment.Placement), len(par.Assignment.Placement))
+	if !seq.Assignment.Equal(par.Assignment) {
+		t.Fatal("parallel placement differs from sequential")
 	}
 }
 
@@ -384,10 +376,8 @@ func TestLPHTARandomizedRoundingDeterministic(t *testing.T) {
 		if a.RoundedEnergy != other.RoundedEnergy || a.Delta != other.Delta {
 			t.Error("randomized rounding not deterministic under a fixed seed")
 		}
-		for id, l := range a.Assignment.Placement {
-			if other.Assignment.Placement[id] != l {
-				t.Fatalf("placement of %v differs between fixed-seed runs", id)
-			}
+		if !a.Assignment.Equal(other.Assignment) {
+			t.Fatal("placements differ between fixed-seed runs")
 		}
 	}
 }

@@ -212,7 +212,8 @@ func (m *Model) onCloud(t *task.Task, dev, src *mecnet.Device, cycles units.Cycl
 // EvalAll evaluates every task of a set, returning costs keyed by task ID.
 func (m *Model) EvalAll(ts *task.Set) (map[task.ID]Options, error) {
 	out := make(map[task.ID]Options, ts.Len())
-	for _, t := range ts.All() {
+	for i := 0; i < ts.Len(); i++ {
+		t := ts.At(i)
 		opts, err := m.Eval(t)
 		if err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"io"
 	"os"
@@ -167,6 +168,20 @@ func HashBytes(b []byte) string {
 	h.Write(b)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
+
+// StreamHash accumulates the HashBytes digest incrementally, so large
+// scenario files can be fingerprinted while they stream through a
+// decoder (hang it off an io.TeeReader) instead of being read whole.
+type StreamHash struct{ h hash.Hash64 }
+
+// NewStreamHash returns an empty digest; Write bytes into it and call
+// Sum for the same string HashBytes would produce over the whole input.
+func NewStreamHash() *StreamHash { return &StreamHash{h: fnv.New64a()} }
+
+func (s *StreamHash) Write(p []byte) (int, error) { return s.h.Write(p) }
+
+// Sum formats the digest accumulated so far.
+func (s *StreamHash) Sum() string { return fmt.Sprintf("%016x", s.h.Sum64()) }
 
 // HashJSON fingerprints any JSON-serializable value (generation
 // parameters, configs). Marshalling failures yield "unhashable", never

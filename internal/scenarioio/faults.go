@@ -120,19 +120,20 @@ func faultsFromDoc(doc *faultsDoc) (*sim.FaultPlan, error) {
 }
 
 // EncodeWithFaults writes the scenario together with a fault plan (nil
-// writes a plain scenario, identical to Encode).
+// writes a plain scenario, identical to Encode). Like Encode, the
+// document is streamed, never materialized whole.
 func EncodeWithFaults(w io.Writer, sc *workload.Scenario, fp *sim.FaultPlan) error {
-	return encode(w, sc, faultsToDoc(fp))
+	return encodeStream(w, sc, faultsToDoc(fp))
 }
 
 // DecodeWithFaults reads a scenario document and the fault plan embedded
 // in it, if any. The plan is validated against the decoded topology.
 func DecodeWithFaults(r io.Reader) (*workload.Scenario, *sim.FaultPlan, error) {
-	sc, doc, err := decode(r)
+	sc, fd, err := decodeStream(r)
 	if err != nil {
 		return nil, nil, err
 	}
-	fp, err := faultsFromDoc(doc.Faults)
+	fp, err := faultsFromDoc(fd)
 	if err != nil {
 		return nil, nil, err
 	}

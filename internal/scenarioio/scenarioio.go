@@ -90,85 +90,252 @@ type placementDoc struct {
 	Holdings   [][]int `json:"holdings"`
 }
 
-// Encode writes the scenario as indented JSON. The cost model's λ and η
-// are taken from params (workload defaults) because costmodel hides them;
-// pass the scenario produced by the workload generator.
-func Encode(w io.Writer, sc *workload.Scenario) error {
-	return encode(w, sc, nil)
+// Per-element converters shared by the streaming and whole-document
+// paths, so the two produce identical scenarios by construction.
+
+func deviceToDoc(d *mecnet.Device) deviceDoc {
+	return deviceDoc{
+		Station:     d.Station,
+		UploadMbps:  d.Link.Upload.Mbps(),
+		DownMbps:    d.Link.Download.Mbps(),
+		TxPowerW:    float64(d.Link.TxPower),
+		RxPowerW:    float64(d.Link.RxPower),
+		Tech:        d.Link.Tech.String(),
+		FreqGHz:     d.Proc.Frequency.GHz(),
+		Kappa:       d.Proc.Kappa,
+		ResourceCap: d.ResourceCap,
+	}
 }
 
-func encode(w io.Writer, sc *workload.Scenario, faults *faultsDoc) error {
+func deviceFromDoc(d *deviceDoc) mecnet.Device {
+	return mecnet.Device{
+		Station: d.Station,
+		Link: radio.Link{
+			Tech:     techFromString(d.Tech),
+			Upload:   units.BitRate(d.UploadMbps) * units.MbitPerSecond,
+			Download: units.BitRate(d.DownMbps) * units.MbitPerSecond,
+			TxPower:  units.Power(d.TxPowerW),
+			RxPower:  units.Power(d.RxPowerW),
+		},
+		Proc: compute.Processor{
+			Frequency: units.Frequency(d.FreqGHz) * units.Gigahertz,
+			Kappa:     d.Kappa,
+		},
+		ResourceCap: d.ResourceCap,
+	}
+}
+
+func stationToDoc(s *mecnet.Station) stationDoc {
+	return stationDoc{
+		FreqGHz:     s.Proc.Frequency.GHz(),
+		ResourceCap: s.ResourceCap,
+	}
+}
+
+func stationFromDoc(s *stationDoc) mecnet.Station {
+	return mecnet.Station{
+		Proc:        compute.Processor{Frequency: units.Frequency(s.FreqGHz) * units.Gigahertz},
+		ResourceCap: s.ResourceCap,
+	}
+}
+
+func wiresToDoc(sys *mecnet.System) wiresDoc {
+	return wiresDoc{
+		StationLatencyS: sys.StationWire.Latency.Seconds(),
+		StationBps:      float64(sys.StationWire.Bandwidth),
+		StationJPerByte: float64(sys.StationWire.EnergyPerByte),
+		CloudLatencyS:   sys.CloudWire.Latency.Seconds(),
+		CloudBps:        float64(sys.CloudWire.Bandwidth),
+		CloudJPerByte:   float64(sys.CloudWire.EnergyPerByte),
+	}
+}
+
+func wiresFromDoc(w *wiresDoc, sys *mecnet.System) {
+	sys.StationWire = backhaul.Wire{
+		Latency:       units.Duration(w.StationLatencyS),
+		Bandwidth:     units.BitRate(w.StationBps),
+		EnergyPerByte: units.Energy(w.StationJPerByte),
+	}
+	sys.CloudWire = backhaul.Wire{
+		Latency:       units.Duration(w.CloudLatencyS),
+		Bandwidth:     units.BitRate(w.CloudBps),
+		EnergyPerByte: units.Energy(w.CloudJPerByte),
+	}
+}
+
+func costToDoc(params workload.Params) (costDoc, error) {
+	doc := costDoc{CyclesPerByte: compute.DefaultLambda}
+	switch rm := params.ResultModel.(type) {
+	case compute.ProportionalResult:
+		doc.ResultKind = "proportional"
+		doc.ResultValue = rm.Ratio
+	case compute.ConstantResult:
+		doc.ResultKind = "constant"
+		doc.ResultValue = float64(rm.Size)
+	case nil:
+		doc.ResultKind = "proportional"
+		doc.ResultValue = compute.DefaultEta
+	default:
+		return doc, fmt.Errorf("scenarioio: unsupported result model %T", rm)
+	}
+	return doc, nil
+}
+
+func resultModelFromDoc(c *costDoc) (compute.ResultModel, error) {
+	switch c.ResultKind {
+	case "proportional":
+		return compute.ProportionalResult{Ratio: c.ResultValue}, nil
+	case "constant":
+		return compute.ConstantResult{Size: units.ByteSize(c.ResultValue)}, nil
+	default:
+		return nil, fmt.Errorf("scenarioio: unknown result kind %q", c.ResultKind)
+	}
+}
+
+func taskToDoc(t *task.Task) taskDoc {
+	td := taskDoc{
+		User:          t.ID.User,
+		Index:         t.ID.Index,
+		Kind:          t.Kind.String(),
+		OpBytes:       t.OpSize.Bytes(),
+		LocalBytes:    t.LocalSize.Bytes(),
+		ExternalBytes: t.ExternalSize.Bytes(),
+		Resource:      t.Resource,
+		DeadlineS:     t.Deadline.Seconds(),
+	}
+	if t.ExternalSource != task.NoExternalSource {
+		src := t.ExternalSource
+		td.ExternalSource = &src
+	}
+	for _, b := range t.LocalBlocks.Blocks() {
+		td.LocalBlocks = append(td.LocalBlocks, int(b))
+	}
+	for _, b := range t.ExternalBlocks.Blocks() {
+		td.ExternalBlocks = append(td.ExternalBlocks, int(b))
+	}
+	return td
+}
+
+func taskFromDoc(td *taskDoc) *task.Task {
+	t := &task.Task{
+		ID:             task.ID{User: td.User, Index: td.Index},
+		Kind:           kindFromString(td.Kind),
+		OpSize:         units.ByteSize(td.OpBytes),
+		LocalSize:      units.ByteSize(td.LocalBytes),
+		ExternalSize:   units.ByteSize(td.ExternalBytes),
+		ExternalSource: task.NoExternalSource,
+		Resource:       td.Resource,
+		Deadline:       units.Duration(td.DeadlineS),
+	}
+	if td.ExternalSource != nil {
+		t.ExternalSource = *td.ExternalSource
+	}
+	if len(td.LocalBlocks) > 0 {
+		t.LocalBlocks = datamap.NewSet()
+		for _, b := range td.LocalBlocks {
+			t.LocalBlocks.Add(datamap.BlockID(b))
+		}
+	}
+	if len(td.ExternalBlocks) > 0 {
+		t.ExternalBlocks = datamap.NewSet()
+		for _, b := range td.ExternalBlocks {
+			t.ExternalBlocks.Add(datamap.BlockID(b))
+		}
+	}
+	return t
+}
+
+func placementRow(p *datamap.Placement, dev int) ([]int, error) {
+	holding, err := p.Holding(dev)
+	if err != nil {
+		return nil, fmt.Errorf("scenarioio: %w", err)
+	}
+	row := make([]int, 0, holding.Len())
+	for _, b := range holding.Blocks() {
+		row = append(row, int(b))
+	}
+	return row, nil
+}
+
+// assemble validates the decoded pieces and builds the scenario. sysDoc
+// arrays have already been converted into sys; tasks are already in ts.
+func assemble(sys *mecnet.System, cost *costDoc, ts *task.Set, pd *placementDoc) (*workload.Scenario, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("scenarioio: %w", err)
+	}
+	resultModel, err := resultModelFromDoc(cost)
+	if err != nil {
+		return nil, err
+	}
+	model, err := costmodel.New(sys, compute.LinearCycles{PerByte: cost.CyclesPerByte}, resultModel)
+	if err != nil {
+		return nil, fmt.Errorf("scenarioio: %w", err)
+	}
+
+	var placement *datamap.Placement
+	if pd != nil {
+		if len(pd.Holdings) != len(sys.Devices) {
+			return nil, fmt.Errorf("scenarioio: %d holdings for %d devices",
+				len(pd.Holdings), len(sys.Devices))
+		}
+		placement, err = datamap.NewPlacement(len(sys.Devices), pd.NumBlocks,
+			units.ByteSize(pd.BlockBytes))
+		if err != nil {
+			return nil, fmt.Errorf("scenarioio: %w", err)
+		}
+		for dev, row := range pd.Holdings {
+			for _, b := range row {
+				if err := placement.Assign(dev, datamap.BlockID(b)); err != nil {
+					return nil, fmt.Errorf("scenarioio: %w", err)
+				}
+			}
+		}
+	}
+
+	return &workload.Scenario{
+		System:    sys,
+		Model:     model,
+		Tasks:     ts,
+		Placement: placement,
+		Params:    workload.Params{ResultModel: resultModel},
+	}, nil
+}
+
+// Encode writes the scenario as indented JSON, streaming devices, tasks
+// and placement rows one element at a time (the document is never
+// materialized in memory). The cost model's λ and η are taken from params
+// (workload defaults) because costmodel hides them; pass the scenario
+// produced by the workload generator.
+func Encode(w io.Writer, sc *workload.Scenario) error {
+	return encodeStream(w, sc, nil)
+}
+
+// encodeDocument is the legacy whole-document encoder. The streaming
+// encoder must produce byte-identical output; the regression tests pin
+// the two against each other.
+func encodeDocument(w io.Writer, sc *workload.Scenario, faults *faultsDoc) error {
 	if sc == nil || sc.System == nil || sc.Tasks == nil {
 		return fmt.Errorf("scenarioio: incomplete scenario")
 	}
 	doc := Document{Version: FormatVersion, Faults: faults}
 
 	doc.System.CloudGHz = sc.System.Cloud.Proc.Frequency.GHz()
-	doc.System.Wires = wiresDoc{
-		StationLatencyS: sc.System.StationWire.Latency.Seconds(),
-		StationBps:      float64(sc.System.StationWire.Bandwidth),
-		StationJPerByte: float64(sc.System.StationWire.EnergyPerByte),
-		CloudLatencyS:   sc.System.CloudWire.Latency.Seconds(),
-		CloudBps:        float64(sc.System.CloudWire.Bandwidth),
-		CloudJPerByte:   float64(sc.System.CloudWire.EnergyPerByte),
+	doc.System.Wires = wiresToDoc(sc.System)
+	for i := range sc.System.Devices {
+		doc.System.Devices = append(doc.System.Devices, deviceToDoc(&sc.System.Devices[i]))
 	}
-	for _, d := range sc.System.Devices {
-		doc.System.Devices = append(doc.System.Devices, deviceDoc{
-			Station:     d.Station,
-			UploadMbps:  d.Link.Upload.Mbps(),
-			DownMbps:    d.Link.Download.Mbps(),
-			TxPowerW:    float64(d.Link.TxPower),
-			RxPowerW:    float64(d.Link.RxPower),
-			Tech:        d.Link.Tech.String(),
-			FreqGHz:     d.Proc.Frequency.GHz(),
-			Kappa:       d.Proc.Kappa,
-			ResourceCap: d.ResourceCap,
-		})
-	}
-	for _, s := range sc.System.Stations {
-		doc.System.Stations = append(doc.System.Stations, stationDoc{
-			FreqGHz:     s.Proc.Frequency.GHz(),
-			ResourceCap: s.ResourceCap,
-		})
+	for i := range sc.System.Stations {
+		doc.System.Stations = append(doc.System.Stations, stationToDoc(&sc.System.Stations[i]))
 	}
 
-	doc.Cost = costDoc{CyclesPerByte: compute.DefaultLambda}
-	switch rm := sc.Params.ResultModel.(type) {
-	case compute.ProportionalResult:
-		doc.Cost.ResultKind = "proportional"
-		doc.Cost.ResultValue = rm.Ratio
-	case compute.ConstantResult:
-		doc.Cost.ResultKind = "constant"
-		doc.Cost.ResultValue = float64(rm.Size)
-	case nil:
-		doc.Cost.ResultKind = "proportional"
-		doc.Cost.ResultValue = compute.DefaultEta
-	default:
-		return fmt.Errorf("scenarioio: unsupported result model %T", rm)
+	var err error
+	doc.Cost, err = costToDoc(sc.Params)
+	if err != nil {
+		return err
 	}
 
-	for _, t := range sc.Tasks.All() {
-		td := taskDoc{
-			User:          t.ID.User,
-			Index:         t.ID.Index,
-			Kind:          t.Kind.String(),
-			OpBytes:       t.OpSize.Bytes(),
-			LocalBytes:    t.LocalSize.Bytes(),
-			ExternalBytes: t.ExternalSize.Bytes(),
-			Resource:      t.Resource,
-			DeadlineS:     t.Deadline.Seconds(),
-		}
-		if t.ExternalSource != task.NoExternalSource {
-			src := t.ExternalSource
-			td.ExternalSource = &src
-		}
-		for _, b := range t.LocalBlocks.Blocks() {
-			td.LocalBlocks = append(td.LocalBlocks, int(b))
-		}
-		for _, b := range t.ExternalBlocks.Blocks() {
-			td.ExternalBlocks = append(td.ExternalBlocks, int(b))
-		}
-		doc.Tasks = append(doc.Tasks, td)
+	for i := 0; i < sc.Tasks.Len(); i++ {
+		doc.Tasks = append(doc.Tasks, taskToDoc(sc.Tasks.At(i)))
 	}
 
 	if sc.Placement != nil {
@@ -177,13 +344,9 @@ func encode(w io.Writer, sc *workload.Scenario, faults *faultsDoc) error {
 			BlockBytes: sc.Placement.BlockSize().Bytes(),
 		}
 		for i := 0; i < sc.Placement.NumDevices(); i++ {
-			holding, err := sc.Placement.Holding(i)
+			row, err := placementRow(sc.Placement, i)
 			if err != nil {
-				return fmt.Errorf("scenarioio: %w", err)
-			}
-			row := make([]int, 0, holding.Len())
-			for _, b := range holding.Blocks() {
-				row = append(row, int(b))
+				return err
 			}
 			pd.Holdings = append(pd.Holdings, row)
 		}
@@ -195,14 +358,19 @@ func encode(w io.Writer, sc *workload.Scenario, faults *faultsDoc) error {
 	return enc.Encode(doc)
 }
 
-// Decode reads a Document and rebuilds a fully validated scenario. Any
-// fault plan in the document is ignored; use DecodeWithFaults to get it.
+// Decode reads a scenario document and rebuilds a fully validated
+// scenario, streaming the task array into the set's arena instead of
+// materializing the whole document. Any fault plan in the document is
+// ignored; use DecodeWithFaults to get it.
 func Decode(r io.Reader) (*workload.Scenario, error) {
-	sc, _, err := decode(r)
+	sc, _, err := decodeStream(r)
 	return sc, err
 }
 
-func decode(r io.Reader) (*workload.Scenario, *Document, error) {
+// decodeDocument is the legacy whole-document decoder, kept as the
+// reference implementation the streaming decoder is regression-tested
+// against.
+func decodeDocument(r io.Reader) (*workload.Scenario, *Document, error) {
 	var doc Document
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -217,117 +385,28 @@ func decode(r io.Reader) (*workload.Scenario, *Document, error) {
 		Cloud: mecnet.Cloud{Proc: compute.Processor{
 			Frequency: units.Frequency(doc.System.CloudGHz) * units.Gigahertz,
 		}},
-		StationWire: backhaul.Wire{
-			Latency:       units.Duration(doc.System.Wires.StationLatencyS),
-			Bandwidth:     units.BitRate(doc.System.Wires.StationBps),
-			EnergyPerByte: units.Energy(doc.System.Wires.StationJPerByte),
-		},
-		CloudWire: backhaul.Wire{
-			Latency:       units.Duration(doc.System.Wires.CloudLatencyS),
-			Bandwidth:     units.BitRate(doc.System.Wires.CloudBps),
-			EnergyPerByte: units.Energy(doc.System.Wires.CloudJPerByte),
-		},
 	}
-	for _, d := range doc.System.Devices {
-		sys.Devices = append(sys.Devices, mecnet.Device{
-			Station: d.Station,
-			Link: radio.Link{
-				Tech:     techFromString(d.Tech),
-				Upload:   units.BitRate(d.UploadMbps) * units.MbitPerSecond,
-				Download: units.BitRate(d.DownMbps) * units.MbitPerSecond,
-				TxPower:  units.Power(d.TxPowerW),
-				RxPower:  units.Power(d.RxPowerW),
-			},
-			Proc: compute.Processor{
-				Frequency: units.Frequency(d.FreqGHz) * units.Gigahertz,
-				Kappa:     d.Kappa,
-			},
-			ResourceCap: d.ResourceCap,
-		})
+	wiresFromDoc(&doc.System.Wires, sys)
+	for i := range doc.System.Devices {
+		sys.Devices = append(sys.Devices, deviceFromDoc(&doc.System.Devices[i]))
 	}
-	for _, s := range doc.System.Stations {
-		sys.Stations = append(sys.Stations, mecnet.Station{
-			Proc:        compute.Processor{Frequency: units.Frequency(s.FreqGHz) * units.Gigahertz},
-			ResourceCap: s.ResourceCap,
-		})
-	}
-	if err := sys.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("scenarioio: %w", err)
-	}
-
-	var resultModel compute.ResultModel
-	switch doc.Cost.ResultKind {
-	case "proportional":
-		resultModel = compute.ProportionalResult{Ratio: doc.Cost.ResultValue}
-	case "constant":
-		resultModel = compute.ConstantResult{Size: units.ByteSize(doc.Cost.ResultValue)}
-	default:
-		return nil, nil, fmt.Errorf("scenarioio: unknown result kind %q", doc.Cost.ResultKind)
-	}
-	model, err := costmodel.New(sys, compute.LinearCycles{PerByte: doc.Cost.CyclesPerByte}, resultModel)
-	if err != nil {
-		return nil, nil, fmt.Errorf("scenarioio: %w", err)
+	for i := range doc.System.Stations {
+		sys.Stations = append(sys.Stations, stationFromDoc(&doc.System.Stations[i]))
 	}
 
 	ts := &task.Set{}
-	for i, td := range doc.Tasks {
-		t := &task.Task{
-			ID:             task.ID{User: td.User, Index: td.Index},
-			Kind:           kindFromString(td.Kind),
-			OpSize:         units.ByteSize(td.OpBytes),
-			LocalSize:      units.ByteSize(td.LocalBytes),
-			ExternalSize:   units.ByteSize(td.ExternalBytes),
-			ExternalSource: task.NoExternalSource,
-			Resource:       td.Resource,
-			Deadline:       units.Duration(td.DeadlineS),
-		}
-		if td.ExternalSource != nil {
-			t.ExternalSource = *td.ExternalSource
-		}
-		if len(td.LocalBlocks) > 0 {
-			t.LocalBlocks = datamap.NewSet()
-			for _, b := range td.LocalBlocks {
-				t.LocalBlocks.Add(datamap.BlockID(b))
-			}
-		}
-		if len(td.ExternalBlocks) > 0 {
-			t.ExternalBlocks = datamap.NewSet()
-			for _, b := range td.ExternalBlocks {
-				t.ExternalBlocks.Add(datamap.BlockID(b))
-			}
-		}
-		if err := ts.Add(t); err != nil {
+	ts.Grow(len(doc.Tasks))
+	for i := range doc.Tasks {
+		if err := ts.Add(taskFromDoc(&doc.Tasks[i])); err != nil {
 			return nil, nil, fmt.Errorf("scenarioio: task %d: %w", i, err)
 		}
 	}
 
-	var placement *datamap.Placement
-	if doc.Placement != nil {
-		if len(doc.Placement.Holdings) != len(sys.Devices) {
-			return nil, nil, fmt.Errorf("scenarioio: %d holdings for %d devices",
-				len(doc.Placement.Holdings), len(sys.Devices))
-		}
-		placement, err = datamap.NewPlacement(len(sys.Devices), doc.Placement.NumBlocks,
-			units.ByteSize(doc.Placement.BlockBytes))
-		if err != nil {
-			return nil, nil, fmt.Errorf("scenarioio: %w", err)
-		}
-		for dev, row := range doc.Placement.Holdings {
-			for _, b := range row {
-				if err := placement.Assign(dev, datamap.BlockID(b)); err != nil {
-					return nil, nil, fmt.Errorf("scenarioio: %w", err)
-				}
-			}
-		}
+	sc, err := assemble(sys, &doc.Cost, ts, doc.Placement)
+	if err != nil {
+		return nil, nil, err
 	}
-
-	return &workload.Scenario{
-		System:    sys,
-		Model:     model,
-		Tasks:     ts,
-		Placement: placement,
-		Params:    workload.Params{ResultModel: resultModel},
-	}, &doc, nil
+	return sc, &doc, nil
 }
 
 func techFromString(s string) radio.Tech {

@@ -1,0 +1,250 @@
+package scenarioio
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dsmec/internal/rng"
+	"dsmec/internal/sim"
+	"dsmec/internal/units"
+	"dsmec/internal/workload"
+)
+
+// streamScenarios builds one scenario per interesting shape: holistic
+// (no placement), divisible (placement with per-device holdings), and
+// holistic with an embedded fault plan.
+func streamScenarios(t *testing.T) map[string]struct {
+	sc *workload.Scenario
+	fp *sim.FaultPlan
+} {
+	t.Helper()
+	hol, err := workload.GenerateHolistic(rng.NewSource(11), workload.Params{
+		NumDevices: 10, NumStations: 3, NumTasks: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := workload.GenerateDivisible(rng.NewSource(12), workload.Params{
+		NumDevices: 8, NumStations: 2, NumTasks: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := workload.GenerateHolistic(rng.NewSource(13), workload.Params{
+		NumDevices: 6, NumStations: 2, NumTasks: 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := sim.GenerateFaultPlan(rng.NewSource(14), faulty.System, sim.FaultParams{
+		OutageRate: 0.5, ChurnRate: 0.1, DegradeRate: 0.3, Horizon: 10 * units.Second,
+	})
+	return map[string]struct {
+		sc *workload.Scenario
+		fp *sim.FaultPlan
+	}{
+		"holistic":  {hol, nil},
+		"divisible": {div, nil},
+		"faults":    {faulty, fp},
+	}
+}
+
+// TestStreamEncodeMatchesDocument pins the streaming encoder to the
+// legacy whole-document encoder byte for byte: downstream hashes of
+// scenario files must not change because of how they were written.
+func TestStreamEncodeMatchesDocument(t *testing.T) {
+	for name, tc := range streamScenarios(t) {
+		t.Run(name, func(t *testing.T) {
+			var legacy, stream bytes.Buffer
+			if err := encodeDocument(&legacy, tc.sc, faultsToDoc(tc.fp)); err != nil {
+				t.Fatalf("encodeDocument: %v", err)
+			}
+			if err := encodeStream(&stream, tc.sc, faultsToDoc(tc.fp)); err != nil {
+				t.Fatalf("encodeStream: %v", err)
+			}
+			if !bytes.Equal(legacy.Bytes(), stream.Bytes()) {
+				a, b := legacy.Bytes(), stream.Bytes()
+				n := len(a)
+				if len(b) < n {
+					n = len(b)
+				}
+				at := n
+				for i := 0; i < n; i++ {
+					if a[i] != b[i] {
+						at = i
+						break
+					}
+				}
+				lo := at - 60
+				if lo < 0 {
+					lo = 0
+				}
+				hiA, hiB := at+60, at+60
+				if hiA > len(a) {
+					hiA = len(a)
+				}
+				if hiB > len(b) {
+					hiB = len(b)
+				}
+				t.Fatalf("stream output diverges from document output at byte %d:\nlegacy: %q\nstream: %q",
+					at, a[lo:hiA], b[lo:hiB])
+			}
+		})
+	}
+}
+
+// TestStreamDecodeMatchesDocument pins the streaming decoder to the
+// legacy whole-document decoder: both must rebuild the same scenario
+// and the same fault plan from the same bytes.
+func TestStreamDecodeMatchesDocument(t *testing.T) {
+	for name, tc := range streamScenarios(t) {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := EncodeWithFaults(&buf, tc.sc, tc.fp); err != nil {
+				t.Fatal(err)
+			}
+			data := buf.Bytes()
+
+			legacySc, legacyDoc, err := decodeDocument(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("decodeDocument: %v", err)
+			}
+			streamSc, streamFd, err := decodeStream(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("decodeStream: %v", err)
+			}
+
+			if legacySc.System.NumDevices() != streamSc.System.NumDevices() ||
+				legacySc.System.NumStations() != streamSc.System.NumStations() {
+				t.Fatal("topology differs between decoders")
+			}
+			for i := range legacySc.System.Devices {
+				if legacySc.System.Devices[i] != streamSc.System.Devices[i] {
+					t.Fatalf("device %d differs between decoders", i)
+				}
+			}
+			for i := range legacySc.System.Stations {
+				if legacySc.System.Stations[i] != streamSc.System.Stations[i] {
+					t.Fatalf("station %d differs between decoders", i)
+				}
+			}
+			if legacySc.System.Cloud != streamSc.System.Cloud ||
+				legacySc.System.StationWire != streamSc.System.StationWire ||
+				legacySc.System.CloudWire != streamSc.System.CloudWire {
+				t.Fatal("cloud/wires differ between decoders")
+			}
+
+			if legacySc.Tasks.Len() != streamSc.Tasks.Len() {
+				t.Fatal("task count differs between decoders")
+			}
+			for i := 0; i < legacySc.Tasks.Len(); i++ {
+				a, b := legacySc.Tasks.At(i), streamSc.Tasks.At(i)
+				if a.ID != b.ID || a.Kind != b.Kind || a.OpSize != b.OpSize ||
+					a.LocalSize != b.LocalSize || a.ExternalSize != b.ExternalSize ||
+					a.ExternalSource != b.ExternalSource || a.Resource != b.Resource ||
+					a.Deadline != b.Deadline {
+					t.Fatalf("task %d differs between decoders: %+v vs %+v", i, a, b)
+				}
+				if !a.LocalBlocks.Equal(b.LocalBlocks) || !a.ExternalBlocks.Equal(b.ExternalBlocks) {
+					t.Fatalf("task %d block sets differ between decoders", i)
+				}
+			}
+
+			if (legacySc.Placement == nil) != (streamSc.Placement == nil) {
+				t.Fatal("placement presence differs between decoders")
+			}
+			if legacySc.Placement != nil {
+				if legacySc.Placement.NumBlocks() != streamSc.Placement.NumBlocks() ||
+					legacySc.Placement.BlockSize() != streamSc.Placement.BlockSize() {
+					t.Fatal("placement dimensions differ between decoders")
+				}
+				for d := 0; d < legacySc.Placement.NumDevices(); d++ {
+					a, err := legacySc.Placement.Holding(d)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := streamSc.Placement.Holding(d)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !a.Equal(b) {
+						t.Fatalf("device %d holding differs between decoders", d)
+					}
+				}
+			}
+
+			legacyFp, err := faultsFromDoc(legacyDoc.Faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamFp, err := faultsFromDoc(streamFd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (legacyFp == nil) != (streamFp == nil) {
+				t.Fatal("fault plan presence differs between decoders")
+			}
+			if legacyFp != nil {
+				if len(legacyFp.StationOutages) != len(streamFp.StationOutages) ||
+					len(legacyFp.DeviceDepartures) != len(streamFp.DeviceDepartures) ||
+					len(legacyFp.LinkDegradations) != len(streamFp.LinkDegradations) ||
+					legacyFp.TransferTimeout != streamFp.TransferTimeout ||
+					legacyFp.Recovery != streamFp.Recovery {
+					t.Fatal("fault plans differ between decoders")
+				}
+				for i := range legacyFp.StationOutages {
+					if legacyFp.StationOutages[i] != streamFp.StationOutages[i] {
+						t.Fatalf("outage %d differs between decoders", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamDecodeFieldOrder checks the token-walking decoder accepts
+// documents whose top-level keys arrive in any order (JSON objects are
+// unordered; the legacy decoder never cared).
+func TestStreamDecodeFieldOrder(t *testing.T) {
+	sc, err := workload.GenerateHolistic(rng.NewSource(15), workload.Params{
+		NumDevices: 4, NumStations: 1, NumTasks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := jsonUnmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Re-emit with tasks before system and version last.
+	var out bytes.Buffer
+	out.WriteString("{\"tasks\":")
+	writeJSON(t, &out, doc.Tasks)
+	out.WriteString(",\"cost_model\":")
+	writeJSON(t, &out, doc.Cost)
+	out.WriteString(",\"system\":")
+	writeJSON(t, &out, doc.System)
+	out.WriteString(",\"version\":1}")
+
+	got, err := Decode(&out)
+	if err != nil {
+		t.Fatalf("Decode with reordered fields: %v", err)
+	}
+	if got.Tasks.Len() != sc.Tasks.Len() || got.System.NumDevices() != sc.System.NumDevices() {
+		t.Fatal("reordered document decoded incorrectly")
+	}
+}
+
+func writeJSON(t *testing.T, buf *bytes.Buffer, v any) {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(data)
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sort"
 
 	"dsmec/internal/obs"
@@ -8,32 +9,50 @@ import (
 	"dsmec/internal/units"
 )
 
+// noIndex marks an absent arena reference (no dependency, no task, ...).
+const noIndex = int32(-1)
+
 // stage is one unit of work on one resource. A stage becomes eligible when
 // all its dependencies finish; it then queues on its resource and occupies
 // one server for its service time.
+//
+// Stages live in the engine's flat arena and reference their resource,
+// plan and successors by int32 arena indices instead of pointers: a
+// million-task run keeps its per-stage bookkeeping in a handful of
+// contiguous allocations, and arena growth never invalidates a reference.
 type stage struct {
-	res        *resource
-	service    units.Duration
-	next       []*stage // stages depending on this one
-	waitingOn  int      // unmet dependency count
-	plan       *plan
-	enqueuedAt units.Duration // when the stage became eligible
-
+	res       int32 // resource arena index
+	plan      int32 // plan arena index
+	next      [2]int32
+	nnext     int8 // used entries of next (plan DAGs fan out at most 2)
+	waitingOn int8 // unmet dependency count
 	// Fault-injection bookkeeping; untouched (zero) when the engine has
 	// no fault runner.
-	finishAt units.Duration // scheduled completion of the in-service stage
-	aborted  bool           // killed by an outage; skip its completion
-	timedOut bool           // completion event is a transfer timeout
+	aborted  bool // killed by an outage; skip its completion
+	timedOut bool // completion event is a transfer timeout
+
+	service    units.Duration
+	enqueuedAt units.Duration // when the stage became eligible
+	finishAt   units.Duration // scheduled completion of the in-service stage
 }
 
-// plan is the stage DAG of a single task. The plan completes when its last
-// stage finishes (pending tracks unfinished stages; the DAG is connected
-// through the final stage, so the maximum finish time is the completion).
+// plan is the stage DAG of a single task. Its stages are the contiguous
+// arena run [first, first+n) — plans are always built one at a time, so a
+// plan's stages are never interleaved with another's. The plan completes
+// when its last stage finishes (pending tracks unfinished stages; the DAG
+// is connected through the final stage, so the maximum finish time is the
+// completion).
 type plan struct {
-	stages  []*stage
-	pending int
-	finish  units.Duration
-	onDone  func(finish units.Duration)
+	first   int32
+	n       int32
+	pending int32
+	// task is the dense task-set index the plan executes; noIndex for
+	// plans not bound to a task (engine tests). When onDone is nil the
+	// engine-level done hook receives the completion, so the fault-free
+	// path needs no per-task closure at all.
+	task   int32
+	finish units.Duration
+	onDone func(finish units.Duration)
 
 	// Fault-injection state; zero when fault injection is disabled.
 	failed     bool // a stage failed; the whole attempt is void
@@ -41,54 +60,60 @@ type plan struct {
 	onFail     func(at units.Duration, reason string)
 }
 
-// fail voids the attempt exactly once: remaining stages are skipped as
-// they surface, and the recovery policy decides what happens next.
-func (p *plan) fail(at units.Duration, reason string) {
-	if p.failed {
-		return
-	}
-	p.failed = true
-	if p.onFail != nil {
-		p.onFail(at, reason)
-	}
+// newPlan appends an empty plan bound to the given task index (noIndex
+// for none) and returns its arena index.
+func (e *engine) newPlan(taskIdx int32) int32 {
+	pi := int32(len(e.plans))
+	e.plans = append(e.plans, plan{first: int32(len(e.stages)), task: taskIdx})
+	return pi
 }
 
-// stage appends a root stage (no dependencies).
-func (p *plan) stage(res *resource, service units.Duration) *stage {
-	s := &stage{res: res, service: service, plan: p}
-	p.stages = append(p.stages, s)
-	return s
+// addStage appends a root stage (no dependencies) to plan pi.
+func (e *engine) addStage(pi, res int32, service units.Duration) int32 {
+	return e.addStageJoin(pi, res, service, noIndex, noIndex)
 }
 
-// stageAfter appends a stage depending on prev (prev may be nil, making
-// the stage a root).
-func (p *plan) stageAfter(res *resource, service units.Duration, prev *stage) *stage {
-	if prev == nil {
-		return p.stage(res, service)
-	}
-	return p.stageAfterAll(res, service, []*stage{prev})
+// addStageAfter appends a stage depending on prev (noIndex makes the
+// stage a root).
+func (e *engine) addStageAfter(pi, res int32, service units.Duration, prev int32) int32 {
+	return e.addStageJoin(pi, res, service, prev, noIndex)
 }
 
-// stageAfterAll appends a stage depending on every stage in deps.
-func (p *plan) stageAfterAll(res *resource, service units.Duration, deps []*stage) *stage {
-	s := &stage{res: res, service: service, waitingOn: len(deps), plan: p}
-	for _, d := range deps {
-		d.next = append(d.next, s)
+// addStageJoin appends a stage depending on up to two stages (noIndex
+// entries are skipped). The builder requires pi to be the most recently
+// created plan, keeping every plan's stages contiguous in the arena.
+func (e *engine) addStageJoin(pi, res int32, service units.Duration, d1, d2 int32) int32 {
+	si := int32(len(e.stages))
+	deps := int8(0)
+	for _, d := range [2]int32{d1, d2} {
+		if d == noIndex {
+			continue
+		}
+		dep := &e.stages[d]
+		if dep.nnext == int8(len(dep.next)) {
+			panic(fmt.Sprintf("sim: stage %d exceeds fan-out %d", d, len(dep.next)))
+		}
+		dep.next[dep.nnext] = si
+		dep.nnext++
+		deps++
 	}
-	p.stages = append(p.stages, s)
-	return s
+	e.stages = append(e.stages, stage{res: res, plan: pi, service: service, waitingOn: deps})
+	e.plans[pi].n++
+	return si
 }
 
 // resource is a k-server FIFO queue. Besides serving stages it keeps the
 // accounting the observability layer exports: total busy time (the
 // integral of occupied servers over time), total and per-start queueing
-// wait, start count, and the peak queue depth.
+// wait, start count, and the peak queue depth. Resources live in the
+// engine's arena, are all created before the run starts, and carry the
+// shard their events are heaped on.
 type resource struct {
-	eng     *engine
 	class   string // metric label, e.g. "dev.up", "st.cpu"
-	servers int
-	busy    int
-	queue   []*stage
+	shard   int32
+	servers int32
+	busy    int32
+	queue   []int32 // stage arena indices
 
 	busyTime  units.Duration // Σ service time of started stages
 	queueWait units.Duration // Σ (start - enqueue) over started stages
@@ -97,8 +122,8 @@ type resource struct {
 
 	// Fault-injection state; only maintained when the engine has a fault
 	// runner, so the fault-free path is untouched.
-	down    bool     // outage in progress: new arrivals fail
-	running []*stage // stages currently occupying servers
+	down    bool    // outage in progress: new arrivals fail
+	running []int32 // stages currently occupying servers
 	// waits bins per-start queue waits, shared by every resource of the
 	// same class. The engine is single-threaded, so plain counts here
 	// cost ~nothing per start; recordMetrics merges them into the
@@ -161,37 +186,43 @@ func (w *waitBins) observe(wait units.Duration) {
 // enqueue adds an eligible stage; it starts immediately if a server is
 // free. Under fault injection, arriving at a downed resource voids the
 // attempt, and stages of already-failed attempts are dropped.
-func (r *resource) enqueue(s *stage, now units.Duration) {
-	if flt := r.eng.flt; flt != nil {
-		if s.plan.failed {
+func (e *engine) enqueue(ri, si int32) {
+	r := &e.resources[ri]
+	if e.flt != nil {
+		pi := e.stages[si].plan
+		if e.plans[pi].failed {
 			return
 		}
 		if r.down {
-			s.plan.fail(now, flt.downReason(r))
+			e.failPlan(pi, e.now, e.flt.downReason(ri))
 			return
 		}
 	}
-	s.enqueuedAt = now
+	s := &e.stages[si]
+	s.enqueuedAt = e.now
 	if r.busy < r.servers {
-		r.start(s, now)
+		e.start(ri, si)
 		return
 	}
-	r.queue = append(r.queue, s)
+	r.queue = append(r.queue, si)
 	if len(r.queue) > r.peakQueue {
 		r.peakQueue = len(r.queue)
 	}
-	if smp := r.eng.smp; smp != nil {
-		smp.queued++
+	if e.smp != nil {
+		e.smp.queued++
 	}
 }
 
-func (r *resource) start(s *stage, now units.Duration) {
+func (e *engine) start(ri, si int32) {
+	r := &e.resources[ri]
+	s := &e.stages[si]
+	now := e.now
 	svc := s.service
-	if flt := r.eng.flt; flt != nil {
-		svc = flt.serviceTime(r, s, now)
-		s.plan.anyStarted = true
-		r.running = append(r.running, s)
-		if timeout := flt.transferTimeout(r); timeout > 0 && svc > timeout {
+	if flt := e.flt; flt != nil {
+		svc = flt.serviceTime(ri, svc, now)
+		e.plans[s.plan].anyStarted = true
+		r.running = append(r.running, si)
+		if timeout := flt.transferTimeout(ri); timeout > 0 && svc > timeout {
 			// The transfer stalls: it holds the server until the timeout
 			// fires, then the attempt fails.
 			s.timedOut = true
@@ -207,39 +238,41 @@ func (r *resource) start(s *stage, now units.Duration) {
 	if r.waits != nil {
 		r.waits.observe(wait)
 	}
-	if smp := r.eng.smp; smp != nil {
-		smp.busyServers++
+	if e.smp != nil {
+		e.smp.busyServers++
 	}
-	r.eng.schedule(now+svc, s)
+	e.push(r.shard, event{at: now + svc, seq: e.seq, kind: evStage, idx: si})
+	e.seq++
 }
 
-// finish releases the server and starts the next queued stage (skipping
-// stages whose attempt already failed, under fault injection).
-func (r *resource) finish(now units.Duration) {
+// finishRes releases a server on the resource and starts the next queued
+// stage (skipping stages whose attempt already failed, under fault
+// injection).
+func (e *engine) finishRes(ri int32) {
+	r := &e.resources[ri]
 	r.busy--
-	smp := r.eng.smp
-	if smp != nil {
-		smp.busyServers--
+	if e.smp != nil {
+		e.smp.busyServers--
 	}
 	for len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
-		if smp != nil {
-			smp.queued--
+		if e.smp != nil {
+			e.smp.queued--
 		}
-		if r.eng.flt != nil && next.plan.failed {
+		if e.flt != nil && e.plans[e.stages[next].plan].failed {
 			continue
 		}
-		r.start(next, now)
+		e.start(ri, next)
 		return
 	}
 }
 
 // dropRunning forgets a stage that finished or aborted; only called when
 // fault injection is active.
-func (r *resource) dropRunning(s *stage) {
+func (r *resource) dropRunning(si int32) {
 	for i, st := range r.running {
-		if st == s {
+		if st == si {
 			r.running = append(r.running[:i], r.running[i+1:]...)
 			return
 		}
@@ -247,41 +280,71 @@ func (r *resource) dropRunning(s *stage) {
 }
 
 // outage takes the resource down: every stage in service or queued fails
-// its attempt, and new arrivals fail until repair.
-func (r *resource) outage(now units.Duration, reason string) {
+// its attempt, and new arrivals fail until repair. The resource arena is
+// stable during the run, so r stays valid across the recovery callbacks
+// the plan failures trigger (which may grow the stage and plan arenas —
+// stages are therefore re-fetched by index, never held).
+func (e *engine) outage(ri int32, now units.Duration, reason string) {
+	r := &e.resources[ri]
 	r.down = true
-	if smp := r.eng.smp; smp != nil {
-		smp.busyServers -= r.busy
-		smp.queued -= len(r.queue)
+	if e.smp != nil {
+		e.smp.busyServers -= int(r.busy)
+		e.smp.queued -= len(r.queue)
 	}
-	for _, s := range r.running {
+	for i := 0; i < len(r.running); i++ {
+		si := r.running[i]
+		s := &e.stages[si]
 		s.aborted = true
 		// The work performed after `now` never happens; give the busy
 		// accounting back.
 		if s.finishAt > now {
 			r.busyTime -= s.finishAt - now
 		}
-		s.plan.fail(now, reason)
+		pi := s.plan
+		e.failPlan(pi, now, reason)
 	}
 	r.running = r.running[:0]
 	r.busy = 0
-	for _, s := range r.queue {
-		s.plan.fail(now, reason)
+	for i := 0; i < len(r.queue); i++ {
+		e.failPlan(e.stages[r.queue[i]].plan, now, reason)
 	}
 	r.queue = r.queue[:0]
 }
 
 // repair brings the resource back; the outage drained its queue.
-func (r *resource) repair() { r.down = false }
+func (e *engine) repair(ri int32) { e.resources[ri].down = false }
 
-// event is a scheduled stage completion (stage != nil), a timed plan
-// release (plan != nil), or a fault-injection action (act != nil).
+// failPlan voids an attempt exactly once: remaining stages are skipped as
+// they surface, and the recovery policy decides what happens next. The
+// recovery callback may build new plans, growing the arenas; callers must
+// not hold stage/plan pointers across this call.
+func (e *engine) failPlan(pi int32, at units.Duration, reason string) {
+	p := &e.plans[pi]
+	if p.failed {
+		return
+	}
+	p.failed = true
+	if cb := p.onFail; cb != nil {
+		cb(at, reason)
+	}
+}
+
+// Event kinds: a stage completion, a timed plan release, or a
+// fault-injection action.
+const (
+	evStage = uint8(iota)
+	evPlan
+	evAction
+)
+
+// event is one scheduled occurrence. It carries no pointers: the payload
+// is an arena index resolved by kind, so a 10M-task run's event heaps are
+// flat arrays the collector never scans.
 type event struct {
-	at    units.Duration
-	seq   int // FIFO tie-break for identical times
-	stage *stage
-	plan  *plan
-	act   func(at units.Duration)
+	at   units.Duration
+	seq  int64 // global FIFO tie-break for identical times
+	kind uint8
+	idx  int32
 }
 
 // eventHeap orders events by time, then insertion order. The sift
@@ -291,7 +354,6 @@ type event struct {
 // allocation-free in steady state.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
@@ -318,7 +380,6 @@ func (h *eventHeap) pop() event {
 	top := s[0]
 	n := len(s) - 1
 	s[0] = s[n]
-	s[n] = event{} // drop pointers so finished stages can be collected
 	s = s[:n]
 	// Sift down.
 	for i := 0; ; {
@@ -340,23 +401,99 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// engine drives the event loop.
+// shardState is one station shard's event heap plus its telemetry.
+type shardState struct {
+	events     eventHeap
+	dispatched int64
+	peak       int
+}
+
+// engine drives the event loop. The event queue is sharded: every
+// resource belongs to a shard (stations are distributed round-robin and
+// drag their devices along), and each shard keeps its own heap. Dispatch
+// always pops the globally smallest (time, seq) event across shard heads,
+// so the processing order — and therefore every output byte — is
+// identical to a single-heap run at any shard count; sharding buys
+// smaller heaps (cheaper sifts, better locality), not reordering.
 type engine struct {
 	now        units.Duration
-	events     eventHeap
-	seq        int
+	seq        int64
 	dispatched int64
-	resources  []*resource
+	shards     []shardState
+	stages     []stage
+	plans      []plan
+	actions    []func(at units.Duration)
+	resources  []resource
 	waits      map[string]*waitBins // per class; nil when disabled
 	smp        *desSampler          // event-boundary sampling; nil when disabled
 	ins        obs.Instruments
 	flt        *faultRunner // nil: fault injection disabled, path untouched
+	// done receives completions of plans with no onDone closure; the
+	// fault-free simulator installs one engine-level hook instead of a
+	// closure per task.
+	done func(pi int32, finish units.Duration)
+}
+
+// ensureShards lazily initializes the shard array (zero-value engines get
+// a single shard).
+func (e *engine) ensureShards() {
+	if len(e.shards) == 0 {
+		e.shards = make([]shardState, 1)
+	}
+}
+
+// setShards sizes the shard array; must run before any event is pushed.
+func (e *engine) setShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.shards = make([]shardState, n)
+}
+
+// reserve sizes the plan, stage, and resource arenas for a run whose
+// counts are known up front. Exact capacities keep the builder free of
+// append-doubling — at scale the repeated grow-and-copy of the stage
+// arena dominates the run's allocations. Arenas still grow normally past
+// the reservation (fault recovery builds replacement plans mid-run).
+func (e *engine) reserve(nplans, nstages, nresources int) {
+	if n := len(e.plans) + nplans; cap(e.plans) < n {
+		plans := make([]plan, len(e.plans), n)
+		copy(plans, e.plans)
+		e.plans = plans
+	}
+	if n := len(e.stages) + nstages; cap(e.stages) < n {
+		stages := make([]stage, len(e.stages), n)
+		copy(stages, e.stages)
+		e.stages = stages
+	}
+	if n := len(e.resources) + nresources; cap(e.resources) < n {
+		resources := make([]resource, len(e.resources), n)
+		copy(resources, e.resources)
+		e.resources = resources
+	}
+}
+
+// push adds an event to one shard's heap.
+func (e *engine) push(shard int32, ev event) {
+	h := &e.shards[shard]
+	h.events.push(ev)
+	if len(h.events) > h.peak {
+		h.peak = len(h.events)
+	}
 }
 
 // newResource registers a k-server resource with the engine under a
-// metric class label.
-func (e *engine) newResource(servers int, class string) *resource {
-	r := &resource{eng: e, servers: servers, class: class}
+// metric class label, on shard 0.
+func (e *engine) newResource(servers int, class string) int32 {
+	return e.newResourceShard(servers, class, 0)
+}
+
+// newResourceShard registers a k-server resource on the given shard. All
+// resources must be created before the run starts; the arena never grows
+// mid-run, so *resource pointers taken during dispatch stay valid.
+func (e *engine) newResourceShard(servers int, class string, shard int32) int32 {
+	e.ensureShards()
+	r := resource{servers: int32(servers), class: class, shard: shard}
 	if e.ins.Registry() != nil {
 		wb := e.waits[class]
 		if wb == nil {
@@ -372,50 +509,99 @@ func (e *engine) newResource(servers int, class string) *resource {
 		}
 	}
 	e.resources = append(e.resources, r)
-	return r
-}
-
-// schedule arms a completion event.
-func (e *engine) schedule(at units.Duration, s *stage) {
-	e.events.push(event{at: at, seq: e.seq, stage: s})
-	e.seq++
+	return int32(len(e.resources) - 1)
 }
 
 // scheduleAction arms a fault-injection action (outage, repair, churn,
-// degradation window edge) as a first-class event.
+// degradation window edge) as a first-class event on shard 0.
 func (e *engine) scheduleAction(at units.Duration, act func(at units.Duration)) {
-	e.events.push(event{at: at, seq: e.seq, act: act})
+	e.ensureShards()
+	e.actions = append(e.actions, act)
+	e.push(0, event{at: at, seq: e.seq, kind: evAction, idx: int32(len(e.actions) - 1)})
 	e.seq++
 }
 
 // release submits a plan immediately: all root stages become eligible.
-func (e *engine) release(p *plan) {
-	p.pending = len(p.stages)
-	for _, s := range p.stages {
+func (e *engine) release(pi int32) {
+	p := &e.plans[pi]
+	p.pending = p.n
+	first, n := p.first, p.n
+	for si := first; si < first+n; si++ {
+		s := &e.stages[si]
 		if s.waitingOn == 0 {
-			s.res.enqueue(s, e.now)
+			e.enqueue(s.res, si)
 		}
 	}
-	if p.pending == 0 && p.onDone != nil {
-		p.onDone(e.now) // degenerate empty plan
+	if n == 0 {
+		// Degenerate empty plan.
+		e.planDone(pi, e.now)
+	}
+}
+
+// planDone routes a completion to the plan's closure or the engine hook.
+func (e *engine) planDone(pi int32, finish units.Duration) {
+	if cb := e.plans[pi].onDone; cb != nil {
+		cb(finish)
+		return
+	}
+	if e.done != nil {
+		e.done(pi, finish)
 	}
 }
 
 // releaseAt submits a plan at the given simulated time (immediately when
-// the time is not in the future).
-func (e *engine) releaseAt(p *plan, at units.Duration) {
+// the time is not in the future). The release event lands on the shard of
+// the plan's first stage, keeping a cluster's releases near its
+// completions.
+func (e *engine) releaseAt(pi int32, at units.Duration) {
 	if at <= e.now {
-		e.release(p)
+		e.release(pi)
 		return
 	}
-	e.events.push(event{at: at, seq: e.seq, plan: p})
+	e.ensureShards()
+	p := &e.plans[pi]
+	shard := int32(0)
+	if p.n > 0 {
+		shard = e.resources[e.stages[p.first].res].shard
+	}
+	e.push(shard, event{at: at, seq: e.seq, kind: evPlan, idx: pi})
 	e.seq++
 }
 
-// run processes events until none remain.
+// nextShard returns the shard holding the globally smallest (time, seq)
+// event, or -1 when every heap is drained. seq is globally unique, so
+// the total order is independent of the shard count.
+func (e *engine) nextShard() int {
+	best := -1
+	for k := range e.shards {
+		h := e.shards[k].events
+		if len(h) == 0 {
+			continue
+		}
+		if best < 0 {
+			best = k
+			continue
+		}
+		b := e.shards[best].events[0]
+		if h[0].at < b.at || (h[0].at == b.at && h[0].seq < b.seq) {
+			best = k
+		}
+	}
+	return best
+}
+
+// run processes events until every shard heap drains. Callbacks fired
+// during dispatch (recovery ladders) may grow the stage/plan arenas, so
+// the loop reads everything it needs from a stage into locals before any
+// callback and re-fetches by index afterwards.
 func (e *engine) run() {
-	for e.events.Len() > 0 {
-		ev := e.events.pop()
+	for {
+		k := e.nextShard()
+		if k < 0 {
+			return
+		}
+		ev := e.shards[k].events.pop()
+		e.shards[k].dispatched++
 		if e.smp != nil && ev.at != e.now {
 			// Event boundary: simulated time is about to advance, so the
 			// current depth/occupancy held for a nonzero interval.
@@ -423,62 +609,78 @@ func (e *engine) run() {
 		}
 		e.now = ev.at
 		e.dispatched++
-		if ev.act != nil {
-			ev.act(e.now)
+		switch ev.kind {
+		case evAction:
+			e.actions[ev.idx](e.now)
+			continue
+		case evPlan:
+			e.release(ev.idx)
 			continue
 		}
-		if ev.plan != nil {
-			e.release(ev.plan)
-			continue
-		}
-		s := ev.stage
+		si := ev.idx
+		s := &e.stages[si]
+		ri := s.res
+		pi := s.plan
+		timedOut := s.timedOut
+		nnext := s.nnext
+		next := s.next
 		if e.flt != nil {
 			// An outage already reclaimed the server and voided the
 			// attempt; the stale completion is a no-op.
 			if s.aborted {
 				continue
 			}
-			s.res.dropRunning(s)
-			s.res.finish(e.now)
-			if s.timedOut {
-				s.plan.fail(e.now, e.flt.timeoutReason(s.res))
+			e.resources[ri].dropRunning(si)
+			e.finishRes(ri)
+			if timedOut {
+				e.failPlan(pi, e.now, e.flt.timeoutReason(ri))
 				continue
 			}
-			if s.plan.failed {
+			if e.plans[pi].failed {
 				// A sibling stage failed while this one was in service;
 				// its work completes but leads nowhere.
 				continue
 			}
 		} else {
-			s.res.finish(e.now)
+			e.finishRes(ri)
 		}
 
-		p := s.plan
+		p := &e.plans[pi]
 		p.pending--
 		if e.now > p.finish {
 			p.finish = e.now
 		}
-		if p.pending == 0 && p.onDone != nil {
-			p.onDone(p.finish)
+		if p.pending == 0 {
+			e.planDone(pi, p.finish)
 		}
-		for _, nxt := range s.next {
-			nxt.waitingOn--
-			if nxt.waitingOn == 0 {
-				nxt.res.enqueue(nxt, e.now)
+		for j := int8(0); j < nnext; j++ {
+			ni := next[j]
+			n := &e.stages[ni]
+			n.waitingOn--
+			if n.waitingOn == 0 {
+				e.enqueue(n.res, ni)
 			}
 		}
 	}
 }
 
 // recordMetrics publishes the run's engine-level accounting: events
-// dispatched, and per-class start counts, busy time, queueing wait, and
-// peak queue depth, plus a per-resource busy-time distribution.
+// dispatched, per-shard dispatch counts and heap peaks, and per-class
+// start counts, busy time, queueing wait, and peak queue depth, plus a
+// per-resource busy-time distribution.
 func (e *engine) recordMetrics() {
 	reg := e.ins.Registry()
 	if reg == nil {
 		return
 	}
 	reg.Counter("sim.events").Add(e.dispatched)
+	reg.Gauge("sim.shards").Set(float64(len(e.shards)))
+	shardEvents := reg.Histogram("sim.shard.events", obs.CountBuckets)
+	shardPeak := reg.Histogram("sim.shard.heap_peak", obs.CountBuckets)
+	for k := range e.shards {
+		shardEvents.Observe(float64(e.shards[k].dispatched))
+		shardPeak.Observe(float64(e.shards[k].peak))
+	}
 
 	type agg struct {
 		started   int64
@@ -489,7 +691,8 @@ func (e *engine) recordMetrics() {
 	}
 	byClass := make(map[string]*agg)
 	busyHist := reg.Histogram("sim.busy_seconds_per_resource", obs.TimeBuckets)
-	for _, r := range e.resources {
+	for i := range e.resources {
+		r := &e.resources[i]
 		a := byClass[r.class]
 		if a == nil {
 			a = &agg{}
@@ -498,7 +701,7 @@ func (e *engine) recordMetrics() {
 		a.started += r.started
 		a.busy += r.busyTime
 		a.wait += r.queueWait
-		a.servers += r.servers
+		a.servers += int(r.servers)
 		if r.peakQueue > a.peakQueue {
 			a.peakQueue = r.peakQueue
 		}

@@ -9,18 +9,19 @@ import (
 // hotLoopEngine builds a minimal steady-state workload: one single-server
 // resource and a two-stage chain, with observability disabled (zero
 // Instruments, so no wait bins, no sampler, no fault runner). reset rewinds
-// the plan so the same release/run cycle can repeat without rebuilding.
-func hotLoopEngine() (e *engine, p *plan, reset func()) {
+// the plan's stages so the same release/run cycle can repeat without
+// rebuilding (release itself resets the pending count).
+func hotLoopEngine() (e *engine, pi int32, reset func()) {
 	e = &engine{}
 	r := e.newResource(1, "dev.cpu")
-	p = &plan{}
-	a := p.stage(r, units.Duration(3))
-	b := p.stageAfter(r, units.Duration(5), a)
+	pi = e.newPlan(noIndex)
+	a := e.addStage(pi, r, units.Duration(3))
+	b := e.addStageAfter(pi, r, units.Duration(5), a)
 	reset = func() {
-		a.waitingOn = 0
-		b.waitingOn = 1
+		e.stages[a].waitingOn = 0
+		e.stages[b].waitingOn = 1
 	}
-	return e, p, reset
+	return e, pi, reset
 }
 
 // TestDisabledObsZeroAllocHotPath pins the observability satellite's bar:
@@ -29,13 +30,13 @@ func hotLoopEngine() (e *engine, p *plan, reset func()) {
 // cycle is run outside the measurement to let the event heap reach
 // capacity, mirroring a long run where the heap was sized by early events.
 func TestDisabledObsZeroAllocHotPath(t *testing.T) {
-	e, p, reset := hotLoopEngine()
-	e.release(p)
+	e, pi, reset := hotLoopEngine()
+	e.release(pi)
 	e.run()
 
 	allocs := testing.AllocsPerRun(1000, func() {
 		reset()
-		e.release(p)
+		e.release(pi)
 		e.run()
 	})
 	if allocs != 0 {
@@ -47,14 +48,14 @@ func TestDisabledObsZeroAllocHotPath(t *testing.T) {
 // engine cycle for `make bench-obs` / `make bench-smoke`; the CI perf gate
 // watches its allocs/op and B/op, which must stay at zero.
 func BenchmarkObsDisabledEngineHotLoop(b *testing.B) {
-	e, p, reset := hotLoopEngine()
-	e.release(p)
+	e, pi, reset := hotLoopEngine()
+	e.release(pi)
 	e.run()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		reset()
-		e.release(p)
+		e.release(pi)
 		e.run()
 	}
 }

@@ -26,13 +26,13 @@ func TestEngineResourceAccounting(t *testing.T) {
 
 	var completions []units.Duration
 	for i := 0; i < 2; i++ {
-		p := &plan{}
-		first := p.stage(r1, 10*units.Second)
-		p.stageAfter(r2, 5*units.Second, first)
-		p.onDone = func(finish units.Duration) {
+		pi := eng.newPlan(noIndex)
+		first := eng.addStage(pi, r1, 10*units.Second)
+		eng.addStageAfter(pi, r2, 5*units.Second, first)
+		eng.plans[pi].onDone = func(finish units.Duration) {
 			completions = append(completions, finish)
 		}
-		eng.releaseAt(p, 0)
+		eng.releaseAt(pi, 0)
 	}
 	eng.run()
 
@@ -44,31 +44,33 @@ func TestEngineResourceAccounting(t *testing.T) {
 	}
 
 	// r1: both stages start there, the second after waiting out the first.
-	if got := r1.busyTime; got != 20*units.Second {
+	res1 := &eng.resources[r1]
+	if got := res1.busyTime; got != 20*units.Second {
 		t.Errorf("r1 busy = %v, want 20s", got)
 	}
-	if got := r1.queueWait; got != 10*units.Second {
+	if got := res1.queueWait; got != 10*units.Second {
 		t.Errorf("r1 queue wait = %v, want 10s", got)
 	}
-	if r1.started != 2 {
-		t.Errorf("r1 started = %d, want 2", r1.started)
+	if res1.started != 2 {
+		t.Errorf("r1 started = %d, want 2", res1.started)
 	}
-	if r1.peakQueue != 1 {
-		t.Errorf("r1 peak queue = %d, want 1", r1.peakQueue)
+	if res1.peakQueue != 1 {
+		t.Errorf("r1 peak queue = %d, want 1", res1.peakQueue)
 	}
 
 	// r2: stages arrive 10s apart, each 5s long — never contended.
-	if got := r2.busyTime; got != 10*units.Second {
+	res2 := &eng.resources[r2]
+	if got := res2.busyTime; got != 10*units.Second {
 		t.Errorf("r2 busy = %v, want 10s", got)
 	}
-	if got := r2.queueWait; got != 0 {
+	if got := res2.queueWait; got != 0 {
 		t.Errorf("r2 queue wait = %v, want 0", got)
 	}
-	if r2.started != 2 {
-		t.Errorf("r2 started = %d, want 2", r2.started)
+	if res2.started != 2 {
+		t.Errorf("r2 started = %d, want 2", res2.started)
 	}
-	if r2.peakQueue != 0 {
-		t.Errorf("r2 peak queue = %d, want 0", r2.peakQueue)
+	if res2.peakQueue != 0 {
+		t.Errorf("r2 peak queue = %d, want 0", res2.peakQueue)
 	}
 
 	// Four stage completions, no timed releases (t=0 is immediate).
@@ -109,6 +111,14 @@ func TestEngineResourceAccounting(t *testing.T) {
 	if h2.Count != 2 || h2.Sum != 0 {
 		t.Errorf("r2 wait histogram count/sum = %d/%g, want 2/0", h2.Count, h2.Sum)
 	}
+	// One shard by default; its dispatch count covers every event.
+	if got := s.Gauges["sim.shards"]; got != 1 {
+		t.Errorf("sim.shards = %g, want 1", got)
+	}
+	se := s.Histograms["sim.shard.events"]
+	if se.Count != 1 || se.Sum != 4 {
+		t.Errorf("sim.shard.events count/sum = %d/%g, want 1/4", se.Count, se.Sum)
+	}
 }
 
 // TestEngineTimedRelease checks that a plan released in the future holds
@@ -119,24 +129,77 @@ func TestEngineTimedRelease(t *testing.T) {
 	r := eng.newResource(1, "r")
 
 	var done units.Duration
-	p := &plan{}
-	p.stage(r, 3*units.Second)
-	p.onDone = func(finish units.Duration) { done = finish }
-	eng.releaseAt(p, 7*units.Second)
+	pi := eng.newPlan(noIndex)
+	eng.addStage(pi, r, 3*units.Second)
+	eng.plans[pi].onDone = func(finish units.Duration) { done = finish }
+	eng.releaseAt(pi, 7*units.Second)
 	eng.run()
 
+	res := &eng.resources[r]
 	if done != 10*units.Second {
 		t.Errorf("completion = %v, want 10s", done)
 	}
-	if r.queueWait != 0 {
-		t.Errorf("queue wait = %v, want 0 (stage started at release)", r.queueWait)
+	if res.queueWait != 0 {
+		t.Errorf("queue wait = %v, want 0 (stage started at release)", res.queueWait)
 	}
-	if r.busyTime != 3*units.Second {
-		t.Errorf("busy = %v, want 3s", r.busyTime)
+	if res.busyTime != 3*units.Second {
+		t.Errorf("busy = %v, want 3s", res.busyTime)
 	}
 	// One release event plus one completion event.
 	if eng.dispatched != 2 {
 		t.Errorf("dispatched = %d, want 2", eng.dispatched)
+	}
+}
+
+// TestEngineShardedDeterminism runs the same three-plan workload on 1, 2,
+// and 4 shards with resources spread across them and checks the completion
+// order and accounting are identical: global (time, seq) dispatch makes the
+// shard count invisible.
+func TestEngineShardedDeterminism(t *testing.T) {
+	type runOut struct {
+		completions []units.Duration
+		order       []int32
+		dispatched  int64
+	}
+	run := func(shards int) runOut {
+		eng := &engine{}
+		eng.setShards(shards)
+		nres := 3
+		rs := make([]int32, nres)
+		for i := range rs {
+			rs[i] = eng.newResourceShard(1, "r", int32(i%shards))
+		}
+		var out runOut
+		for i := 0; i < 3; i++ {
+			pi := eng.newPlan(int32(i))
+			a := eng.addStage(pi, rs[i%nres], 2*units.Second)
+			eng.addStageAfter(pi, rs[(i+1)%nres], units.Second, a)
+			eng.releaseAt(pi, units.Duration(i))
+		}
+		eng.done = func(pi int32, finish units.Duration) {
+			out.completions = append(out.completions, finish)
+			out.order = append(out.order, eng.plans[pi].task)
+		}
+		eng.run()
+		out.dispatched = eng.dispatched
+		return out
+	}
+
+	want := run(1)
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		if len(got.completions) != len(want.completions) {
+			t.Fatalf("shards=%d: %d completions, want %d", shards, len(got.completions), len(want.completions))
+		}
+		for i := range want.completions {
+			if got.completions[i] != want.completions[i] || got.order[i] != want.order[i] {
+				t.Errorf("shards=%d: completion %d = task %d at %v, want task %d at %v",
+					shards, i, got.order[i], got.completions[i], want.order[i], want.completions[i])
+			}
+		}
+		if got.dispatched != want.dispatched {
+			t.Errorf("shards=%d: dispatched = %d, want %d", shards, got.dispatched, want.dispatched)
+		}
 	}
 }
 
@@ -146,16 +209,17 @@ func TestEngineDisabledMetrics(t *testing.T) {
 	eng := &engine{}
 	r := eng.newResource(2, "r")
 	for i := 0; i < 3; i++ {
-		p := &plan{}
-		p.stage(r, units.Second)
-		eng.release(p)
+		pi := eng.newPlan(noIndex)
+		eng.addStage(pi, r, units.Second)
+		eng.release(pi)
 	}
 	eng.run()
-	if r.started != 3 || r.busyTime != 3*units.Second {
-		t.Errorf("started/busy = %d/%v, want 3/3s", r.started, r.busyTime)
+	res := &eng.resources[r]
+	if res.started != 3 || res.busyTime != 3*units.Second {
+		t.Errorf("started/busy = %d/%v, want 3/3s", res.started, res.busyTime)
 	}
-	if r.peakQueue != 1 {
-		t.Errorf("peak queue = %d, want 1 (third stage queued behind two servers)", r.peakQueue)
+	if res.peakQueue != 1 {
+		t.Errorf("peak queue = %d, want 1 (third stage queued behind two servers)", res.peakQueue)
 	}
 	eng.recordMetrics() // nil registry: must be a no-op
 }

@@ -340,22 +340,19 @@ type degWindow struct {
 	slowdown float64
 }
 
-// resInfo labels a resource for fault targeting and log lines.
-type resInfo struct {
-	name     string
-	backhaul bool
-}
-
 // faultRunner owns all fault state of one engine run: the topology
 // transition events, the degraded-state flags recovery consults, the
-// per-resource degradation windows, and the event log.
+// per-resource degradation windows, and the event log. Resources are
+// identified by their engine arena index throughout (the arena is fully
+// built before the runner is wired, so the parallel slices never resize).
 type faultRunner struct {
 	plan        *FaultPlan
 	policy      RecoveryPolicy
 	stationDown []bool
 	deviceGone  []bool
-	info        map[*resource]resInfo
-	deg         map[*resource][]degWindow
+	names       []string      // per resource index: label for log lines
+	backhaul    []bool        // per resource index: transfer timeouts apply
+	deg         [][]degWindow // per resource index: degradation windows
 	log         []FaultEvent
 	stats       FaultStats
 	logger      *obs.Logger // mirrors the event log to slog; nil disables
@@ -370,43 +367,46 @@ func newFaultRunner(eng *engine, plan *FaultPlan, sys *mecnet.System, res planRe
 		policy:      plan.Recovery.withDefaults(),
 		stationDown: make([]bool, sys.NumStations()),
 		deviceGone:  make([]bool, sys.NumDevices()),
-		info:        make(map[*resource]resInfo),
-		deg:         make(map[*resource][]degWindow),
+		names:       make([]string, len(eng.resources)),
+		backhaul:    make([]bool, len(eng.resources)),
+		deg:         make([][]degWindow, len(eng.resources)),
 		logger:      eng.ins.Logger(),
 	}
 	for i := range res.devUp {
-		fr.info[res.devUp[i]] = resInfo{name: fmt.Sprintf("dev.up[%d]", i)}
-		fr.info[res.devDown[i]] = resInfo{name: fmt.Sprintf("dev.down[%d]", i)}
-		fr.info[res.devCPU[i]] = resInfo{name: fmt.Sprintf("dev.cpu[%d]", i)}
+		fr.names[res.devUp[i]] = fmt.Sprintf("dev.up[%d]", i)
+		fr.names[res.devDown[i]] = fmt.Sprintf("dev.down[%d]", i)
+		fr.names[res.devCPU[i]] = fmt.Sprintf("dev.cpu[%d]", i)
 	}
 	for s := range res.stWire {
-		fr.info[res.stWire[s]] = resInfo{name: fmt.Sprintf("st.wire[%d]", s), backhaul: true}
-		fr.info[res.stWAN[s]] = resInfo{name: fmt.Sprintf("st.wan[%d]", s), backhaul: true}
-		fr.info[res.stCPU[s]] = resInfo{name: fmt.Sprintf("st.cpu[%d]", s)}
+		fr.names[res.stWire[s]] = fmt.Sprintf("st.wire[%d]", s)
+		fr.backhaul[res.stWire[s]] = true
+		fr.names[res.stWAN[s]] = fmt.Sprintf("st.wan[%d]", s)
+		fr.backhaul[res.stWAN[s]] = true
+		fr.names[res.stCPU[s]] = fmt.Sprintf("st.cpu[%d]", s)
 	}
-	fr.info[res.cloudCPU] = resInfo{name: "cloud.cpu"}
+	fr.names[res.cloudCPU] = "cloud.cpu"
 	eng.flt = fr
 
 	// Overlapping outages of one station merge into one down window, so
 	// a repair in the middle of a longer outage cannot resurrect it.
 	for s, iv := range mergeOutages(plan.StationOutages, sys.NumStations()) {
 		station := s
-		group := [3]*resource{res.stWire[station], res.stWAN[station], res.stCPU[station]}
+		group := [3]int32{res.stWire[station], res.stWAN[station], res.stCPU[station]}
 		for _, w := range iv {
 			up := w.to
 			eng.scheduleAction(w.from, func(at units.Duration) {
 				fr.stats.StationOutages++
 				fr.stationDown[station] = true
 				fr.record(at, "station.down", fmt.Sprintf("station=%d until=%.6fs", station, up.Seconds()))
-				for _, r := range group {
-					r.outage(at, fmt.Sprintf("station %d outage", station))
+				for _, ri := range group {
+					eng.outage(ri, at, fmt.Sprintf("station %d outage", station))
 				}
 			})
 			eng.scheduleAction(up, func(at units.Duration) {
 				fr.stationDown[station] = false
 				fr.record(at, "station.up", fmt.Sprintf("station=%d", station))
-				for _, r := range group {
-					r.repair()
+				for _, ri := range group {
+					eng.repair(ri)
 				}
 			})
 		}
@@ -414,7 +414,7 @@ func newFaultRunner(eng *engine, plan *FaultPlan, sys *mecnet.System, res planRe
 
 	for _, d := range plan.DeviceDepartures {
 		dep := d
-		group := [3]*resource{res.devUp[dep.Device], res.devDown[dep.Device], res.devCPU[dep.Device]}
+		group := [3]int32{res.devUp[dep.Device], res.devDown[dep.Device], res.devCPU[dep.Device]}
 		eng.scheduleAction(dep.At, func(at units.Duration) {
 			if fr.deviceGone[dep.Device] {
 				return // duplicate departure entry
@@ -422,20 +422,20 @@ func newFaultRunner(eng *engine, plan *FaultPlan, sys *mecnet.System, res planRe
 			fr.stats.DeviceDepartures++
 			fr.deviceGone[dep.Device] = true
 			fr.record(at, "device.leave", fmt.Sprintf("device=%d", dep.Device))
-			for _, r := range group {
-				r.outage(at, fmt.Sprintf("device %d departed", dep.Device))
+			for _, ri := range group {
+				eng.outage(ri, at, fmt.Sprintf("device %d departed", dep.Device))
 			}
 		})
 	}
 
 	for _, g := range plan.LinkDegradations {
 		deg := g
-		r := res.stWire[deg.Station]
+		ri := res.stWire[deg.Station]
 		if deg.Link == LinkWAN {
-			r = res.stWAN[deg.Station]
+			ri = res.stWAN[deg.Station]
 		}
 		to := deg.At + deg.Duration
-		fr.deg[r] = append(fr.deg[r], degWindow{from: deg.At, to: to, slowdown: deg.Slowdown})
+		fr.deg[ri] = append(fr.deg[ri], degWindow{from: deg.At, to: to, slowdown: deg.Slowdown})
 		eng.scheduleAction(deg.At, func(at units.Duration) {
 			fr.stats.LinkDegradations++
 			fr.record(at, "link.degrade", fmt.Sprintf("station=%d link=%s x%g until=%.6fs",
@@ -495,36 +495,36 @@ func (fr *faultRunner) record(at units.Duration, kind, detail string) {
 }
 
 // serviceTime applies the degradation windows covering the stage's start.
-func (fr *faultRunner) serviceTime(r *resource, s *stage, now units.Duration) units.Duration {
+func (fr *faultRunner) serviceTime(ri int32, service, now units.Duration) units.Duration {
 	factor := 1.0
-	for _, w := range fr.deg[r] {
+	for _, w := range fr.deg[ri] {
 		if now >= w.from && now < w.to && w.slowdown > factor {
 			factor = w.slowdown
 		}
 	}
 	if factor == 1 {
-		return s.service
+		return service
 	}
-	return units.Duration(s.service.Seconds() * factor)
+	return units.Duration(service.Seconds() * factor)
 }
 
 // transferTimeout returns the plan's timeout for backhaul resources, zero
 // elsewhere.
-func (fr *faultRunner) transferTimeout(r *resource) units.Duration {
-	if fr.info[r].backhaul {
+func (fr *faultRunner) transferTimeout(ri int32) units.Duration {
+	if fr.backhaul[ri] {
 		return fr.plan.TransferTimeout
 	}
 	return 0
 }
 
 // downReason labels an arrival-on-downed-resource failure.
-func (fr *faultRunner) downReason(r *resource) string {
-	return fr.info[r].name + " down"
+func (fr *faultRunner) downReason(ri int32) string {
+	return fr.names[ri] + " down"
 }
 
 // timeoutReason labels a transfer-timeout failure.
-func (fr *faultRunner) timeoutReason(r *resource) string {
-	return "transfer timeout on " + fr.info[r].name
+func (fr *faultRunner) timeoutReason(ri int32) string {
+	return "transfer timeout on " + fr.names[ri]
 }
 
 // survivors snapshots the degraded topology for replan-on-survivors.
@@ -544,9 +544,10 @@ type attempt struct {
 	m        *costmodel.Model
 	res      *Result
 	pools    planResources
-	energyOf map[task.ID]units.Energy
+	energyOf []units.Energy // dense per-task, shared by all attempts
 
 	t          *task.Task
+	tIdx       int32 // dense task-set index
 	opts       costmodel.Options
 	release    units.Duration
 	placement  costmodel.Subsystem
@@ -559,38 +560,39 @@ type attempt struct {
 // given time. Each launch refreshes the task's recorded analytic energy so
 // the final accounting charges the placement that actually completed.
 func (a *attempt) launch(at units.Duration) error {
-	p, err := buildPlan(a.m, a.t, a.placement, a.pools)
+	pi, err := buildPlan(a.eng, a.m, a.t, a.tIdx, a.placement, a.pools)
 	if err != nil {
 		return err
 	}
 	a.fr.stats.Attempts++
-	a.energyOf[a.t.ID] = a.opts.At(a.placement).Energy
+	a.energyOf[a.tIdx] = a.opts.At(a.placement).Energy
 	placement := a.placement
 	analytic := a.opts.At(placement).Time
+	p := &a.eng.plans[pi]
 	p.onDone = func(finish units.Duration) {
-		sojourn := finish - a.release
-		a.res.Outcomes[a.t.ID] = TaskOutcome{
-			Subsystem:  placement,
-			Release:    a.release,
-			Completion: finish,
-			Sojourn:    sojourn,
-			Analytic:   analytic,
-			DeadlineOK: sojourn <= a.t.Deadline,
-			Faulted:    a.faulted,
-		}
+		o := &a.res.Outcomes[a.tIdx]
+		o.Placed = true
+		o.Subsystem = placement
+		o.Release = a.release
+		o.Completion = finish
+		o.Sojourn = finish - a.release
+		o.Analytic = analytic
+		o.DeadlineOK = o.Sojourn <= a.t.Deadline
+		o.Faulted = a.faulted
 	}
-	p.onFail = func(failAt units.Duration, reason string) { a.fail(p, failAt, reason) }
-	a.eng.releaseAt(p, at)
+	p.onFail = func(failAt units.Duration, reason string) { a.fail(pi, failAt, reason) }
+	a.eng.releaseAt(pi, at)
 	return nil
 }
 
 // fail is the recovery policy: called (once per attempt) when a fault
-// voids the running plan.
-func (a *attempt) fail(p *plan, at units.Duration, reason string) {
+// voids the running plan. It launches replacement plans, growing the plan
+// arena, so the failed plan is addressed by index only.
+func (a *attempt) fail(pi int32, at units.Duration, reason string) {
 	fr := a.fr
 	a.faulted = true
 	fr.stats.FailedAttempts++
-	if p.anyStarted {
+	if a.eng.plans[pi].anyStarted {
 		// The attempt drew real power before dying; charge its full
 		// analytic energy as waste.
 		fr.stats.WastedEnergy += a.opts.At(a.placement).Energy

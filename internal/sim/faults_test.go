@@ -69,7 +69,7 @@ func TestFaultLogDeterministicAcrossParallelism(t *testing.T) {
 	// different LP-HTA worker count.
 	type run struct {
 		log      []FaultEvent
-		outcomes map[task.ID]TaskOutcome
+		outcomes []TaskOutcome
 		stats    FaultStats
 	}
 	var runs []run
@@ -94,6 +94,41 @@ func TestFaultLogDeterministicAcrossParallelism(t *testing.T) {
 		}
 		if runs[0].stats != r.stats {
 			t.Errorf("run %d: stats %+v != %+v", i+1, r.stats, runs[0].stats)
+		}
+	}
+}
+
+func TestFaultLogDeterministicAcrossShards(t *testing.T) {
+	// The event-heap shard count is a layout decision: the same fault
+	// plan must produce the same log, outcomes and stats whether events
+	// sit in one heap or eight.
+	type run struct {
+		log      []FaultEvent
+		outcomes []TaskOutcome
+		stats    FaultStats
+	}
+	var runs []run
+	for _, shards := range []int{1, 2, 8} {
+		sc, a := genScenarioAssignment(t, 1)
+		plan := GenerateFaultPlan(rng.NewSource(7), sc.System, DefaultFaultParams())
+		res, err := Run(sc.Model, sc.Tasks, a, Config{Faults: plan, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run{log: res.FaultLog, outcomes: res.Outcomes, stats: *res.Faults})
+	}
+	if len(runs[0].log) == 0 {
+		t.Fatal("fault plan injected no events; the determinism check is vacuous")
+	}
+	for i, r := range runs[1:] {
+		if !reflect.DeepEqual(runs[0].log, r.log) {
+			t.Errorf("shard run %d: fault log differs", i+1)
+		}
+		if !reflect.DeepEqual(runs[0].outcomes, r.outcomes) {
+			t.Errorf("shard run %d: outcomes differ", i+1)
+		}
+		if runs[0].stats != r.stats {
+			t.Errorf("shard run %d: stats %+v != %+v", i+1, r.stats, runs[0].stats)
 		}
 	}
 }
@@ -123,7 +158,7 @@ func TestStationOutageReassignsToDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(tk.ID, costmodel.SubsystemStation)
 	plan := &FaultPlan{StationOutages: []StationOutage{{Station: 0, At: 0, Repair: 10000 * units.Second}}}
 
@@ -131,7 +166,7 @@ func TestStationOutageReassignsToDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o, ok := res.Outcomes[tk.ID]
+	o, ok := res.Outcome(tk.ID)
 	if !ok {
 		t.Fatalf("task lost instead of reassigned; stats %+v", res.Faults)
 	}
@@ -156,7 +191,7 @@ func TestStationOutageNoReassignLosesTask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(tk.ID, costmodel.SubsystemStation)
 	plan := &FaultPlan{
 		StationOutages: []StationOutage{{Station: 0, At: 0, Repair: 10000 * units.Second}},
@@ -167,8 +202,8 @@ func TestStationOutageNoReassignLosesTask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Outcomes) != 0 || res.Faults.Lost != 1 {
-		t.Errorf("want the task lost, got %d outcomes and stats %+v", len(res.Outcomes), res.Faults)
+	if res.Placed != 0 || res.Faults.Lost != 1 {
+		t.Errorf("want the task lost, got %d placed outcomes and stats %+v", res.Placed, res.Faults)
 	}
 	found := false
 	for _, e := range res.FaultLog {
@@ -190,7 +225,7 @@ func TestDeviceDepartureLosesItsTasks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(tk.ID, costmodel.SubsystemStation)
 	plan := &FaultPlan{DeviceDepartures: []DeviceDeparture{{Device: 0, At: 0}}}
 
@@ -198,8 +233,8 @@ func TestDeviceDepartureLosesItsTasks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Outcomes) != 0 || res.Faults.Lost != 1 {
-		t.Errorf("want the task lost, got %d outcomes and stats %+v", len(res.Outcomes), res.Faults)
+	if res.Placed != 0 || res.Faults.Lost != 1 {
+		t.Errorf("want the task lost, got %d placed outcomes and stats %+v", res.Placed, res.Faults)
 	}
 	if res.Faults.Reassignments != 0 {
 		t.Error("a task without a home device must not be reassigned")
@@ -218,7 +253,7 @@ func TestRetryAfterRepairSucceeds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(tk.ID, costmodel.SubsystemStation)
 	// The upload reaches the station CPU at exactly the upload time U;
 	// keep the station down until just after that, so attempt 1 fails and
@@ -234,7 +269,7 @@ func TestRetryAfterRepairSucceeds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o, ok := res.Outcomes[tk.ID]
+	o, ok := res.Outcome(tk.ID)
 	if !ok {
 		t.Fatalf("task not completed; stats %+v, log %v", res.Faults, res.FaultLog)
 	}
@@ -258,7 +293,7 @@ func TestLinkDegradationSlowsTransfer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(tk.ID, costmodel.SubsystemCloud)
 	plan := &FaultPlan{LinkDegradations: []LinkDegradation{
 		{Station: 0, Link: LinkWAN, At: 0, Duration: 10000 * units.Second, Slowdown: 3},
@@ -272,7 +307,8 @@ func TestLinkDegradationSlowsTransfer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, o := base.Outcomes[tk.ID], res.Outcomes[tk.ID]
+	b, _ := base.Outcome(tk.ID)
+	o, _ := res.Outcome(tk.ID)
 	if o.Completion <= b.Completion {
 		t.Errorf("degraded completion %v should exceed clean %v", o.Completion, b.Completion)
 	}
@@ -293,7 +329,7 @@ func TestTransferTimeoutFailsAttempt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(tk.ID, costmodel.SubsystemCloud)
 	plan := &FaultPlan{TransferTimeout: units.Millisecond}
 
@@ -313,7 +349,7 @@ func TestTransferTimeoutFailsAttempt(t *testing.T) {
 	if !timedOut {
 		t.Errorf("fault log has no transfer timeout entry: %v", res.FaultLog)
 	}
-	if o, ok := res.Outcomes[tk.ID]; ok {
+	if o, ok := res.Outcome(tk.ID); ok {
 		if o.Subsystem == costmodel.SubsystemCloud {
 			t.Error("a recovered task cannot have completed on the timed-out cloud path")
 		}

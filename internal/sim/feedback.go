@@ -138,10 +138,12 @@ func PlanWithFeedback(m *costmodel.Model, ts *task.Set, opts FeedbackOptions) (*
 	res.Best = 0
 	opts.Obs.Counter("feedback.rounds").Inc()
 
-	// Per-task tightening factors, refined each round.
-	tighten := make(map[task.ID]float64, ts.Len())
-	for _, t := range ts.All() {
-		tighten[t.ID] = 1
+	// Per-task tightening factors in task-set arena order, refined each
+	// round. The rebuilt sets below preserve that order, so simulation
+	// outcomes and tightening entries always align by index.
+	tighten := make([]float64, ts.Len())
+	for i := range tighten {
+		tighten[i] = 1
 	}
 
 	for round := 1; round <= opts.Rounds; round++ {
@@ -150,23 +152,25 @@ func PlanWithFeedback(m *costmodel.Model, ts *task.Set, opts FeedbackOptions) (*
 		opts.Sim.Obs.Span = roundSpan
 		// Update tightening from the latest simulation: a task that ran
 		// f times slower than planned needs an f-times tighter plan.
-		for id, o := range simRes.Outcomes {
-			if o.Analytic <= 0 {
+		for i := range simRes.Outcomes {
+			o := &simRes.Outcomes[i]
+			if !o.Placed || o.Analytic <= 0 {
 				continue
 			}
 			f := o.Completion.Seconds() / o.Analytic.Seconds()
-			if f > tighten[id] {
-				tighten[id] = f
+			if f > tighten[i] {
+				tighten[i] = f
 			}
-			if tighten[id] > opts.MaxTightening {
-				tighten[id] = opts.MaxTightening
+			if tighten[i] > opts.MaxTightening {
+				tighten[i] = opts.MaxTightening
 			}
 		}
 
 		adjusted := &task.Set{}
-		for _, t := range ts.All() {
-			copyT := *t
-			copyT.Deadline = t.Deadline / units.Duration(tighten[t.ID])
+		adjusted.Grow(ts.Len())
+		for i := 0; i < ts.Len(); i++ {
+			copyT := *ts.At(i)
+			copyT.Deadline /= units.Duration(tighten[i])
 			if err := adjusted.Add(&copyT); err != nil {
 				return nil, fmt.Errorf("sim: feedback round %d: %w", round, err)
 			}

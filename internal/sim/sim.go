@@ -5,6 +5,7 @@ import (
 
 	"dsmec/internal/core"
 	"dsmec/internal/costmodel"
+	"dsmec/internal/mecnet"
 	"dsmec/internal/obs"
 	"dsmec/internal/stats"
 	"dsmec/internal/task"
@@ -18,6 +19,12 @@ type Config struct {
 	StationCores int
 	// CloudCores is the cloud's parallelism. Default 64.
 	CloudCores int
+	// Shards is the number of station shards the event queue is split
+	// into. Stations are distributed round-robin across shards and their
+	// devices follow; dispatch merges shard heads deterministically on
+	// (time, seq), so every output byte is identical at any shard count.
+	// Zero picks min(8, stations); 1 keeps a single heap.
+	Shards int
 	// Obs selects where metrics and trace spans are recorded. The zero
 	// value records metrics to the process-wide obs registry (if any)
 	// and disables tracing.
@@ -39,8 +46,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// shardCount resolves the shard count for a topology.
+func (c Config) shardCount(numStations int) int {
+	n := c.Shards
+	if n == 0 {
+		n = 8
+		if numStations < n {
+			n = numStations
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // TaskOutcome is one task's simulated execution record.
 type TaskOutcome struct {
+	// ID is the task's identity; Placed reports whether the task actually
+	// ran (false for cancelled and fault-lost tasks, whose remaining
+	// fields are zero).
+	ID     task.ID
+	Placed bool
+
 	Subsystem costmodel.Subsystem
 	// Release is when the task entered the system (0 in the quasi-static
 	// setting); Completion is the absolute time its result reached the
@@ -58,7 +86,11 @@ type TaskOutcome struct {
 
 // Result summarizes a simulation run.
 type Result struct {
-	Outcomes map[task.ID]TaskOutcome
+	// Outcomes holds one record per task in the set's arena order (dense,
+	// not a map); entries with Placed == false were cancelled or lost.
+	Outcomes []TaskOutcome
+	// Placed counts tasks that completed in the simulator.
+	Placed int
 	// TotalEnergy matches the analytic model: queueing shifts time, not
 	// energy.
 	TotalEnergy units.Energy
@@ -77,15 +109,28 @@ type Result struct {
 	// ordered fault event log; both are nil without fault injection.
 	Faults   *FaultStats
 	FaultLog []FaultEvent
+
+	ts *task.Set // for Outcome lookups
+}
+
+// Outcome returns the placed outcome of a task by ID.
+func (r *Result) Outcome(id task.ID) (TaskOutcome, bool) {
+	if r.ts == nil {
+		return TaskOutcome{}, false
+	}
+	i, ok := r.ts.IndexOf(id)
+	if !ok || !r.Outcomes[i].Placed {
+		return TaskOutcome{}, false
+	}
+	return r.Outcomes[i], true
 }
 
 // MeanLatency returns the average simulated latency over placed tasks.
 func (r *Result) MeanLatency() units.Duration {
-	placed := len(r.Outcomes)
-	if placed == 0 {
+	if r.Placed == 0 {
 		return 0
 	}
-	return r.TotalLatency / units.Duration(placed)
+	return r.TotalLatency / units.Duration(r.Placed)
 }
 
 // Run simulates the execution of assignment a over the task set, with
@@ -109,26 +154,39 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 
 	buildSpan := span.Child("sim.build")
 	eng := &engine{ins: cfg.Obs}
-	res := &Result{Outcomes: make(map[task.ID]TaskOutcome, ts.Len())}
+	eng.setShards(cfg.shardCount(sys.NumStations()))
+	nshards := int32(len(eng.shards))
+	res := &Result{Outcomes: make([]TaskOutcome, ts.Len()), ts: ts}
 
-	// Build resources.
-	devUp := make([]*resource, sys.NumDevices())
-	devDown := make([]*resource, sys.NumDevices())
-	devCPU := make([]*resource, sys.NumDevices())
+	// Size the arenas exactly before anything is appended: the plan and
+	// stage counts follow from the assignment alone, and the resource
+	// count from the topology, so the builder never pays append-doubling.
+	nplans, nstages := countStages(sys, ts, a)
+	eng.reserve(nplans, nstages, 3*sys.NumDevices()+3*sys.NumStations()+1)
+
+	// Build resources. A station's shard is station % shards; its devices
+	// and the cloud pool follow their cluster (the cloud, shared by every
+	// cluster, lands on shard 0).
+	shardOfStation := func(st int) int32 { return int32(st) % nshards }
+	devUp := make([]int32, sys.NumDevices())
+	devDown := make([]int32, sys.NumDevices())
+	devCPU := make([]int32, sys.NumDevices())
 	for i := range devUp {
-		devUp[i] = eng.newResource(1, "dev.up")
-		devDown[i] = eng.newResource(1, "dev.down")
-		devCPU[i] = eng.newResource(1, "dev.cpu")
+		sh := shardOfStation(sys.Devices[i].Station)
+		devUp[i] = eng.newResourceShard(1, "dev.up", sh)
+		devDown[i] = eng.newResourceShard(1, "dev.down", sh)
+		devCPU[i] = eng.newResourceShard(1, "dev.cpu", sh)
 	}
-	stWire := make([]*resource, sys.NumStations())
-	stWAN := make([]*resource, sys.NumStations())
-	stCPU := make([]*resource, sys.NumStations())
+	stWire := make([]int32, sys.NumStations())
+	stWAN := make([]int32, sys.NumStations())
+	stCPU := make([]int32, sys.NumStations())
 	for s := range stWire {
-		stWire[s] = eng.newResource(1, "st.wire")
-		stWAN[s] = eng.newResource(1, "st.wan")
-		stCPU[s] = eng.newResource(cfg.StationCores, "st.cpu")
+		sh := shardOfStation(s)
+		stWire[s] = eng.newResourceShard(1, "st.wire", sh)
+		stWAN[s] = eng.newResourceShard(1, "st.wan", sh)
+		stCPU[s] = eng.newResourceShard(cfg.StationCores, "st.cpu", sh)
 	}
-	cloudCPU := eng.newResource(cfg.CloudCores, "cloud.cpu")
+	cloudCPU := eng.newResourceShard(cfg.CloudCores, "cloud.cpu", 0)
 	pools := planResources{
 		devUp: devUp, devDown: devDown, devCPU: devCPU,
 		stWire: stWire, stWAN: stWAN, stCPU: stCPU, cloudCPU: cloudCPU,
@@ -146,13 +204,27 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 	// for its (final) placement and the final task-order pass sums it, so
 	// floating-point accumulation is deterministic whether or not tasks
 	// were reassigned. Without faults, placements never move and energy
-	// accumulates inline in the same task order (identical sums, no map).
-	var energyOf map[task.ID]units.Energy
+	// accumulates inline in the same task order (identical sums).
+	var energyOf []units.Energy
 	if fr != nil {
-		energyOf = make(map[task.ID]units.Energy, ts.Len())
+		energyOf = make([]units.Energy, ts.Len())
 	}
-	for _, t := range ts.All() {
-		l, ok := a.Placement[t.ID]
+
+	// One engine-level completion hook serves every fault-free plan: the
+	// plan carries its dense task index, so no per-task closure is built.
+	eng.done = func(pi int32, finish units.Duration) {
+		ti := eng.plans[pi].task
+		o := &res.Outcomes[ti]
+		o.Placed = true
+		o.Completion = finish
+		o.Sojourn = finish - o.Release
+		o.DeadlineOK = o.Sojourn <= ts.At(int(ti)).Deadline
+	}
+
+	for i := 0; i < ts.Len(); i++ {
+		t := ts.At(i)
+		res.Outcomes[i].ID = t.ID
+		l, ok := a.LevelFor(ts, i)
 		if !ok {
 			return nil, fmt.Errorf("sim: task %v missing from assignment", t.ID)
 		}
@@ -168,16 +240,15 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 		if err != nil {
 			return nil, err
 		}
-		id := t.ID
-		release := releases[id]
+		release := releases[t.ID]
 		if release < 0 || !release.IsFinite() {
-			return nil, fmt.Errorf("sim: task %v has invalid release %v", id, release)
+			return nil, fmt.Errorf("sim: task %v has invalid release %v", t.ID, release)
 		}
 
 		if fr != nil {
 			att := &attempt{
 				eng: eng, fr: fr, m: m, res: res, pools: pools, energyOf: energyOf,
-				t: t, opts: opts, release: release, placement: l,
+				t: t, tIdx: int32(i), opts: opts, release: release, placement: l,
 			}
 			if err := att.launch(release); err != nil {
 				return nil, err
@@ -186,25 +257,15 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 		}
 
 		res.TotalEnergy += opts.At(l).Energy
-		plan, err := buildPlan(m, t, l, pools)
+		pi, err := buildPlan(eng, m, t, int32(i), l, pools)
 		if err != nil {
 			return nil, err
 		}
-		analytic := opts.At(l).Time
-		deadline := t.Deadline
-		subsystem := l
-		plan.onDone = func(finish units.Duration) {
-			sojourn := finish - release
-			res.Outcomes[id] = TaskOutcome{
-				Subsystem:  subsystem,
-				Release:    release,
-				Completion: finish,
-				Sojourn:    sojourn,
-				Analytic:   analytic,
-				DeadlineOK: sojourn <= deadline,
-			}
-		}
-		eng.releaseAt(plan, release)
+		o := &res.Outcomes[i]
+		o.Subsystem = l
+		o.Release = release
+		o.Analytic = opts.At(l).Time
+		eng.releaseAt(pi, release)
 	}
 	buildSpan.End()
 
@@ -214,8 +275,8 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 	runSpan.End()
 
 	// Accumulate in task order so floating-point sums are deterministic
-	// run to run (map iteration order is not). Sojourns bin into local
-	// counts and merge into the registry once, off the per-task path.
+	// run to run. Sojourns bin into local counts and merge into the
+	// registry once, off the per-task path.
 	var sojourns stats.HistogramCounts
 	if cfg.Obs.Registry() != nil {
 		sojourns = stats.HistogramCounts{
@@ -223,13 +284,14 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 			Counts: make([]int64, len(obs.TimeBuckets)+1),
 		}
 	}
-	for _, t := range ts.All() {
-		o, ok := res.Outcomes[t.ID]
-		if !ok {
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if !o.Placed {
 			continue
 		}
+		res.Placed++
 		if fr != nil {
-			res.TotalEnergy += energyOf[t.ID]
+			res.TotalEnergy += energyOf[i]
 		}
 		res.TotalLatency += o.Sojourn
 		if sojourns.Counts != nil {
@@ -260,8 +322,8 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 		res.Faults = &fr.stats
 		res.FaultLog = fr.log
 	}
-	if want := ts.Len() - res.Cancelled - lost; len(res.Outcomes) != want {
-		return nil, fmt.Errorf("sim: %d outcomes for %d placed tasks", len(res.Outcomes), want)
+	if want := ts.Len() - res.Cancelled - lost; res.Placed != want {
+		return nil, fmt.Errorf("sim: %d outcomes for %d placed tasks", res.Placed, want)
 	}
 	eng.recordMetrics()
 	if fr != nil {
@@ -270,7 +332,7 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 	if sojourns.Count > 0 {
 		_ = cfg.Obs.Histogram("sim.sojourn_seconds", obs.TimeBuckets).Merge(sojourns)
 	}
-	cfg.Obs.Counter("sim.tasks_placed").Add(int64(len(res.Outcomes)))
+	cfg.Obs.Counter("sim.tasks_placed").Add(int64(res.Placed))
 	cfg.Obs.Counter("sim.tasks_cancelled").Add(int64(res.Cancelled))
 	cfg.Obs.Counter("sim.deadline_misses").Add(int64(res.DeadlineViolations))
 	span.Annotate("makespan_seconds", res.Makespan.Seconds())
@@ -278,30 +340,89 @@ func RunReleases(m *costmodel.Model, ts *task.Set, a *core.Assignment, cfg Confi
 	if log := cfg.Obs.Logger(); log.Enabled(obs.LevelDebug) {
 		log.Debug("sim run done",
 			"tasks", ts.Len(),
-			"placed", len(res.Outcomes),
+			"placed", res.Placed,
 			"cancelled", res.Cancelled,
 			"lost", lost,
 			"events", eng.dispatched,
+			"shards", len(eng.shards),
 			"makespan_seconds", res.Makespan.Seconds(),
 			"deadline_misses", res.DeadlineViolations)
 	}
 	return res, nil
 }
 
-// planResources groups the resource pools for plan construction.
+// planResources groups the resource pools (engine arena indices) for plan
+// construction.
 type planResources struct {
-	devUp, devDown, devCPU []*resource
-	stWire, stWAN, stCPU   []*resource
-	cloudCPU               *resource
+	devUp, devDown, devCPU []int32
+	stWire, stWAN, stCPU   []int32
+	cloudCPU               int32
+}
+
+// countStages mirrors buildPlan's branching to compute the exact plan
+// and stage totals for an assignment before any plan is built. Tasks the
+// build loop will reject (missing from the assignment, invalid placement,
+// out-of-range device references) count zero here and fail there; the
+// reservation is then merely an underestimate, never wrong output.
+func countStages(sys *mecnet.System, ts *task.Set, a *core.Assignment) (nplans, nstages int) {
+	for i := 0; i < ts.Len(); i++ {
+		t := ts.At(i)
+		l, ok := a.LevelFor(ts, i)
+		if !ok {
+			continue
+		}
+		if t.ID.User < 0 || t.ID.User >= len(sys.Devices) {
+			continue
+		}
+		station := sys.Devices[t.ID.User].Station
+		ext := t.HasExternal()
+		cross := false
+		if ext {
+			if t.ExternalSource < 0 || t.ExternalSource >= len(sys.Devices) {
+				continue
+			}
+			cross = sys.Devices[t.ExternalSource].Station != station
+		}
+		n := 0
+		switch l {
+		case costmodel.SubsystemDevice:
+			n = 1 // device CPU
+			if ext {
+				n += 2 // source upload + home download
+				if cross {
+					n++ // inter-station wire hop
+				}
+			}
+		case costmodel.SubsystemStation:
+			n = 3 // local upload, station exec, download
+			if ext {
+				n++ // source upload
+				if cross {
+					n++ // inter-station wire hop
+				}
+			}
+		case costmodel.SubsystemCloud:
+			n = 4 // local upload, WAN crossing, cloud exec, download
+			if ext {
+				n++ // source upload
+			}
+		default:
+			continue
+		}
+		nplans++
+		nstages += n
+	}
+	return nplans, nstages
 }
 
 // buildPlan translates the Section II transfer/compute structure of
-// placement l into a stage DAG.
-func buildPlan(m *costmodel.Model, t *task.Task, l costmodel.Subsystem, r planResources) (*plan, error) {
+// placement l into a stage DAG in the engine's arena, bound to the dense
+// task index ti, and returns the plan's arena index.
+func buildPlan(e *engine, m *costmodel.Model, t *task.Task, ti int32, l costmodel.Subsystem, r planResources) (int32, error) {
 	sys := m.System()
 	dev, err := sys.Device(t.ID.User)
 	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+		return noIndex, fmt.Errorf("sim: %w", err)
 	}
 	home := t.ID.User
 	station := dev.Station
@@ -311,7 +432,7 @@ func buildPlan(m *costmodel.Model, t *task.Task, l costmodel.Subsystem, r planRe
 	if t.HasExternal() {
 		s, err := sys.Device(t.ExternalSource)
 		if err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
+			return noIndex, fmt.Errorf("sim: %w", err)
 		}
 		src = t.ExternalSource
 		sameCluster = s.Station == station
@@ -320,53 +441,52 @@ func buildPlan(m *costmodel.Model, t *task.Task, l costmodel.Subsystem, r planRe
 	input := t.InputSize()
 	cycles := m.Cycles(input)
 	result := m.ResultSize(input)
-	p := &plan{}
+	pi := e.newPlan(ti)
 
 	switch l {
 	case costmodel.SubsystemDevice:
-		var prev *stage
+		prev := noIndex
 		if t.HasExternal() {
 			beta := t.ExternalSize
 			srcDev := &sys.Devices[src]
-			prev = p.stage(r.devUp[src], srcDev.Link.UploadTime(beta))
+			prev = e.addStage(pi, r.devUp[src], srcDev.Link.UploadTime(beta))
 			if !sameCluster {
-				prev = p.stageAfter(r.stWire[srcDev.Station], sys.StationWire.TransferTime(beta), prev)
+				prev = e.addStageAfter(pi, r.stWire[srcDev.Station], sys.StationWire.TransferTime(beta), prev)
 			}
-			prev = p.stageAfter(r.devDown[home], dev.Link.DownloadTime(beta), prev)
+			prev = e.addStageAfter(pi, r.devDown[home], dev.Link.DownloadTime(beta), prev)
 		}
-		p.stageAfter(r.devCPU[home], dev.Proc.ExecTime(cycles), prev)
+		e.addStageAfter(pi, r.devCPU[home], dev.Proc.ExecTime(cycles), prev)
 
 	case costmodel.SubsystemStation:
-		join := make([]*stage, 0, 2)
+		ext := noIndex
 		if t.HasExternal() {
 			beta := t.ExternalSize
 			srcDev := &sys.Devices[src]
-			ext := p.stage(r.devUp[src], srcDev.Link.UploadTime(beta))
+			ext = e.addStage(pi, r.devUp[src], srcDev.Link.UploadTime(beta))
 			if !sameCluster {
-				ext = p.stageAfter(r.stWire[srcDev.Station], sys.StationWire.TransferTime(beta), ext)
+				ext = e.addStageAfter(pi, r.stWire[srcDev.Station], sys.StationWire.TransferTime(beta), ext)
 			}
-			join = append(join, ext)
 		}
-		join = append(join, p.stage(r.devUp[home], dev.Link.UploadTime(t.LocalSize)))
-		exec := p.stageAfterAll(r.stCPU[station], sys.Stations[station].Proc.ExecTime(cycles), join)
-		p.stageAfter(r.devDown[home], dev.Link.DownloadTime(result), exec)
+		local := e.addStage(pi, r.devUp[home], dev.Link.UploadTime(t.LocalSize))
+		exec := e.addStageJoin(pi, r.stCPU[station], sys.Stations[station].Proc.ExecTime(cycles), ext, local)
+		e.addStageAfter(pi, r.devDown[home], dev.Link.DownloadTime(result), exec)
 
 	case costmodel.SubsystemCloud:
-		join := make([]*stage, 0, 2)
+		ext := noIndex
 		if t.HasExternal() {
 			beta := t.ExternalSize
 			srcDev := &sys.Devices[src]
-			join = append(join, p.stage(r.devUp[src], srcDev.Link.UploadTime(beta)))
+			ext = e.addStage(pi, r.devUp[src], srcDev.Link.UploadTime(beta))
 		}
-		join = append(join, p.stage(r.devUp[home], dev.Link.UploadTime(t.LocalSize)))
+		local := e.addStage(pi, r.devUp[home], dev.Link.UploadTime(t.LocalSize))
 		// Mirror the analytic t_B,C(α+β+η): one WAN crossing charged for
 		// the full round-trip volume.
-		wan := p.stageAfterAll(r.stWAN[station], sys.CloudWire.TransferTime(input+result), join)
-		exec := p.stageAfter(r.cloudCPU, sys.Cloud.Proc.ExecTime(cycles), wan)
-		p.stageAfter(r.devDown[home], dev.Link.DownloadTime(result), exec)
+		wan := e.addStageJoin(pi, r.stWAN[station], sys.CloudWire.TransferTime(input+result), ext, local)
+		exec := e.addStageAfter(pi, r.cloudCPU, sys.Cloud.Proc.ExecTime(cycles), wan)
+		e.addStageAfter(pi, r.devDown[home], dev.Link.DownloadTime(result), exec)
 
 	default:
-		return nil, fmt.Errorf("sim: task %v has invalid subsystem %d", t.ID, int(l))
+		return noIndex, fmt.Errorf("sim: task %v has invalid subsystem %d", t.ID, int(l))
 	}
-	return p, nil
+	return pi, nil
 }

@@ -75,14 +75,14 @@ func TestUncontendedMatchesAnalytic(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			a := core.NewAssignment()
+			a := core.NewAssignment(ts)
 			a.Place(tc.task.ID, tc.sub)
 
 			res, err := Run(m, ts, a, Config{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			o := res.Outcomes[tc.task.ID]
+			o, _ := res.Outcome(tc.task.ID)
 			if math.Abs(o.Completion.Seconds()-o.Analytic.Seconds()) > 1e-9 {
 				t.Errorf("completion %v != analytic %v", o.Completion, o.Analytic)
 			}
@@ -106,7 +106,7 @@ func TestQueueingDelaysSecondTask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(t1.ID, costmodel.SubsystemDevice)
 	a.Place(t2.ID, costmodel.SubsystemDevice)
 
@@ -115,8 +115,10 @@ func TestQueueingDelaysSecondTask(t *testing.T) {
 		t.Fatal(err)
 	}
 	exec := 0.33 // 330·1e6 cycles at 1 GHz
-	first := res.Outcomes[t1.ID].Completion.Seconds()
-	second := res.Outcomes[t2.ID].Completion.Seconds()
+	o1, _ := res.Outcome(t1.ID)
+	o2, _ := res.Outcome(t2.ID)
+	first := o1.Completion.Seconds()
+	second := o2.Completion.Seconds()
 	if math.Abs(first-exec) > 1e-9 {
 		t.Errorf("first completion %g, want %g", first, exec)
 	}
@@ -141,7 +143,7 @@ func TestStationCoresAllowParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(t1.ID, costmodel.SubsystemStation)
 	a.Place(t2.ID, costmodel.SubsystemStation)
 
@@ -150,7 +152,7 @@ func TestStationCoresAllowParallelism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, id := range []task.ID{t1.ID, t2.ID} {
-		o := res.Outcomes[id]
+		o, _ := res.Outcome(id)
 		if math.Abs(o.Completion.Seconds()-o.Analytic.Seconds()) > 1e-9 {
 			t.Errorf("task %v completion %v != analytic %v (should run in parallel)",
 				id, o.Completion, o.Analytic)
@@ -164,7 +166,7 @@ func TestStationCoresAllowParallelism(t *testing.T) {
 	}
 	delayed := 0
 	for _, id := range []task.ID{t1.ID, t2.ID} {
-		if res1.Outcomes[id].Completion > res1.Outcomes[id].Analytic+1e-12 {
+		if o, _ := res1.Outcome(id); o.Completion > o.Analytic+1e-12 {
 			delayed++
 		}
 	}
@@ -214,9 +216,10 @@ func TestSimulatedLatencyDominatesAnalytic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for id, o := range res.Outcomes {
-		if o.Completion < o.Analytic-1e-9 {
-			t.Errorf("task %v simulated %v earlier than analytic %v", id, o.Completion, o.Analytic)
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if o.Placed && o.Completion < o.Analytic-1e-9 {
+			t.Errorf("task %v simulated %v earlier than analytic %v", o.ID, o.Completion, o.Analytic)
 		}
 	}
 	if res.Makespan <= 0 || res.MeanLatency() <= 0 {
@@ -232,7 +235,7 @@ func TestCancelledTasksSkipped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(t1.ID, costmodel.SubsystemDevice)
 	a.Cancel(t2.ID)
 
@@ -243,8 +246,8 @@ func TestCancelledTasksSkipped(t *testing.T) {
 	if res.Cancelled != 1 {
 		t.Errorf("Cancelled = %d, want 1", res.Cancelled)
 	}
-	if _, ok := res.Outcomes[t2.ID]; ok {
-		t.Error("cancelled task should have no outcome")
+	if _, ok := res.Outcome(t2.ID); ok {
+		t.Error("cancelled task should have no placed outcome")
 	}
 }
 
@@ -255,10 +258,10 @@ func TestRunErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(m, ts, core.NewAssignment(), Config{}); err == nil {
+	if _, err := Run(m, ts, core.NewAssignment(ts), Config{}); err == nil {
 		t.Error("missing task should fail")
 	}
-	bad := core.NewAssignment()
+	bad := core.NewAssignment(ts)
 	bad.Place(t1.ID, costmodel.Subsystem(9))
 	if _, err := Run(m, ts, bad, Config{}); err == nil {
 		t.Error("invalid subsystem should fail")
@@ -277,7 +280,7 @@ func TestDeadlineViolationsUnderContention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(t1.ID, costmodel.SubsystemDevice)
 	a.Place(t2.ID, costmodel.SubsystemDevice)
 
@@ -308,7 +311,7 @@ func TestRunReleasesStaggersLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(t1.ID, costmodel.SubsystemDevice)
 	a.Place(t2.ID, costmodel.SubsystemDevice)
 
@@ -318,7 +321,8 @@ func TestRunReleasesStaggersLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o1, o2 := res.Outcomes[t1.ID], res.Outcomes[t2.ID]
+	o1, _ := res.Outcome(t1.ID)
+	o2, _ := res.Outcome(t2.ID)
 	if math.Abs(o1.Sojourn.Seconds()-0.33) > 1e-9 {
 		t.Errorf("t1 sojourn = %v, want 0.33s", o1.Sojourn)
 	}
@@ -344,7 +348,7 @@ func TestRunReleasesOverlapStillQueues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(t1.ID, costmodel.SubsystemDevice)
 	a.Place(t2.ID, costmodel.SubsystemDevice)
 
@@ -355,7 +359,7 @@ func TestRunReleasesOverlapStillQueues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o2 := res.Outcomes[t2.ID]
+	o2, _ := res.Outcome(t2.ID)
 	if math.Abs(o2.Sojourn.Seconds()-0.56) > 1e-9 {
 		t.Errorf("t2 sojourn = %v, want 0.56s", o2.Sojourn)
 	}
@@ -368,7 +372,7 @@ func TestRunReleasesInvalid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.NewAssignment()
+	a := core.NewAssignment(ts)
 	a.Place(t1.ID, costmodel.SubsystemDevice)
 	if _, err := RunReleases(m, ts, a, Config{}, map[task.ID]units.Duration{
 		t1.ID: -1,

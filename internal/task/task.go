@@ -116,18 +116,21 @@ func (t *Task) Validate() error {
 	}
 }
 
-// Set is an ordered collection of tasks with unique IDs.
+// Set is an ordered collection of tasks with unique IDs. Tasks live in a
+// single flat value arena, so a million-task set costs one backing array
+// plus the ID index instead of a pointer per task; algorithms address
+// tasks by their dense arena index (see IndexOf/At).
 type Set struct {
-	tasks []*Task
-	index map[ID]int
+	tasks []Task
+	index map[ID]int32
 }
 
 // NewSet builds a task set, validating every task and rejecting duplicate
 // IDs.
 func NewSet(tasks ...*Task) (*Set, error) {
 	s := &Set{
-		tasks: make([]*Task, 0, len(tasks)),
-		index: make(map[ID]int, len(tasks)),
+		tasks: make([]Task, 0, len(tasks)),
+		index: make(map[ID]int32, len(tasks)),
 	}
 	for _, t := range tasks {
 		if err := s.Add(t); err != nil {
@@ -137,7 +140,25 @@ func NewSet(tasks ...*Task) (*Set, error) {
 	return s, nil
 }
 
-// Add validates t and appends it to the set.
+// Grow preallocates arena capacity for n additional tasks, so streaming
+// producers that know the final size avoid repeated reallocation.
+func (s *Set) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if s.index == nil {
+		s.index = make(map[ID]int32, n)
+	}
+	if cap(s.tasks)-len(s.tasks) < n {
+		grown := make([]Task, len(s.tasks), len(s.tasks)+n)
+		copy(grown, s.tasks)
+		s.tasks = grown
+	}
+}
+
+// Add validates t and copies it into the arena. Pointers previously
+// returned by At/All may be invalidated by the append; mutate the set
+// fully before handing out task pointers.
 func (s *Set) Add(t *Task) error {
 	if t == nil {
 		return fmt.Errorf("task: nil task")
@@ -149,35 +170,47 @@ func (s *Set) Add(t *Task) error {
 		return fmt.Errorf("task %v: duplicate id", t.ID)
 	}
 	if s.index == nil {
-		s.index = make(map[ID]int)
+		s.index = make(map[ID]int32)
 	}
-	s.index[t.ID] = len(s.tasks)
-	s.tasks = append(s.tasks, t)
+	s.index[t.ID] = int32(len(s.tasks))
+	s.tasks = append(s.tasks, *t)
 	return nil
 }
 
 // Len returns the number of tasks.
 func (s *Set) Len() int { return len(s.tasks) }
 
-// All returns the tasks in insertion order. Callers must not mutate the
-// returned slice (the tasks themselves are shared).
-func (s *Set) All() []*Task { return s.tasks }
+// At returns a pointer into the arena for the i-th task (insertion
+// order). The pointer stays valid until the next Add.
+func (s *Set) At(i int) *Task { return &s.tasks[i] }
 
-// Get returns the task with the given ID, or false.
+// All returns the backing arena in insertion order. Callers must treat it
+// as read-only.
+func (s *Set) All() []Task { return s.tasks }
+
+// IndexOf returns the dense arena index of the task with the given ID.
+func (s *Set) IndexOf(id ID) (int, bool) {
+	i, ok := s.index[id]
+	return int(i), ok
+}
+
+// Get returns the task with the given ID, or false. The pointer stays
+// valid until the next Add.
 func (s *Set) Get(id ID) (*Task, bool) {
 	i, ok := s.index[id]
 	if !ok {
 		return nil, false
 	}
-	return s.tasks[i], true
+	return &s.tasks[i], true
 }
 
-// ByUser groups the tasks by raising user. The map values preserve
-// insertion order.
-func (s *Set) ByUser() map[int][]*Task {
-	out := make(map[int][]*Task)
-	for _, t := range s.tasks {
-		out[t.ID.User] = append(out[t.ID.User], t)
+// ByUser groups the arena indices of the tasks by raising user. The slice
+// values preserve insertion order.
+func (s *Set) ByUser() map[int][]int {
+	out := make(map[int][]int)
+	for i := range s.tasks {
+		u := s.tasks[i].ID.User
+		out[u] = append(out[u], i)
 	}
 	return out
 }
@@ -186,8 +219,8 @@ func (s *Set) ByUser() map[int][]*Task {
 // as block identities. Only divisible tasks contribute blocks.
 func (s *Set) Universe() *datamap.Set {
 	u := datamap.NewSet()
-	for _, t := range s.tasks {
-		u.Union(t.LocalBlocks).Union(t.ExternalBlocks)
+	for i := range s.tasks {
+		u.Union(s.tasks[i].LocalBlocks).Union(s.tasks[i].ExternalBlocks)
 	}
 	return u
 }

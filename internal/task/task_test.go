@@ -133,7 +133,7 @@ func TestNewSet(t *testing.T) {
 		t.Errorf("Len = %d, want 2", s.Len())
 	}
 	got, ok := s.Get(ID{User: 1, Index: 0})
-	if !ok || got != b {
+	if !ok || got.ID != b.ID || got.LocalSize != b.LocalSize {
 		t.Error("Get failed to find inserted task")
 	}
 	if _, ok := s.Get(ID{User: 9, Index: 9}); ok {
@@ -184,7 +184,7 @@ func TestByUser(t *testing.T) {
 	if len(byUser[0]) != 2 || len(byUser[1]) != 1 {
 		t.Errorf("ByUser sizes = %d,%d want 2,1", len(byUser[0]), len(byUser[1]))
 	}
-	if byUser[0][0].ID.Index != 0 || byUser[0][1].ID.Index != 1 {
+	if s.At(byUser[0][0]).ID.Index != 0 || s.At(byUser[0][1]).ID.Index != 1 {
 		t.Error("ByUser must preserve insertion order")
 	}
 }

@@ -83,7 +83,7 @@ func TestDeadlinesMostlyAchievable(t *testing.T) {
 	}
 	achievable := 0
 	for _, tk := range sc.Tasks.All() {
-		opts, err := sc.Model.Eval(tk)
+		opts, err := sc.Model.Eval(&tk)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,17 +1,44 @@
 # Development targets. `make verify` is the pre-commit gate: formatting,
 # vet, build, the full test suite under the race detector, a
 # single-iteration benchmark smoke run so the perf harness can't rot, the
-# repolint documentation checks (package doc.go comments, markdown link
-# integrity), and a mecstat smoke over its committed fixtures.
+# meclint static-analysis suite (which includes the repolint doc and link
+# checks — see docs/LINTING.md), staticcheck when fetchable, and a
+# mecstat smoke over its committed fixtures.
 
 GO ?= go
 
-.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs doc-check link-check mecstat-smoke
+# Pinned so CI and local runs agree; bump deliberately.
+STATICCHECK_VERSION ?= 2025.1.1
 
-verify: fmt-check vet build race bench-smoke doc-check link-check mecstat-smoke
+.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs lint staticcheck doc-check link-check mecstat-smoke
+
+verify: fmt-check vet build race bench-smoke lint staticcheck mecstat-smoke
+
+# The full go vet analyzer set, spelled out so the suite only changes
+# when this list does — a toolchain upgrade cannot silently drop a check.
+VET_ANALYZERS = appends asmdecl assign atomic bools buildtag cgocall \
+	composites copylocks defers directive errorsas framepointer \
+	httpresponse ifaceassert loopclosure lostcancel nilfunc printf shift \
+	sigchanyzer slog stdmethods stdversion stringintconv structtag \
+	testinggoroutine tests timeformat unmarshal unreachable unsafeptr \
+	unusedresult
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet $(foreach a,$(VET_ANALYZERS),-$(a)) ./...
+
+# The repo's own analyzers (determinism, nilsafe, floatcmp, exitcode)
+# plus the docs and links repo checks. See docs/LINTING.md.
+lint:
+	$(GO) run ./cmd/meclint
+
+# Pinned staticcheck via `go run`, so nothing is installed globally.
+# Skips with a notice when the module cannot be fetched (offline
+# sandboxes); CI always has network and runs it for real.
+staticcheck:
+	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "staticcheck $(STATICCHECK_VERSION) unavailable (offline?); skipping"; fi
 
 # Fail when any file is not gofmt-clean; print the offenders.
 fmt-check:

@@ -1,0 +1,193 @@
+// Command meclint is the repo's static-analysis gate: a multichecker of
+// repo-specific analyzers (internal/lint/checks) plus the repository
+// hygiene checks (internal/repolint), machine-enforcing the invariants
+// the test suite can only spot-check:
+//
+//	determinism  no wall-clock reads, global math/rand, or
+//	             order-dependent map iteration in deterministic packages
+//	nilsafe      nil-contract observability methods begin with a
+//	             nil-receiver guard
+//	floatcmp     no exact ==/!= between computed floats in internal/lp
+//	             and internal/core
+//	exitcode     cmd binaries call os.Exit only from main/run
+//	docs         every internal/ package keeps its comment in doc.go
+//	links        every relative markdown link resolves
+//
+// Findings are suppressed line by line with an annotation carrying a
+// mandatory reason:
+//
+//	//meclint:allow(determinism) <why the rule does not apply here>
+//
+// placed trailing the offending line or on the line above it. An
+// annotation that suppresses nothing is itself a finding, so stale
+// allows fail the build. See docs/LINTING.md for the full catalog.
+//
+// Usage:
+//
+//	meclint [-root dir] [-checks a,b,...] [-list]
+//
+// Exit code 0 when clean, 1 with one line per finding, 2 on a usage or
+// load error (the shared CLI exit-code contract).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dsmec/internal/lint"
+	"dsmec/internal/lint/checks"
+	"dsmec/internal/repolint"
+)
+
+// errFindings distinguishes "the tree is dirty" (exit 1) from driver
+// failures (exit 2).
+var errFindings = errors.New("meclint: findings")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, errFindings) {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "meclint:", err)
+	os.Exit(2)
+}
+
+// repoChecks are the analyzer-style checks that inspect the repository
+// tree rather than Go syntax.
+var repoChecks = []struct {
+	name string
+	doc  string
+	run  func(root string) ([]string, error)
+}{
+	{"docs", "every internal/ package keeps its package comment in doc.go", repolint.CheckDocs},
+	{"links", "every relative markdown link in *.md and docs/*.md resolves", repolint.CheckLinks},
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("meclint", flag.ContinueOnError)
+	var (
+		root   = fs.String("root", ".", "repository root to lint")
+		subset = fs.String("checks", "", "comma-separated checks to run (default: all)")
+		list   = fs.Bool("list", false, "list checks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	analyzers := checks.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		for _, c := range repoChecks {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.name, c.doc)
+		}
+		return nil
+	}
+
+	known := []string{"allow"}
+	for _, a := range analyzers {
+		known = append(known, a.Name)
+	}
+	for _, c := range repoChecks {
+		known = append(known, c.name)
+	}
+	selected, err := parseSubset(*subset, known)
+	if err != nil {
+		return err
+	}
+
+	var findings []string
+
+	// Go analyzers over every package in the tree, scoped by
+	// checks.Applies and the -checks subset.
+	var active []*lint.Analyzer
+	for _, a := range analyzers {
+		if selected[a.Name] {
+			active = append(active, a)
+		}
+	}
+	if len(active) > 0 {
+		modPath, err := lint.ModulePath(*root)
+		if err != nil {
+			return err
+		}
+		pkgs, err := lint.NewLoader().LoadTree(*root, modPath)
+		if err != nil {
+			return err
+		}
+		for _, pkg := range pkgs {
+			var applicable []*lint.Analyzer
+			for _, a := range active {
+				if checks.Applies(a.Name, pkg.ImportPath) {
+					applicable = append(applicable, a)
+				}
+			}
+			diags, err := lint.RunPackage(pkg, applicable, known)
+			if err != nil {
+				return err
+			}
+			for _, d := range diags {
+				findings = append(findings, d.String())
+			}
+		}
+	}
+
+	for _, c := range repoChecks {
+		if !selected[c.name] {
+			continue
+		}
+		violations, err := c.run(*root)
+		if err != nil {
+			return err
+		}
+		for _, v := range violations {
+			findings = append(findings, fmt.Sprintf("%s [%s]", v, c.name))
+		}
+	}
+
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if n := len(findings); n > 0 {
+		return fmt.Errorf("%d finding(s): %w", n, errFindings)
+	}
+	return nil
+}
+
+// parseSubset resolves the -checks flag against the known check names;
+// empty selects everything except the internal "allow" pseudo-check
+// (which always runs as part of suppression handling).
+func parseSubset(subset string, known []string) (map[string]bool, error) {
+	selected := make(map[string]bool, len(known))
+	if subset == "" {
+		for _, n := range known {
+			selected[n] = true
+		}
+		return selected, nil
+	}
+	valid := make(map[string]bool, len(known))
+	for _, n := range known {
+		valid[n] = true
+	}
+	for _, n := range strings.Split(subset, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !valid[n] || n == "allow" {
+			return nil, fmt.Errorf("unknown check %q (run meclint -list)", n)
+		}
+		selected[n] = true
+	}
+	if len(selected) == 0 {
+		return nil, errors.New("-checks selected nothing")
+	}
+	return selected, nil
+}

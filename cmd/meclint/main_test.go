@@ -1,0 +1,130 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFixtureFindings lints the seeded mini-module end to end and checks
+// that every analyzer and repo check reports its planted violation.
+func TestFixtureFindings(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-root", "testdata/fixture"}, &buf)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("run: got error %v, want errFindings\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []struct{ tag, file string }{
+		{"[determinism]", "core.go"},
+		{"[floatcmp]", "core.go"},
+		{"[allow]", "core.go"},
+		{"[nilsafe]", "obs.go"},
+		{"[exitcode]", "main.go"},
+		{"[docs]", "nodoc"},
+		{"[links]", "README.md"},
+	} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, want.tag) && strings.Contains(line, want.file) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding with %s in %s\noutput:\n%s", want.tag, want.file, out)
+		}
+	}
+	// The correctly guarded method and the well-documented packages must
+	// not be flagged: exactly one nilsafe and one docs finding.
+	for _, tag := range []string{"[nilsafe]", "[docs]"} {
+		if n := strings.Count(out, tag); n != 1 {
+			t.Errorf("got %d %s findings, want 1\noutput:\n%s", n, tag, out)
+		}
+	}
+}
+
+// TestFixtureSubset restricts the run to one check and verifies the
+// others stay silent — including their unused-allow reporting, which
+// must not fire for analyzers that did not run.
+func TestFixtureSubset(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-root", "testdata/fixture", "-checks", "exitcode"}, &buf)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("run: got error %v, want errFindings\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[exitcode]") {
+		t.Errorf("missing exitcode finding:\n%s", out)
+	}
+	for _, tag := range []string{"[determinism]", "[nilsafe]", "[floatcmp]", "[allow]", "[docs]", "[links]"} {
+		if strings.Contains(out, tag) {
+			t.Errorf("unexpected %s finding under -checks=exitcode:\n%s", tag, out)
+		}
+	}
+}
+
+// TestRealRepoIsClean is the self-check: the repository this test lives
+// in must lint clean, suppressions included.
+func TestRealRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo lint is slow; skipped with -short")
+	}
+	var buf strings.Builder
+	if err := run([]string{"-root", "../.."}, &buf); err != nil {
+		t.Fatalf("repository is not lint-clean: %v\n%s", err, buf.String())
+	}
+}
+
+func TestList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	out := buf.String()
+	for _, name := range []string{"determinism", "nilsafe", "floatcmp", "exitcode", "docs", "links"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output is missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownCheckIsUsageError(t *testing.T) {
+	err := run([]string{"-root", "testdata/fixture", "-checks", "nonsense"}, io.Discard)
+	if err == nil || errors.Is(err, errFindings) {
+		t.Fatalf("got %v, want a usage error distinct from errFindings", err)
+	}
+}
+
+func TestParseSubset(t *testing.T) {
+	known := []string{"allow", "determinism", "docs"}
+
+	all, err := parseSubset("", known)
+	if err != nil {
+		t.Fatalf("empty subset: %v", err)
+	}
+	for _, n := range known {
+		if !all[n] {
+			t.Errorf("empty subset does not select %q", n)
+		}
+	}
+
+	one, err := parseSubset("determinism", known)
+	if err != nil {
+		t.Fatalf("single subset: %v", err)
+	}
+	if !one["determinism"] || one["docs"] {
+		t.Errorf("subset selection wrong: %v", one)
+	}
+
+	if _, err := parseSubset("allow", known); err == nil {
+		t.Error("selecting the allow pseudo-check must be rejected")
+	}
+	if _, err := parseSubset("bogus", known); err == nil {
+		t.Error("unknown check name must be rejected")
+	}
+	if _, err := parseSubset(" , ,", known); err == nil {
+		t.Error("a subset that selects nothing must be rejected")
+	}
+}

@@ -1,0 +1,17 @@
+// Command tool is a lint fixture seeding an exitcode violation.
+package main
+
+import "os"
+
+func main() {
+	if len(os.Args) > 3 {
+		os.Exit(2)
+	}
+	helper()
+}
+
+// helper exits from below the top level, which the exitcode check
+// reports.
+func helper() {
+	os.Exit(1)
+}

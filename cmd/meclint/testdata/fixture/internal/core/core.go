@@ -1,0 +1,18 @@
+package core
+
+import "time"
+
+// Stamp leaks wall-clock time into a deterministic package.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Differs compares computed floats exactly.
+func Differs(a, b float64) bool {
+	return a != b
+}
+
+// The annotation below suppresses nothing and must be reported.
+//
+//meclint:allow(floatcmp) seeded unused suppression for the driver test
+var sentinel int

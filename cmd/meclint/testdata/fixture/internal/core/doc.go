@@ -1,0 +1,3 @@
+// Package core is a lint fixture seeding determinism and floatcmp
+// violations plus one unused suppression.
+package core

@@ -1,0 +1,6 @@
+// Package nodoc has its comment here instead of in a doc.go, which the
+// docs check reports.
+package nodoc
+
+// Answer exists so the package has content.
+const Answer = 42

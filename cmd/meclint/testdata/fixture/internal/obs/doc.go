@@ -1,0 +1,2 @@
+// Package obs is a lint fixture seeding a nilsafe violation.
+package obs

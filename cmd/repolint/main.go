@@ -5,17 +5,11 @@
 //	repolint -links   # every relative markdown link resolves to a file
 //	repolint -doc -links -root /path/to/repo
 //
-// The -doc check enforces the documentation convention that each package
-// keeps its package comment in a dedicated doc.go (starting with the
-// canonical "// Package <name>" sentence), so the comment has one obvious
-// home and survives file-level refactors. The -links check walks every
-// *.md file in the repository root and docs/ tree, extracts markdown link
-// targets outside code blocks, and fails when a relative target does not
-// exist — the cheap way to keep a growing documentation suite from
-// silently rotting as files move.
+// The checks themselves live in internal/repolint and also run as the
+// docs and links checks of cmd/meclint; this binary is the thin original
+// entry point kept for scripts that call it directly.
 //
-// Exit code 0 when clean, 1 with one line per violation otherwise. Both
-// checks run from `make verify` and CI.
+// Exit code 0 when clean, 1 with one line per violation otherwise.
 package main
 
 import (
@@ -23,9 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
-	"regexp"
-	"strings"
+
+	"dsmec/internal/repolint"
 )
 
 func main() {
@@ -51,14 +44,14 @@ func run(args []string, stdout io.Writer) error {
 
 	var violations []string
 	if *doc {
-		v, err := checkDocs(*root)
+		v, err := repolint.CheckDocs(*root)
 		if err != nil {
 			return err
 		}
 		violations = append(violations, v...)
 	}
 	if *links {
-		v, err := checkLinks(*root)
+		v, err := repolint.CheckLinks(*root)
 		if err != nil {
 			return err
 		}
@@ -71,147 +64,4 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%d violation(s)", n)
 	}
 	return nil
-}
-
-// checkDocs requires a doc.go in every directory under internal/ that
-// contains Go files, opening with the canonical package comment.
-func checkDocs(root string) ([]string, error) {
-	var violations []string
-	base := filepath.Join(root, "internal")
-	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
-		if err != nil || !d.IsDir() {
-			return err
-		}
-		entries, err := os.ReadDir(path)
-		if err != nil {
-			return err
-		}
-		hasGo := false
-		for _, e := range entries {
-			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-				hasGo = true
-				break
-			}
-		}
-		if !hasGo {
-			return nil
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		data, err := os.ReadFile(filepath.Join(path, "doc.go"))
-		if os.IsNotExist(err) {
-			violations = append(violations, fmt.Sprintf("%s: missing doc.go with the package comment", rel))
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		if !strings.HasPrefix(string(data), "// Package "+filepath.Base(path)) {
-			violations = append(violations,
-				fmt.Sprintf("%s/doc.go: must start with %q", rel, "// Package "+filepath.Base(path)))
-		}
-		return nil
-	})
-	return violations, err
-}
-
-// mdLink matches inline markdown links [text](target); images share the
-// same target syntax, so ![alt](target) is covered by the same pattern.
-var mdLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
-
-// checkLinks validates every relative link in the root-level and docs/
-// markdown files.
-func checkLinks(root string) ([]string, error) {
-	var files []string
-	rootMD, err := filepath.Glob(filepath.Join(root, "*.md"))
-	if err != nil {
-		return nil, err
-	}
-	docsMD, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
-	if err != nil {
-		return nil, err
-	}
-	files = append(append(files, rootMD...), docsMD...)
-
-	var violations []string
-	for _, path := range files {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return nil, err
-		}
-		for _, l := range extractLinks(string(data)) {
-			t := l.target
-			if i := strings.IndexByte(t, '#'); i >= 0 {
-				t = t[:i]
-			}
-			if t == "" {
-				continue // pure fragment, points into the same document
-			}
-			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(t))
-			if _, err := os.Stat(resolved); err != nil {
-				violations = append(violations, fmt.Sprintf("%s:%d: broken link %q", rel, l.line, l.target))
-			}
-		}
-	}
-	return violations, nil
-}
-
-// linkRef is one markdown link target and the line it appears on.
-type linkRef struct {
-	line   int
-	target string
-}
-
-// extractLinks returns line-numbered relative link targets, skipping
-// fenced code blocks, inline code spans, and absolute URLs.
-func extractLinks(content string) []linkRef {
-	var out []linkRef
-	inFence := false
-	for i, line := range strings.Split(content, "\n") {
-		trimmed := strings.TrimSpace(line)
-		if strings.HasPrefix(trimmed, "```") {
-			inFence = !inFence
-			continue
-		}
-		if inFence {
-			continue
-		}
-		for _, m := range mdLink.FindAllStringSubmatchIndex(stripInlineCode(line), -1) {
-			target := line[m[2]:m[3]]
-			switch {
-			case strings.HasPrefix(target, "http://"),
-				strings.HasPrefix(target, "https://"),
-				strings.HasPrefix(target, "mailto:"):
-				continue
-			}
-			out = append(out, linkRef{line: i + 1, target: target})
-		}
-	}
-	return out
-}
-
-// stripInlineCode blanks `code spans` so links inside them are ignored
-// while byte offsets into the original line stay valid.
-func stripInlineCode(line string) string {
-	var b strings.Builder
-	inCode := false
-	for _, r := range line {
-		if r == '`' {
-			inCode = !inCode
-			b.WriteRune('`')
-			continue
-		}
-		if inCode {
-			b.WriteRune(' ')
-			continue
-		}
-		b.WriteRune(r)
-	}
-	return b.String()
 }

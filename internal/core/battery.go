@@ -63,6 +63,9 @@ func Battery(m *costmodel.Model, ts *task.Set, a *Assignment) (*BatteryReport, e
 		if err != nil {
 			return nil, err
 		}
+		// Each attr key funds exactly one accumulator slot, once, so the
+		// per-entry adds commute and map order cannot change the report.
+		//meclint:allow(determinism) one distinct accumulator per map key; adds are order-independent
 		for who, e := range attr {
 			if who == costmodel.Infrastructure {
 				report.Infrastructure += e

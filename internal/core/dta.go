@@ -286,6 +286,9 @@ func accountDTA(m *costmodel.Model, newTasks *task.Set, links []rearranged, sche
 		if err != nil {
 			return nil, nil, err
 		}
+		// Each attr key funds exactly one accumulator slot, once, so the
+		// per-entry adds commute and map order cannot change the totals.
+		//meclint:allow(determinism) one distinct accumulator per map key; adds are order-independent
 		for who, e := range attr {
 			if who == costmodel.Infrastructure {
 				battery.Infrastructure += e
@@ -354,6 +357,7 @@ func accountDTA(m *costmodel.Model, newTasks *task.Set, links []rearranged, sche
 
 	// Makespan: busiest device chain plus the final aggregation.
 	var busiest units.Duration
+	//meclint:allow(determinism) max over map values is commutative; iteration order cannot change it
 	for _, t := range chain {
 		if t > busiest {
 			busiest = t

@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 
 	"dsmec/internal/costmodel"
 	"dsmec/internal/lp"
@@ -222,9 +221,9 @@ func LPHTA(m *costmodel.Model, ts *task.Set, options *LPHTAOptions) (*HTAResult,
 		cspan.Annotate("tasks", len(c.tasks))
 		copts := opts
 		copts.Obs = opts.Obs.WithSpan(cspan)
-		start := time.Now()
+		timer := obs.StartTimer()
 		out, err := lphtaCluster(m, ts, c.station, c.tasks, copts)
-		elapsed := time.Since(start).Seconds()
+		elapsed := timer.Seconds()
 		clusterSeconds.Observe(elapsed)
 		cspan.End()
 		if err != nil {
@@ -342,7 +341,7 @@ func lphtaCluster(m *costmodel.Model, ts *task.Set, station int, tasks []int32, 
 
 	// Steps 2–3: round to x̂.
 	rspan := opts.Obs.Span.Child("lphta.round")
-	roundStart := time.Now()
+	roundTimer := obs.StartTimer()
 	chosen := make([]costmodel.Subsystem, len(cts))
 	out.rounded = make([]units.Energy, len(cts))
 	for i := range cts {
@@ -359,15 +358,15 @@ func lphtaCluster(m *costmodel.Model, ts *task.Set, station int, tasks []int32, 
 		out.rounded[i] = cts[i].opts.At(chosen[i]).Energy
 	}
 	opts.Obs.Counter("lphta.fractional_tasks").Add(int64(out.fractional))
-	opts.Obs.Histogram("lphta.stage_seconds.round", obs.TimeBuckets).Observe(time.Since(roundStart).Seconds())
+	opts.Obs.Histogram("lphta.stage_seconds.round", obs.TimeBuckets).Observe(roundTimer.Seconds())
 	rspan.Annotate("tasks", len(cts))
 	rspan.Annotate("fractional", out.fractional)
 	rspan.End()
 
 	pspan := opts.Obs.Span.Child("lphta.repair")
-	repairStart := time.Now()
+	repairTimer := obs.StartTimer()
 	defer func() {
-		opts.Obs.Histogram("lphta.stage_seconds.repair", obs.TimeBuckets).Observe(time.Since(repairStart).Seconds())
+		opts.Obs.Histogram("lphta.stage_seconds.repair", obs.TimeBuckets).Observe(repairTimer.Seconds())
 		pspan.End()
 	}()
 
@@ -497,7 +496,7 @@ func lphtaCluster(m *costmodel.Model, ts *task.Set, station int, tasks []int32, 
 //
 // It returns the fractional assignment per task and the LP solution.
 func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, method lp.Method, ins obs.Instruments) ([][3]float64, *lp.Solution, error) {
-	buildStart := time.Now()
+	buildTimer := obs.StartTimer()
 	nVars := 3 * len(cts)
 	p := &lp.Problem{
 		Minimize: make([]float64, nVars),
@@ -567,9 +566,9 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, method l
 	}
 	p.Constraints = append(p.Constraints, lp.Sparse(
 		cols, vals, lp.LE, sys.Stations[station].ResourceCap))
-	ins.Histogram("lphta.stage_seconds.build", obs.TimeBuckets).Observe(time.Since(buildStart).Seconds())
+	ins.Histogram("lphta.stage_seconds.build", obs.TimeBuckets).Observe(buildTimer.Seconds())
 
-	solveStart := time.Now()
+	solveTimer := obs.StartTimer()
 	sol, err := lp.SolveObserved(p, ins)
 	if err != nil {
 		return nil, nil, fmt.Errorf("relaxation: %w", err)
@@ -600,7 +599,7 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, method l
 			return nil, nil, fmt.Errorf("relaxation fallback: status %v", sol.Status)
 		}
 	}
-	ins.Histogram("lphta.stage_seconds.solve", obs.TimeBuckets).Observe(time.Since(solveStart).Seconds())
+	ins.Histogram("lphta.stage_seconds.solve", obs.TimeBuckets).Observe(solveTimer.Seconds())
 
 	frac := make([][3]float64, len(cts))
 	for i := range cts {
@@ -677,6 +676,9 @@ func (s *repairSorter) Swap(i, j int) {
 
 func (s *repairSorter) Less(i, j int) bool {
 	ra, rb := s.cts[s.scratch[i]].t.Resource, s.cts[s.scratch[j]].t.Resource
+	// Sort comparators need exact equality: a tolerance here would break
+	// the strict weak ordering (transitivity) that sort.Sort requires.
+	//meclint:allow(floatcmp) comparator tie-break needs exact equality for a strict weak ordering
 	if ra != rb {
 		if s.order == RepairSmallestFirst {
 			return ra < rb

@@ -2,6 +2,7 @@ package costmodel
 
 import (
 	"fmt"
+	"sort"
 
 	"dsmec/internal/task"
 	"dsmec/internal/units"
@@ -19,11 +20,18 @@ type Attribution map[int]units.Energy
 // Battery returns the battery share of device i.
 func (a Attribution) Battery(i int) units.Energy { return a[i] }
 
-// Total returns the sum over all payers.
+// Total returns the sum over all payers. Summation runs in sorted key
+// order: float addition is order-dependent in the last bits, and map
+// order would make the total differ between otherwise identical runs.
 func (a Attribution) Total() units.Energy {
+	keys := make([]int, 0, len(a))
+	for who := range a {
+		keys = append(keys, who)
+	}
+	sort.Ints(keys)
 	var sum units.Energy
-	for _, e := range a {
-		sum += e
+	for _, who := range keys {
+		sum += a[who]
 	}
 	return sum
 }

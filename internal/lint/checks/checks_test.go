@@ -1,0 +1,71 @@
+package checks
+
+import (
+	"testing"
+
+	"dsmec/internal/lint/linttest"
+)
+
+// Each analyzer runs over a testdata package that seeds synthetic
+// violations of every rule (asserted by want comments) next to clean
+// idioms that must not be flagged.
+
+func TestDeterminism(t *testing.T) { linttest.Run(t, "determinism", Determinism()) }
+
+func TestNilsafe(t *testing.T) { linttest.Run(t, "nilsafe", Nilsafe()) }
+
+func TestFloatcmp(t *testing.T) { linttest.Run(t, "floatcmp", Floatcmp()) }
+
+func TestExitcode(t *testing.T) { linttest.Run(t, "exitcode", Exitcode()) }
+
+func TestApplies(t *testing.T) {
+	cases := []struct {
+		check, importPath string
+		want              bool
+	}{
+		{"determinism", "dsmec/internal/lp", true},
+		{"determinism", "dsmec/internal/sim", true},
+		{"determinism", "dsmec/internal/scenarioio", true},
+		{"determinism", "dsmec/internal/obs", false},
+		{"determinism", "dsmec/cmd/mecsim", false},
+		{"determinism", "dsmec", false},
+		{"nilsafe", "dsmec/internal/obs", true},
+		{"nilsafe", "dsmec/internal/lp", true},
+		{"floatcmp", "dsmec/internal/lp", true},
+		{"floatcmp", "dsmec/internal/core", true},
+		{"floatcmp", "dsmec/internal/stats", false},
+		{"floatcmp", "dsmec/cmd/mecsim", false},
+		{"exitcode", "dsmec/cmd/mecsim", true},
+		{"exitcode", "dsmec/cmd/meclint", true},
+		{"exitcode", "dsmec/internal/lp", false},
+		{"nosuch", "dsmec/internal/lp", false},
+	}
+	for _, tc := range cases {
+		if got := Applies(tc.check, tc.importPath); got != tc.want {
+			t.Errorf("Applies(%q, %q) = %v, want %v", tc.check, tc.importPath, got, tc.want)
+		}
+	}
+}
+
+func TestAllNamesUniqueAndScoped(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		// Every analyzer must apply somewhere, or it could never fire.
+		applied := false
+		for _, path := range []string{"dsmec", "dsmec/internal/lp", "dsmec/internal/obs", "dsmec/cmd/mecsim"} {
+			if Applies(a.Name, path) {
+				applied = true
+			}
+		}
+		if !applied {
+			t.Errorf("analyzer %q applies to no package", a.Name)
+		}
+	}
+}

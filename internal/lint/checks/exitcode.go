@@ -1,0 +1,67 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dsmec/internal/lint"
+)
+
+// Exitcode returns the analyzer guarding the CLI exit-code contract:
+// every binary documents 0 = clean, 1 = violation/failure, 2 = bad
+// input, and the mapping lives in exactly one place — the top level of
+// main (or its run helper). An os.Exit or log.Fatal buried in a helper
+// or a closure bypasses that mapping (and skips deferred cleanup), so
+// both are flagged anywhere else in cmd packages, including inside
+// function literals declared in main itself.
+func Exitcode() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "exitcode",
+		Doc:  "cmd packages may call os.Exit (or log.Fatal*) only at the top level of main or run",
+		Run:  runExitcode,
+	}
+}
+
+func runExitcode(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			topLevel := fd.Recv == nil && (fd.Name.Name == "main" || fd.Name.Name == "run")
+			checkExitCalls(pass, fd.Body, topLevel)
+		}
+	}
+	return nil
+}
+
+// checkExitCalls walks body flagging exit calls; allowed is whether the
+// current lexical context is the top level of main/run. Entering a
+// function literal clears it.
+func checkExitCalls(pass *lint.Pass, body *ast.BlockStmt, allowed bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkExitCalls(pass, n.Body, false)
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			exits := (fn.Pkg().Path() == "os" && fn.Name() == "Exit") ||
+				(fn.Pkg().Path() == "log" && (fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"))
+			if exits && !allowed {
+				pass.Reportf(n.Pos(),
+					"%s.%s outside main/run top-level error mapping; return an error and let main map it to the documented exit code",
+					fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+}

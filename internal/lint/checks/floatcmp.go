@@ -1,0 +1,85 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dsmec/internal/lint"
+)
+
+// FloatcmpHelpers names the approved tolerance helpers: functions whose
+// entire purpose is comparing floats, inside which exact ==/!= is the
+// implementation rather than a bug. Comparisons anywhere else between
+// two non-constant float expressions are flagged.
+var FloatcmpHelpers = map[string]bool{
+	"approxEqual":  true,
+	"almostEqual":  true,
+	"withinTol":    true,
+	"floatsEqual":  true,
+	"isIntegral":   true,
+	"closeEnough":  true,
+	"relativeDiff": true,
+}
+
+// Floatcmp returns the analyzer guarding numeric comparisons in the
+// solver packages. Exact equality between two computed floats is almost
+// never what an LP pivot rule or an energy accounting check means:
+// rounding makes the result depend on evaluation order, optimization
+// level, and summation order — precisely the kind of hidden
+// nondeterminism the byte-identical goldens exist to catch. Comparing
+// against a constant (x == 0, status sentinel values) is exact by
+// construction and stays legal, as do comparisons inside the approved
+// tolerance helpers in FloatcmpHelpers.
+func Floatcmp() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "floatcmp",
+		Doc:  "flags ==/!= between two non-constant floating-point expressions outside approved tolerance helpers",
+		Run:  runFloatcmp,
+	}
+}
+
+func runFloatcmp(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if FloatcmpHelpers[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+					return true
+				}
+				if isConstant(pass, be.X) || isConstant(pass, be.Y) {
+					return true
+				}
+				pass.Reportf(be.OpPos,
+					"exact %s between two computed floats; compare with a tolerance helper or document why exactness holds",
+					be.Op)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isFloat(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstant(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,161 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+
+	"dsmec/internal/lint"
+)
+
+// Nilsafe returns the analyzer guarding the disabled-observability
+// contract: a nil metric/trace/log handle must be a free no-op, so
+// instrumented hot paths cost nothing when observability is off. The
+// contract is declared in a type's doc comment ("a nil *T is a valid
+// ...", "no-ops on a nil receiver"); once declared, every exported
+// pointer-receiver method on that type must either
+//
+//   - begin with a nil-receiver guard (if t == nil { ... }) as its
+//     first statement, or
+//   - consist of a single statement delegating to another method on the
+//     same receiver, which inherits the callee's guard (e.g. Inc
+//     calling c.Add).
+//
+// Anything else risks a nil dereference on exactly the path the
+// contract promises is safe, and the panic only shows up in disabled
+// runs — the configuration the test suite exercises least.
+func Nilsafe() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "nilsafe",
+		Doc:  "exported pointer-receiver methods on nil-contract types must begin with a nil-receiver guard",
+		Run:  runNilsafe,
+	}
+}
+
+// nilContractRe matches the doc-comment phrasings that declare the nil
+// contract on a type.
+var nilContractRe = regexp.MustCompile(`(?i)(nil \*?[A-Za-z_][A-Za-z0-9_]* is|no-ops? on a nil receiver|nil receiver is)`)
+
+func runNilsafe(pass *lint.Pass) error {
+	contract := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if doc != nil && nilContractRe.MatchString(doc.Text()) {
+					contract[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(contract) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recvName, typeName, ptr := receiverOf(fd)
+			if !ptr || !contract[typeName] {
+				continue
+			}
+			if guardedFirst(fd.Body, recvName) || delegates(fd.Body, recvName) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported method (*%s).%s must begin with a nil-receiver guard (the type documents a nil-receiver contract)",
+				typeName, fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// receiverOf extracts the receiver name, base type name, and whether
+// the receiver is a pointer.
+func receiverOf(fd *ast.FuncDecl) (recvName, typeName string, ptr bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fd.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = st.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		typeName = t.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := t.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	}
+	return recvName, typeName, ptr
+}
+
+// guardedFirst reports whether the body's first statement is
+// `if <recv> == nil { ... }` (or nil == recv).
+func guardedFirst(body *ast.BlockStmt, recvName string) bool {
+	if recvName == "" || len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == recvName
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(cond.X) && isNil(cond.Y)) || (isNil(cond.X) && isRecv(cond.Y))
+}
+
+// delegates reports whether the body is a single statement whose only
+// action is calling a method on the receiver, inheriting its guard.
+func delegates(body *ast.BlockStmt, recvName string) bool {
+	if recvName == "" || len(body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch stmt := body.List[0].(type) {
+	case *ast.ExprStmt:
+		call, _ = stmt.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(stmt.Results) == 1 {
+			call, _ = stmt.Results[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	root := rootIdent(sel.X)
+	return root != nil && root.Name == recvName
+}

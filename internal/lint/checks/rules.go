@@ -1,0 +1,43 @@
+package checks
+
+import (
+	"strings"
+
+	"dsmec/internal/lint"
+)
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{Determinism(), Nilsafe(), Floatcmp(), Exitcode()}
+}
+
+// Applies scopes an analyzer to the package trees whose invariants it
+// guards (import paths are module-rooted, e.g. dsmec/internal/lp):
+//
+//   - determinism: every internal/ package except internal/obs — obs
+//     owns the wall clock by design (manifests, snapshots, spans are
+//     documented wall-clock surfaces) and its outputs never feed the
+//     deterministic result path;
+//   - nilsafe: everywhere — the check triggers only on types that
+//     declare a nil-receiver contract in their doc comment;
+//   - floatcmp: the numeric core, internal/lp and internal/core;
+//   - exitcode: the cmd/ binaries.
+func Applies(check, importPath string) bool {
+	_, rest, found := strings.Cut(importPath, "/")
+	if !found {
+		rest = ""
+	}
+	switch check {
+	case "determinism":
+		return strings.HasPrefix(rest, "internal/") && rest != "internal/obs" &&
+			!strings.HasPrefix(rest, "internal/obs/")
+	case "nilsafe":
+		return true
+	case "floatcmp":
+		return rest == "internal/lp" || rest == "internal/core"
+	case "exitcode":
+		return strings.HasPrefix(rest, "cmd/")
+	default:
+		return false
+	}
+}

@@ -1,0 +1,130 @@
+// Package determinism is analyzer testdata: positive cases carry want
+// comments, everything else must stay clean.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+	tt "time"
+)
+
+func wallClock() float64 {
+	start := time.Now() // want `time.Now reads the wall clock`
+	_ = start
+	aliased := tt.Now()                      // want `time.Now reads the wall clock`
+	elapsed := time.Since(aliased).Seconds() // want `time.Since reads the wall clock`
+	f := time.Now                            // want `time.Now reads the wall clock`
+	_ = f
+	return elapsed
+}
+
+func durationMathIsFine(d time.Duration) time.Duration {
+	return d * 2 / time.Millisecond * time.Millisecond
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want `global math/rand source`
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand source`
+	return n
+}
+
+func seededRandIsFine(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func suppressedWallClock() tt.Time {
+	//meclint:allow(determinism) boot banner timestamp, never reaches an output file
+	return time.Now()
+}
+
+//meclint:allow(determinism) stale annotation kept for the unused-suppression case // want `unused //meclint:allow\(determinism\) suppression`
+
+func mapAppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is random`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapAppendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapKeyedWriteIsFine(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+func mapIntAccumulationIsFine(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapFloatAccumulation(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `map iteration order is random`
+		sum += v
+	}
+	return sum
+}
+
+func mapLastWriterWins(m map[string]int) string {
+	last := ""
+	for k := range m { // want `map iteration order is random`
+		last = k
+	}
+	return last
+}
+
+func mapReturnsArbitraryKey(m map[string]int) string {
+	for k := range m { // want `map iteration order is random`
+		return k
+	}
+	return ""
+}
+
+func mapReturnInvariantIsFine(m map[string]bool) bool {
+	for _, bad := range m {
+		if bad {
+			return true
+		}
+	}
+	return false
+}
+
+func mapChannelSend(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order is random`
+		ch <- k
+	}
+}
+
+func mapBuilderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order is random`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func sliceRangeIsFine(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v*2)
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+// Command exitcode is analyzer testdata for the exit-code-contract
+// check.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		os.Exit(3) // want `os.Exit outside main/run top-level error mapping`
+	}()
+}
+
+func run() error {
+	if len(os.Args) > 9 {
+		os.Exit(2)
+	}
+	return process()
+}
+
+func process() error {
+	if len(os.Args) > 8 {
+		os.Exit(1) // want `os.Exit outside main/run top-level error mapping`
+	}
+	if len(os.Args) > 7 {
+		log.Fatalf("boom") // want `log.Fatalf outside main/run top-level error mapping`
+	}
+	//meclint:allow(exitcode) testdata exercising the suppression path
+	os.Exit(4)
+	return nil
+}

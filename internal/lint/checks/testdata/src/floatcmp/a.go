@@ -1,0 +1,49 @@
+// Package floatcmp is analyzer testdata for the exact-float-comparison
+// check.
+package floatcmp
+
+import "math"
+
+const tolerance = 1e-9
+
+func computed(a, b float64) bool {
+	return a*2 == b+1 // want `exact == between two computed floats`
+}
+
+func notEqual(a, b float64) bool {
+	return a != b // want `exact != between two computed floats`
+}
+
+func zeroSentinelIsFine(a float64) bool {
+	return a == 0
+}
+
+func namedConstantIsFine(a float64) bool {
+	return a == tolerance
+}
+
+func intCompareIsFine(a, b int) bool {
+	return a == b
+}
+
+func orderedCompareIsFine(a, b float64) bool {
+	return a < b || a >= b
+}
+
+// approxEqual is an approved tolerance helper: exact comparison inside
+// it is the implementation.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tolerance*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func viaHelperIsFine(a, b float64) bool {
+	return approxEqual(a, b)
+}
+
+func suppressed(a, b float64) bool {
+	//meclint:allow(floatcmp) both sides are exact IEEE copies of the same table entry
+	return a == b
+}

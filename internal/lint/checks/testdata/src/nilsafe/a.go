@@ -1,0 +1,64 @@
+// Package nilsafe is analyzer testdata for the nil-receiver-guard
+// contract check.
+package nilsafe
+
+// Probe is a test metric. A nil *Probe is a valid disabled probe; all
+// methods are no-ops on a nil receiver.
+type Probe struct {
+	n int
+}
+
+// Add is guarded: clean.
+func (p *Probe) Add(d int) {
+	if p == nil {
+		return
+	}
+	p.n += d
+}
+
+// Inc delegates to the guarded Add: clean.
+func (p *Probe) Inc() { p.Add(1) }
+
+// Value is guarded with the operands swapped: clean.
+func (p *Probe) Value() int {
+	if nil == p {
+		return 0
+	}
+	return p.n
+}
+
+// Reset forgets the guard and dereferences a nil receiver.
+func (p *Probe) Reset() { // want `must begin with a nil-receiver guard`
+	p.n = 0
+}
+
+// Peek delegates via a return statement: clean.
+func (p *Probe) Peek() int { return p.Value() }
+
+// helper is unexported, outside the contract: clean.
+func (p *Probe) helper() int {
+	return p.n * 2
+}
+
+// Snapshot declares a local before the guard, which the contract
+// forbids — the guard must come first so the no-op path stays free.
+func (p *Probe) Snapshot() []int { // want `must begin with a nil-receiver guard`
+	out := make([]int, 0, 1)
+	if p == nil {
+		return out
+	}
+	return append(out, p.n)
+}
+
+// Plain has no nil contract in its doc comment, so its methods are
+// not checked.
+type Plain struct {
+	n int
+}
+
+// Bump needs no guard: Plain declares no contract.
+func (p *Plain) Bump() { p.n++ }
+
+// ByValue is a value-receiver method on a contract type: clean, a value
+// receiver cannot be nil.
+func (p Probe) ByValue() int { return p.n }

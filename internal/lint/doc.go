@@ -1,0 +1,13 @@
+// Package lint is a small static-analysis framework in the spirit of
+// golang.org/x/tools/go/analysis, built on the standard library only so
+// the repository carries no external dependencies. It provides the
+// Analyzer/Pass/Diagnostic vocabulary, a package loader that parses and
+// type-checks Go packages from source, a driver that applies analyzers
+// to packages with //meclint:allow suppression handling, and (in the
+// checks subpackage) the repo-specific analyzers run by cmd/meclint.
+//
+// The API deliberately mirrors go/analysis — Analyzer has Name, Doc and
+// Run(*Pass); Pass carries the FileSet, syntax, types and a Report
+// callback — so the suite can migrate to the upstream framework
+// mechanically if the dependency is ever vendored.
+package lint

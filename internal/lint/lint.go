@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package through the Pass and reports findings via Pass.Reportf; it
+// returns an error only for internal failures (a broken invariant in
+// the analyzer itself), never for findings.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	ImportPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the conventional file:line:col: [check] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// SortDiagnostics orders findings by file, line, column, then check
+// name, so driver output is stable.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}
+
+// RunPackage applies every analyzer to pkg and resolves suppressions:
+// findings covered by a //meclint:allow comment are dropped, unused or
+// malformed allow comments become findings themselves (check name
+// "allow"), so suppressions cannot rot. known lists every valid check
+// name for allow-comment validation; when nil, the analyzer names are
+// used.
+func RunPackage(pkg *Package, analyzers []*Analyzer, known []string) ([]Diagnostic, error) {
+	if known == nil {
+		for _, a := range analyzers {
+			known = append(known, a.Name)
+		}
+	}
+	allows, diags := collectAllows(pkg.Fset, pkg.Files, known)
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			ImportPath: pkg.ImportPath,
+		}
+		var found []Diagnostic
+		pass.report = func(d Diagnostic) { found = append(found, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+		for _, d := range found {
+			if !suppress(allows, d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	diags = append(diags, unusedAllows(allows, ran)...)
+	SortDiagnostics(diags)
+	return diags, nil
+}

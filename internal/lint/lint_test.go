@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePkg lays out a single-file package under a temp dir and returns
+// its directory.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// ident is a toy analyzer that flags every identifier named "flagme".
+var ident = &Analyzer{
+	Name: "ident",
+	Doc:  "flags identifiers named flagme",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "flagme" {
+					pass.Reportf(id.Pos(), "identifier flagme")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestRunPackageReportsAndSorts(t *testing.T) {
+	dir := writePkg(t, `package p
+
+var flagme = 1
+
+func f() int { return flagme }
+`)
+	pkg, err := NewLoader().Load(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{ident}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 3 || diags[1].Pos.Line != 5 {
+		t.Errorf("findings out of order: %v", diags)
+	}
+	if diags[0].Check != "ident" {
+		t.Errorf("check = %q, want ident", diags[0].Check)
+	}
+	if !strings.Contains(diags[0].String(), ":3:") || !strings.Contains(diags[0].String(), "[ident]") {
+		t.Errorf("String() = %q lacks position or check tag", diags[0].String())
+	}
+}
+
+func TestSuppressionSameLineAndLineAbove(t *testing.T) {
+	dir := writePkg(t, `package p
+
+var flagme = 1 //meclint:allow(ident) trailing suppression
+
+//meclint:allow(ident) suppression on the line above
+var other = flagme
+`)
+	pkg, err := NewLoader().Load(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{ident}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("suppressed findings leaked: %v", diags)
+	}
+}
+
+func TestUnusedSuppressionIsReported(t *testing.T) {
+	dir := writePkg(t, `package p
+
+//meclint:allow(ident) nothing on the next line violates
+var clean = 1
+`)
+	pkg, err := NewLoader().Load(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{ident}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Check != "allow" || !strings.Contains(diags[0].Message, "unused") {
+		t.Fatalf("want one unused-suppression finding, got %v", diags)
+	}
+}
+
+func TestMalformedSuppressions(t *testing.T) {
+	dir := writePkg(t, `package p
+
+//meclint:allow(ident)
+var missingReason = 1
+
+//meclint:allow(nosuch) reason given
+var unknownCheck = 1
+
+//meclint:deny(ident) wrong verb
+var malformed = 1
+`)
+	pkg, err := NewLoader().Load(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{ident}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		if d.Check != "allow" {
+			t.Errorf("unexpected check %q in %v", d.Check, d)
+		}
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"needs a reason", "unknown check", "malformed"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q finding in:\n%s", want, joined)
+		}
+	}
+	if len(diags) != 3 {
+		t.Errorf("got %d findings, want 3: %v", len(diags), diags)
+	}
+}
+
+func TestLoadTreeAndModulePath(t *testing.T) {
+	root := t.TempDir()
+	mustWrite := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite("go.mod", "module example.com/m\n\ngo 1.24\n")
+	mustWrite("a.go", "package m\n")
+	mustWrite("sub/b.go", "package sub\n")
+	mustWrite("sub/b_test.go", "package sub\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n")
+	mustWrite("testdata/skip.go", "package skipme\n\nfunc broken() {")
+	mustWrite(".hidden/skip.go", "package skipme\n\nfunc broken() {")
+
+	mod, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod != "example.com/m" {
+		t.Fatalf("ModulePath = %q", mod)
+	}
+	pkgs, err := NewLoader().LoadTree(root, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.ImportPath)
+	}
+	want := []string{"example.com/m", "example.com/m/sub"}
+	if len(paths) != len(want) || paths[0] != want[0] || paths[1] != want[1] {
+		t.Fatalf("LoadTree paths = %v, want %v", paths, want)
+	}
+}
+
+func TestLoadExcludesTestFiles(t *testing.T) {
+	dir := writePkg(t, "package p\n\nvar x = 1\n")
+	if err := os.WriteFile(filepath.Join(dir, "a_test.go"), []byte("package p\n\nvar flagme = 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader().Load(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{ident}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("test-file identifier was analyzed: %v", diags)
+	}
+}

@@ -1,0 +1,16 @@
+// Package linttest runs lint analyzers over testdata packages and
+// checks their findings against expectations written in the source,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library only. A test package lives in testdata/src/<name>/ and marks
+// each line where a finding is expected with a trailing comment:
+//
+//	out = append(out, k) // want `map iteration`
+//
+// The backquoted (or double-quoted) string is a regular expression the
+// finding's message must match; several expectations on one line each
+// match one finding. Findings with no expectation, and expectations
+// with no finding, fail the test. The driver's //meclint:allow
+// suppression pipeline runs too, so testdata can assert both that a
+// suppressed finding disappears and that an unused allow is reported
+// (check name "allow").
+package linttest

@@ -1,0 +1,126 @@
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dsmec/internal/lint"
+)
+
+// wantRe captures each quoted or backquoted expectation after "want".
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one // want entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads testdata/src/<name> relative to the test's working
+// directory, applies the analyzers through the full driver (including
+// suppression handling), and diffs findings against // want comments.
+func Run(t *testing.T, name string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := lint.NewLoader().Load(dir, name)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	known := []string{"allow"}
+	for _, a := range analyzers {
+		known = append(known, a.Name)
+	}
+	diags, err := lint.RunPackage(pkg, analyzers, known)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	wants, err := collectWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", dir, err)
+	}
+
+	for _, d := range diags {
+		if w := match(wants, d); w == nil {
+			t.Errorf("%s: unexpected finding: [%s] %s", posString(d.Pos), d.Check, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// collectWants parses every "// want" comment into expectations
+// anchored at the comment's line.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may trail other comment text (e.g. an
+				// //meclint:allow annotation asserting its own "unused"
+				// finding), so search rather than prefix-match.
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				text := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				matches := wantRe.FindAllString(text, -1)
+				if len(matches) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no pattern", pos.Filename, pos.Line)
+				}
+				for _, raw := range matches {
+					var pat string
+					if strings.HasPrefix(raw, "`") {
+						pat = strings.Trim(raw, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(raw)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// match finds the first unmet expectation on the finding's line whose
+// regexp matches the message, marking it met.
+func match(wants []*expectation, d lint.Diagnostic) *expectation {
+	for _, w := range wants {
+		if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.hit = true
+			return w
+		}
+	}
+	return nil
+}

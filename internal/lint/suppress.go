@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Findings are suppressed with an annotation comment:
+//
+//	//meclint:allow(<check>) <reason>
+//
+// either trailing the offending line or on its own line immediately
+// above it. The reason is mandatory — an annotation must say why the
+// rule does not apply — and an annotation that suppresses nothing is
+// itself a finding, so stale allows fail the build instead of rotting.
+
+// allowRe matches one allow annotation line inside a comment.
+var allowRe = regexp.MustCompile(`^//meclint:allow\(([^)]*)\)\s*(.*)$`)
+
+// allow is one parsed //meclint:allow annotation.
+type allow struct {
+	check  string
+	reason string
+	file   string
+	line   int
+	pos    token.Position
+	used   bool
+}
+
+// collectAllows parses every allow annotation in the files. Malformed
+// annotations (unknown check name, missing reason) are returned as
+// diagnostics under the "allow" check immediately; well-formed ones are
+// returned for matching.
+func collectAllows(fset *token.FileSet, files []*ast.File, known []string) ([]*allow, []Diagnostic) {
+	valid := make(map[string]bool, len(known))
+	for _, n := range known {
+		valid[n] = true
+	}
+	var allows []*allow
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//meclint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					diags = append(diags, Diagnostic{
+						Check: "allow", Pos: pos,
+						Message: "malformed meclint annotation; want //meclint:allow(<check>) <reason>",
+					})
+					continue
+				}
+				check, reason := m[1], strings.TrimSpace(m[2])
+				if !valid[check] {
+					diags = append(diags, Diagnostic{
+						Check: "allow", Pos: pos,
+						Message: "unknown check " + strconv.Quote(check) + " in //meclint:allow",
+					})
+					continue
+				}
+				if reason == "" {
+					diags = append(diags, Diagnostic{
+						Check: "allow", Pos: pos,
+						Message: "//meclint:allow(" + check + ") needs a reason",
+					})
+					continue
+				}
+				allows = append(allows, &allow{
+					check: check, reason: reason,
+					file: pos.Filename, line: pos.Line, pos: pos,
+				})
+			}
+		}
+	}
+	return allows, diags
+}
+
+// suppress reports whether d is covered by an annotation: same file and
+// check, on the diagnostic's line (trailing comment) or the line above.
+// Matching annotations are marked used.
+func suppress(allows []*allow, d Diagnostic) bool {
+	hit := false
+	for _, a := range allows {
+		if a.check != d.Check || a.file != d.Pos.Filename {
+			continue
+		}
+		if a.line == d.Pos.Line || a.line == d.Pos.Line-1 {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// unusedAllows converts every unmatched annotation into a finding.
+// Only annotations for checks in ran are judged: when a driver runs a
+// subset of the suite, allows for the checks that did not run cannot be
+// proven stale.
+func unusedAllows(allows []*allow, ran map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range allows {
+		if a.used || !ran[a.check] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Check: "allow", Pos: a.pos,
+			Message: "unused //meclint:allow(" + a.check + ") suppression (nothing to suppress here; delete it)",
+		})
+	}
+	return diags
+}

@@ -123,9 +123,17 @@ func SolveBinary(p *Problem, binary []bool, opts BinaryOptions) (*BinarySolution
 				q.Upper[j] = 1
 			}
 		}
+		// Iterate fixings in sorted column order: the rows appended here
+		// become simplex constraint rows, and row order steers pivoting,
+		// so map order would leak into the solve.
+		cols := make([]int, 0, len(n.fixed))
+		for j := range n.fixed {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
 		var extra []Constraint
-		for j, v := range n.fixed {
-			if v == 0 {
+		for _, j := range cols {
+			if n.fixed[j] == 0 {
 				q.Upper[j] = 0
 			} else {
 				row := make([]float64, p.NumVars())
@@ -244,6 +252,9 @@ func MostFractional(x []float64, k int) []int {
 		}
 	}
 	sort.Slice(fr, func(a, b int) bool {
+		// Exact equality is required: a tolerance would break the strict
+		// weak ordering sort.Slice depends on.
+		//meclint:allow(floatcmp) comparator tie-break needs exact equality for a strict weak ordering
 		if fr[a].f != fr[b].f {
 			return fr[a].f > fr[b].f
 		}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"dsmec/internal/obs"
 )
@@ -699,7 +698,7 @@ func (t *tableau) solve(p *Problem, span *obs.Span, log *obs.Logger) (*Solution,
 
 	if t.nArt > 0 {
 		p1Span := span.Child("lp.phase1")
-		p1Start := time.Now()
+		p1Timer := obs.StartTimer()
 		phase1 := make([]float64, t.n)
 		for j := artStart; j < t.n; j++ {
 			phase1[j] = 1
@@ -707,7 +706,7 @@ func (t *tableau) solve(p *Problem, span *obs.Span, log *obs.Logger) (*Solution,
 		t.setObjective(phase1)
 		err := t.runSimplex(allowAll)
 		t.stats.Phase1Iterations = t.iterations
-		t.stats.Phase1Seconds = time.Since(p1Start).Seconds()
+		t.stats.Phase1Seconds = p1Timer.Seconds()
 		p1Span.Annotate("iterations", t.iterations)
 		p1Span.End()
 		if log.Enabled(obs.LevelDebug) {
@@ -762,14 +761,14 @@ func (t *tableau) solve(p *Problem, span *obs.Span, log *obs.Logger) (*Solution,
 	}
 
 	p2Span := span.Child("lp.phase2")
-	p2Start := time.Now()
+	p2Timer := obs.StartTimer()
 	costs := make([]float64, t.n)
 	copy(costs, p.Minimize)
 	t.setObjective(costs)
 	noArt := func(col int) bool { return col < artStart }
 	err := t.runSimplex(noArt)
 	t.stats.Phase2Iterations = t.iterations - t.stats.Phase1Iterations
-	t.stats.Phase2Seconds = time.Since(p2Start).Seconds()
+	t.stats.Phase2Seconds = p2Timer.Seconds()
 	p2Span.Annotate("iterations", t.stats.Phase2Iterations)
 	p2Span.End()
 	if log.Enabled(obs.LevelDebug) {

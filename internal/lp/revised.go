@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"dsmec/internal/obs"
 )
@@ -507,11 +506,11 @@ func solveRevised(p *Problem, span *obs.Span, log *obs.Logger) (*Solution, error
 
 	if s.nArt > 0 {
 		p1Span := span.Child("lp.phase1")
-		p1Start := time.Now()
+		p1Timer := obs.StartTimer()
 		s.setCosts(nil, true)
 		err := s.run(s.n)
 		s.stats.Phase1Iterations = s.iterations
-		s.stats.Phase1Seconds = time.Since(p1Start).Seconds()
+		s.stats.Phase1Seconds = p1Timer.Seconds()
 		p1Span.Annotate("iterations", s.iterations)
 		p1Span.End()
 		if log.Enabled(obs.LevelDebug) {
@@ -542,11 +541,11 @@ func solveRevised(p *Problem, span *obs.Span, log *obs.Logger) (*Solution, error
 	}
 
 	p2Span := span.Child("lp.phase2")
-	p2Start := time.Now()
+	p2Timer := obs.StartTimer()
 	s.setCosts(p.Minimize, false)
 	err := s.run(artStart)
 	s.stats.Phase2Iterations = s.iterations - s.stats.Phase1Iterations
-	s.stats.Phase2Seconds = time.Since(p2Start).Seconds()
+	s.stats.Phase2Seconds = p2Timer.Seconds()
 	p2Span.Annotate("iterations", s.stats.Phase2Iterations)
 	p2Span.End()
 	if log.Enabled(obs.LevelDebug) {

@@ -1,0 +1,27 @@
+package obs
+
+import "time"
+
+// Timer is a started wall-clock stopwatch. The observability layer owns
+// every wall-clock read in the deterministic packages: solver and
+// simulator code must not call time.Now directly (the determinism lint
+// forbids it), because a stray wall-clock value that leaks into an
+// output breaks the byte-identical-at-any-parallelism guarantee.
+// Routing the read through obs keeps the timing visible, greppable, and
+// confined to stats/metrics that are documented as wall-clock.
+//
+// Timer is a value type: the zero Timer reports elapsed time since the
+// epoch and is never useful — always start one with StartTimer.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer starts a stopwatch at the current wall-clock time.
+func StartTimer() Timer {
+	return Timer{start: time.Now()}
+}
+
+// Seconds returns the wall-clock seconds elapsed since StartTimer.
+func (t Timer) Seconds() float64 {
+	return time.Since(t.start).Seconds()
+}

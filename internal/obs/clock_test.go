@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerSeconds(t *testing.T) {
+	tm := StartTimer()
+	time.Sleep(10 * time.Millisecond)
+	got := tm.Seconds()
+	if got < 0.005 {
+		t.Errorf("Timer.Seconds() = %v, want >= 0.005", got)
+	}
+	if got > 10 {
+		t.Errorf("Timer.Seconds() = %v, implausibly large", got)
+	}
+	// Seconds is monotone non-decreasing across calls.
+	if again := tm.Seconds(); again < got {
+		t.Errorf("second read %v < first read %v", again, got)
+	}
+}
+
+func TestTimerZeroAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		tm := StartTimer()
+		_ = tm.Seconds()
+	})
+	if allocs != 0 {
+		t.Errorf("Timer allocates %v per run, want 0", allocs)
+	}
+}

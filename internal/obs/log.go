@@ -77,7 +77,10 @@ func ParseLogLevel(level string) (slog.Level, bool, error) {
 // Enabled reports whether records at the given level would be emitted.
 // False on a nil logger.
 func (l *Logger) Enabled(level slog.Level) bool {
-	return l != nil && l.s.Enabled(context.Background(), level)
+	if l == nil {
+		return false
+	}
+	return l.s.Enabled(context.Background(), level)
 }
 
 // Log emits a record at an arbitrary level.

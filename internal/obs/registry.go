@@ -230,10 +230,10 @@ type Snapshot struct {
 
 // Snapshot exports every metric. A nil registry yields a zero snapshot.
 func (r *Registry) Snapshot() Snapshot {
-	var s Snapshot
 	if r == nil {
-		return s
+		return Snapshot{}
 	}
+	var s Snapshot
 	r.counters.Range(func(k, v any) bool {
 		if s.Counters == nil {
 			s.Counters = make(map[string]int64)

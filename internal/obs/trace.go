@@ -71,26 +71,39 @@ func (t *Trace) add(ev traceEvent) {
 
 // WriteJSON exports the trace. The output is a single JSON object with a
 // traceEvents array, the format both chrome://tracing and Perfetto load.
+// A nil trace writes a valid empty document.
 func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return writeTraceEvents(w, nil)
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, 0, len(t.events)+1)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": t.name},
+	})
+	events = append(events, t.events...)
+	t.mu.Unlock()
+	return writeTraceEvents(w, events)
+}
+
+// writeTraceEvents encodes the trace_event document envelope.
+func writeTraceEvents(w io.Writer, events []traceEvent) error {
 	doc := struct {
 		TraceEvents     []traceEvent `json:"traceEvents"`
 		DisplayTimeUnit string       `json:"displayTimeUnit"`
-	}{DisplayTimeUnit: "ms"}
-	if t != nil {
-		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
-			Name: "process_name", Ph: "M", PID: 1,
-			Args: map[string]any{"name": t.name},
-		})
-		t.mu.Lock()
-		doc.TraceEvents = append(doc.TraceEvents, t.events...)
-		t.mu.Unlock()
-	}
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(doc)
 }
 
-// WriteFile exports the trace to path.
+// WriteFile exports the trace to path. A nil trace still writes a valid
+// empty trace file — callers export unconditionally and a disabled run
+// must produce a loadable artifact — so the nil case routes through
+// WriteJSON's guard rather than returning early here.
+//
+//meclint:allow(nilsafe) nil-safe via WriteJSON; an early return would change the documented nil behavior
 func (t *Trace) WriteFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,160 @@
+package repolint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// CheckDocs requires a doc.go in every directory under root/internal
+// that contains Go files, opening with the canonical "// Package <name>"
+// comment. Violations are one line each, prefixed with the path
+// relative to root.
+func CheckDocs(root string) ([]string, error) {
+	var violations []string
+	base := filepath.Join(root, "internal")
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		// testdata trees hold fixtures the go tool never builds (lint
+		// analyzer corpora, scenario files); they are not packages and
+		// need no doc.go.
+		if d.Name() == "testdata" {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(filepath.Join(path, "doc.go"))
+		if os.IsNotExist(err) {
+			violations = append(violations, fmt.Sprintf("%s: missing doc.go with the package comment", rel))
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(string(data), "// Package "+filepath.Base(path)) {
+			violations = append(violations,
+				fmt.Sprintf("%s/doc.go: must start with %q", rel, "// Package "+filepath.Base(path)))
+		}
+		return nil
+	})
+	return violations, err
+}
+
+// mdLink matches inline markdown links [text](target); images share the
+// same target syntax, so ![alt](target) is covered by the same pattern.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// CheckLinks validates every relative link in the root-level and docs/
+// markdown files under root.
+func CheckLinks(root string) ([]string, error) {
+	var files []string
+	rootMD, err := filepath.Glob(filepath.Join(root, "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	docsMD, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	files = append(append(files, rootMD...), docsMD...)
+
+	var violations []string
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range ExtractLinks(string(data)) {
+			t := l.Target
+			if i := strings.IndexByte(t, '#'); i >= 0 {
+				t = t[:i]
+			}
+			if t == "" {
+				continue // pure fragment, points into the same document
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(t))
+			if _, err := os.Stat(resolved); err != nil {
+				violations = append(violations, fmt.Sprintf("%s:%d: broken link %q", rel, l.Line, l.Target))
+			}
+		}
+	}
+	return violations, nil
+}
+
+// LinkRef is one markdown link target and the line it appears on.
+type LinkRef struct {
+	Line   int
+	Target string
+}
+
+// ExtractLinks returns line-numbered relative link targets, skipping
+// fenced code blocks, inline code spans, and absolute URLs.
+func ExtractLinks(content string) []LinkRef {
+	var out []LinkRef
+	inFence := false
+	for i, line := range strings.Split(content, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatchIndex(stripInlineCode(line), -1) {
+			target := line[m[2]:m[3]]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			}
+			out = append(out, LinkRef{Line: i + 1, Target: target})
+		}
+	}
+	return out
+}
+
+// stripInlineCode blanks `code spans` so links inside them are ignored
+// while byte offsets into the original line stay valid.
+func stripInlineCode(line string) string {
+	var b strings.Builder
+	inCode := false
+	for _, r := range line {
+		if r == '`' {
+			inCode = !inCode
+			b.WriteRune('`')
+			continue
+		}
+		if inCode {
+			b.WriteRune(' ')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

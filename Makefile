@@ -10,9 +10,9 @@ GO ?= go
 # Pinned so CI and local runs agree; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs lint staticcheck doc-check link-check mecstat-smoke
+.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs lint staticcheck doc-check link-check mecstat-smoke workload-checks
 
-verify: fmt-check vet build race bench-smoke lint staticcheck mecstat-smoke
+verify: fmt-check vet build race bench-smoke lint staticcheck mecstat-smoke workload-checks
 
 # The full go vet analyzer set, spelled out so the suite only changes
 # when this list does — a toolchain upgrade cannot silently drop a check.
@@ -33,10 +33,13 @@ lint:
 
 # Pinned staticcheck via `go run`, so nothing is installed globally.
 # Skips with a notice when the module cannot be fetched (offline
-# sandboxes); CI always has network and runs it for real.
+# sandboxes). CI sets STRICT=1, which turns an unfetchable staticcheck
+# into a hard failure instead of a silent skip.
 staticcheck:
 	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
 		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	elif [ -n "$(STRICT)" ]; then \
+		echo "staticcheck $(STATICCHECK_VERSION) unavailable and STRICT is set"; exit 1; \
 	else \
 		echo "staticcheck $(STATICCHECK_VERSION) unavailable (offline?); skipping"; fi
 
@@ -84,6 +87,12 @@ link-check:
 # filter never needs updating when one is added or renamed.
 bench-obs:
 	$(GO) test -run xxx -bench BenchmarkObs -benchmem ./...
+
+# The ci-smoke machine class of the workload-checks corpus: every case
+# through the full generate → LP-HTA → simulate pipeline, gated on its
+# budgets.json. `go run ./cmd/mecwc` (no -class) runs every class.
+workload-checks:
+	$(GO) run ./cmd/mecwc -class ci-smoke
 
 # mecstat must keep reading its own committed fixtures and gating clean
 # on an identical pair; a regressed pair must trip the gate.

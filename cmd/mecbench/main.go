@@ -27,26 +27,37 @@
 //
 // A budget metric names a counter or gauge, the special "wall_seconds" /
 // "cpu_seconds" clocks, or a histogram with a .count/.sum/.mean suffix.
+// Budget files are validated up front (shared with mecwc via
+// internal/workload): malformed JSON, unknown metric names, or invalid
+// bounds exit with code 2 and a structured JSON record on stderr, while
+// a budget violation in a completed run exits 1 — after the -metrics,
+// -trace, and -obs-snapshots outputs have all been flushed, so a failed
+// gate still leaves its evidence behind.
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"strings"
 	"time"
 
 	"dsmec"
 	"dsmec/internal/lp"
 	"dsmec/internal/obs"
+	"dsmec/internal/workload"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mecbench:", err)
+		var be *workload.BudgetError
+		if errors.As(err, &be) {
+			be.WriteJSON(os.Stderr)
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -118,11 +129,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	// Load budgets before any work so a malformed file fails fast.
-	var budgets []budget
+	// Load budgets before any work so a malformed file fails fast (with
+	// exit code 2 via the *BudgetError mapping in main).
+	var budgets []workload.Budget
 	if *checkPath != "" {
 		var err error
-		budgets, err = loadBudgets(*checkPath)
+		budgets, err = workload.LoadBudgets(*checkPath)
 		if err != nil {
 			return err
 		}
@@ -136,6 +148,7 @@ func run(args []string, stdout io.Writer) error {
 		trace    *obs.Trace
 		manifest *obs.Manifest
 	)
+	closeSnapshotter := func() error { return nil }
 	if *metricsPath != "" || *tracePath != "" || *checkPath != "" || *obsAddr != "" || *snapPath != "" {
 		reg = obs.NewRegistry()
 		obs.SetGlobal(reg)
@@ -158,7 +171,19 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			defer snap.Close()
+			// Closed explicitly before the budget verdict so a failing
+			// -check still leaves a complete snapshot file; the guard keeps
+			// the deferred close from closing twice (Snapshotter.Close is
+			// not idempotent).
+			closed := false
+			closeSnapshotter = func() error {
+				if closed {
+					return nil
+				}
+				closed = true
+				return snap.Close()
+			}
+			defer closeSnapshotter()
 		}
 	}
 
@@ -217,130 +242,14 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "trace: %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
 	}
 	if *checkPath != "" {
-		return checkBudgets(budgets, manifest, stdout)
+		// Flush the snapshot stream before the verdict: a failed gate must
+		// still leave complete observability artifacts behind.
+		if err := closeSnapshotter(); err != nil {
+			return err
+		}
+		if vs := workload.CheckBudgets(budgets, workload.ManifestResolver(manifest), stdout); len(vs) > 0 {
+			return fmt.Errorf("%d budget violation(s)", len(vs))
+		}
 	}
 	return nil
-}
-
-// budget is one metric bound. Unset bounds do not apply.
-type budget struct {
-	Metric string   `json:"metric"`
-	Max    *float64 `json:"max,omitempty"`
-	Min    *float64 `json:"min,omitempty"`
-}
-
-type budgetFile struct {
-	Budgets []budget `json:"budgets"`
-}
-
-func loadBudgets(path string) ([]budget, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var bf budgetFile
-	if err := json.Unmarshal(data, &bf); err != nil {
-		return nil, fmt.Errorf("parsing budgets %s: %w", path, err)
-	}
-	if len(bf.Budgets) == 0 {
-		return nil, fmt.Errorf("budgets %s: no budgets defined", path)
-	}
-	for _, b := range bf.Budgets {
-		if b.Metric == "" {
-			return nil, fmt.Errorf("budgets %s: budget with empty metric name", path)
-		}
-		if b.Max == nil && b.Min == nil {
-			return nil, fmt.Errorf("budgets %s: %s has neither min nor max", path, b.Metric)
-		}
-	}
-	return bf.Budgets, nil
-}
-
-// violation is the machine-readable record emitted alongside each human
-// "budget FAIL" line, so CI wrappers can parse failures without scraping
-// the column-aligned text. Margin is how far past the limit the run
-// landed, always non-negative.
-type violation struct {
-	Budget string   `json:"budget"`
-	Kind   string   `json:"kind"` // "max", "min", or "missing"
-	Limit  *float64 `json:"limit,omitempty"`
-	Actual *float64 `json:"actual,omitempty"`
-	Margin *float64 `json:"margin,omitempty"`
-}
-
-// checkBudgets resolves every budget against the finished manifest and
-// reports violations; any violation (or unresolvable metric) is an error,
-// which main turns into a non-zero exit. Each failure prints a human line
-// followed by a one-line JSON violation record.
-func checkBudgets(budgets []budget, m *obs.Manifest, stdout io.Writer) error {
-	violations := 0
-	fail := func(v violation) {
-		violations++
-		data, err := json.Marshal(v)
-		if err != nil {
-			return
-		}
-		fmt.Fprintf(stdout, "%s\n", data)
-	}
-	for _, b := range budgets {
-		v, ok := resolveMetric(b.Metric, m)
-		if !ok {
-			fmt.Fprintf(stdout, "budget FAIL %-32s metric not found in run\n", b.Metric)
-			fail(violation{Budget: b.Metric, Kind: "missing"})
-			continue
-		}
-		switch {
-		case b.Max != nil && v > *b.Max:
-			fmt.Fprintf(stdout, "budget FAIL %-32s %g > max %g\n", b.Metric, v, *b.Max)
-			margin := v - *b.Max
-			fail(violation{Budget: b.Metric, Kind: "max", Limit: b.Max, Actual: &v, Margin: &margin})
-		case b.Min != nil && v < *b.Min:
-			fmt.Fprintf(stdout, "budget FAIL %-32s %g < min %g\n", b.Metric, v, *b.Min)
-			margin := *b.Min - v
-			fail(violation{Budget: b.Metric, Kind: "min", Limit: b.Min, Actual: &v, Margin: &margin})
-		default:
-			fmt.Fprintf(stdout, "budget ok   %-32s %g\n", b.Metric, v)
-		}
-	}
-	if violations > 0 {
-		return fmt.Errorf("%d budget violation(s)", violations)
-	}
-	return nil
-}
-
-// resolveMetric looks a budget metric up in the manifest: counters and
-// gauges by name, the wall_seconds/cpu_seconds clocks, and histograms via
-// a .count/.sum/.mean suffix.
-func resolveMetric(name string, m *obs.Manifest) (float64, bool) {
-	switch name {
-	case "wall_seconds":
-		return m.WallSeconds, true
-	case "cpu_seconds":
-		return m.CPUSeconds, true
-	}
-	if v, ok := m.Metrics.Counters[name]; ok {
-		return float64(v), true
-	}
-	if v, ok := m.Metrics.Gauges[name]; ok {
-		return v, true
-	}
-	for _, suffix := range []string{".count", ".sum", ".mean"} {
-		base, found := strings.CutSuffix(name, suffix)
-		if !found {
-			continue
-		}
-		h, ok := m.Metrics.Histograms[base]
-		if !ok {
-			continue
-		}
-		switch suffix {
-		case ".count":
-			return float64(h.Count), true
-		case ".sum":
-			return h.Sum, true
-		case ".mean":
-			return h.Mean(), true
-		}
-	}
-	return 0, false
 }

@@ -2,12 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
-	"dsmec/internal/obs"
+	"dsmec/internal/workload"
 )
 
 func writeBudgets(t *testing.T, dir, content string) string {
@@ -72,9 +73,12 @@ func TestBudgetCheckPasses(t *testing.T) {
 
 func TestBudgetCheckFails(t *testing.T) {
 	dir := t.TempDir()
+	// "lp.no_such_counter" has a known metric root, so it parses but
+	// cannot resolve against the run — a "missing" violation, not a
+	// parse-time rejection.
 	bpath := writeBudgets(t, dir, `{"budgets": [
 		{"metric": "lp.solves", "max": 0},
-		{"metric": "no.such.metric", "min": 1}
+		{"metric": "lp.no_such_counter", "min": 1}
 	]}`)
 	var out strings.Builder
 	err := run([]string{"-experiment", "fig2a", "-trials", "1", "-quick", "-check", bpath}, &out)
@@ -98,50 +102,79 @@ func TestBudgetCheckFails(t *testing.T) {
 	}
 }
 
-// TestBudgetViolationJSONFormat pins the exact shape of the JSON record
-// printed alongside each human "budget FAIL" line; CI wrappers parse these
-// lines, so the field set and encoding must not drift.
-func TestBudgetViolationJSONFormat(t *testing.T) {
-	m := &obs.Manifest{Metrics: obs.Snapshot{
-		Counters: map[string]int64{"lp.pivots": 612},
-		Gauges:   map[string]float64{"sim.utilization.st.cpu": 0.25},
-	}}
-	maxPivots, minUtil := 500.0, 0.5
-	var out strings.Builder
-	err := checkBudgets([]budget{
-		{Metric: "lp.pivots", Max: &maxPivots},
-		{Metric: "sim.utilization.st.cpu", Min: &minUtil},
-		{Metric: "no.such.metric", Min: &minUtil},
-	}, m, &out)
-	if err == nil || !strings.Contains(err.Error(), "3 budget violation") {
-		t.Fatalf("err = %v, want 3 violations", err)
-	}
-	for _, want := range []string{
-		`{"budget":"lp.pivots","kind":"max","limit":500,"actual":612,"margin":112}`,
-		`{"budget":"sim.utilization.st.cpu","kind":"min","limit":0.5,"actual":0.25,"margin":0.25}`,
-		`{"budget":"no.such.metric","kind":"missing"}`,
-	} {
-		if !strings.Contains(out.String(), want+"\n") {
-			t.Errorf("missing violation line %s in:\n%s", want, out.String())
-		}
-	}
-}
-
+// TestBudgetFileValidation proves malformed budget files fail fast as
+// structured *workload.BudgetError values — before any experiment runs —
+// which main maps to exit code 2. (The full parsing edge-case matrix
+// lives in internal/workload, shared with mecwc.)
 func TestBudgetFileValidation(t *testing.T) {
 	dir := t.TempDir()
 	cases := map[string]string{
-		"malformed": `{not json`,
-		"empty":     `{"budgets": []}`,
-		"unnamed":   `{"budgets": [{"max": 1}]}`,
-		"unbounded": `{"budgets": [{"metric": "x"}]}`,
+		"malformed":      `{not json`,
+		"empty":          `{"budgets": []}`,
+		"unnamed":        `{"budgets": [{"max": 1}]}`,
+		"unbounded":      `{"budgets": [{"metric": "lp.pivots"}]}`,
+		"unknown metric": `{"budgets": [{"metric": "no.such.metric", "min": 1}]}`,
+		"negative limit": `{"budgets": [{"metric": "lp.pivots", "max": -1}]}`,
 	}
 	for name, content := range cases {
 		bpath := writeBudgets(t, dir, content)
 		var out strings.Builder
-		// Validation happens before any experiment runs, so even -list-less
-		// invalid invocations fail fast.
-		if err := run([]string{"-experiment", "fig2a", "-check", bpath}, &out); err == nil {
+		err := run([]string{"-experiment", "fig2a", "-check", bpath}, &out)
+		if err == nil {
 			t.Errorf("%s budget file accepted", name)
+			continue
+		}
+		var be *workload.BudgetError
+		if !errors.As(err, &be) {
+			t.Errorf("%s: error %T is not a *workload.BudgetError (would exit 1, want 2)", name, err)
+		}
+		if strings.Contains(out.String(), "(fig2a in") {
+			t.Errorf("%s: experiment ran despite invalid budget file", name)
+		}
+	}
+}
+
+// TestBudgetFailureStillFlushesArtifacts pins the flush ordering: a run
+// that fails its budget gate must still leave the -metrics manifest and
+// a complete -obs-snapshots stream behind, so CI failures come with
+// their evidence.
+func TestBudgetFailureStillFlushesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	bpath := writeBudgets(t, dir, `{"budgets": [{"metric": "lp.solves", "max": 0}]}`)
+	mpath := filepath.Join(dir, "bench.json")
+	spath := filepath.Join(dir, "snaps.jsonl")
+	var out strings.Builder
+	err := run([]string{
+		"-experiment", "fig2a", "-trials", "1", "-quick",
+		"-metrics", mpath, "-obs-snapshots", spath, "-check", bpath,
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "budget violation") {
+		t.Fatalf("err = %v, want a budget violation", err)
+	}
+	var be *workload.BudgetError
+	if errors.As(err, &be) {
+		t.Fatalf("violation surfaced as a file error (exit 2); want plain error (exit 1)")
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatalf("metrics manifest missing after failed gate: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Error("metrics manifest is not valid JSON")
+	}
+	snaps, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatalf("snapshot stream missing after failed gate: %v", err)
+	}
+	// Close writes one final record even when no interval elapsed; every
+	// line must be complete JSON (i.e. the stream was flushed, not cut).
+	lines := strings.Split(strings.TrimSpace(string(snaps)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("snapshot stream is empty after failed gate")
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("snapshot line %d is not complete JSON: %q", i, line)
 		}
 	}
 }

@@ -8,7 +8,14 @@
 //	mecgen -tasks 100 > scenario.json
 //	mecgen -divisible -tasks 50 -seed 9 -o scenario.json
 //	mecgen -tasks 100 -metrics gen.json -o scenario.json
+//	mecgen -recipe flash-crowd -tasks 400 > crowd.json
+//	mecgen -list-recipes
 //	mecsim -load scenario.json
+//
+// -recipe names a workload shape from the internal/recipes catalog
+// (flash crowds, diurnal waves, outage storms, ...); the size flags
+// still pick the population scale. Recipes that carry a fault profile
+// embed the generated fault plan automatically, seeded by -fault-seed.
 //
 // The scenario document goes to stdout (or -o); observability output —
 // the -metrics run manifest summary and the -trace file note — goes to
@@ -23,7 +30,9 @@ import (
 
 	"dsmec"
 	"dsmec/internal/obs"
+	"dsmec/internal/recipes"
 	"dsmec/internal/scenarioio"
+	"dsmec/internal/texttable"
 )
 
 func main() {
@@ -44,6 +53,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		divisible   = fs.Bool("divisible", false, "generate divisible tasks with a data placement")
 		faults      = fs.Bool("faults", false, "embed a generated fault plan (station outages, churn, link degradation) in the document")
 		faultSeed   = fs.Int64("fault-seed", 1, "root seed for the embedded fault plan")
+		recipeName  = fs.String("recipe", "", "generate a named workload shape (see -list-recipes)")
+		listRecipes = fs.Bool("list-recipes", false, "list the recipe catalog and exit")
 		out         = fs.String("o", "", "output file (default stdout)")
 		metricsPath = fs.String("metrics", "", "write a run manifest to this JSON file (summary on stderr)")
 		tracePath   = fs.String("trace", "", "write a Chrome trace_event JSON to this file")
@@ -52,6 +63,17 @@ func run(args []string, stdout io.Writer) (err error) {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listRecipes {
+		return writeRecipeList(stdout)
+	}
+	var recipe recipes.Recipe
+	if *recipeName != "" {
+		var ok bool
+		recipe, ok = recipes.ByName(*recipeName)
+		if !ok {
+			return fmt.Errorf("unknown recipe %q; run mecgen -list-recipes", *recipeName)
+		}
 	}
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -75,12 +97,13 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}
 
-	params := dsmec.WorkloadParams{
-		NumDevices:  *devices,
-		NumStations: *stations,
-		NumTasks:    *tasks,
-		MaxInput:    dsmec.ByteSize(*inputKB) * dsmec.Kilobyte,
-	}
+	// A recipe supplies the load shape; the size flags always pick the
+	// population scale (recipes leave sizes zero by construction).
+	params := recipe.Params
+	params.NumDevices = *devices
+	params.NumStations = *stations
+	params.NumTasks = *tasks
+	params.MaxInput = dsmec.ByteSize(*inputKB) * dsmec.Kilobyte
 	if manifest != nil {
 		manifest.SetScenarioHash(obs.HashJSON(struct {
 			Seed      int64
@@ -119,11 +142,15 @@ func run(args []string, stdout io.Writer) (err error) {
 		w = f
 	}
 	var fp *dsmec.FaultPlan
-	if *faults {
+	if *faults || recipe.Faults != nil {
 		if *divisible {
 			return fmt.Errorf("fault plans apply to the holistic simulator replay; drop -divisible")
 		}
-		fp = dsmec.GenerateFaultPlan(dsmec.NewSeed(*faultSeed), sc.System, dsmec.DefaultFaultParams())
+		fparams := dsmec.DefaultFaultParams()
+		if recipe.Faults != nil {
+			fparams = *recipe.Faults
+		}
+		fp = dsmec.GenerateFaultPlan(dsmec.NewSeed(*faultSeed), sc.System, fparams)
 	}
 	espan := root.Child("encode")
 	err = scenarioio.EncodeWithFaults(w, sc, fp)
@@ -152,4 +179,18 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}
 	return nil
+}
+
+// writeRecipeList prints the recipe catalog as a table.
+func writeRecipeList(w io.Writer) error {
+	tbl := texttable.New("RECIPE", "FAULTS", "DESCRIPTION")
+	for _, r := range recipes.All() {
+		faults := "-"
+		if r.Faults != nil {
+			faults = "yes"
+		}
+		tbl.AddRow(r.Name, faults, r.Description)
+	}
+	_, err := tbl.WriteTo(w)
+	return err
 }

@@ -80,3 +80,74 @@ func TestBadOutputPath(t *testing.T) {
 		t.Log("")
 	}
 }
+
+func TestListRecipes(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list-recipes"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"steady-state", "flash-crowd", "mass-station-outage", "DESCRIPTION"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("recipe list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownRecipe(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-recipe", "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-list-recipes") {
+		t.Errorf("unknown recipe error = %v; want a pointer to -list-recipes", err)
+	}
+}
+
+// TestRecipeShapesScenario proves -recipe reshapes the task spread while
+// the size flags still pick the scale.
+func TestRecipeShapesScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-recipe", "flash-crowd", "-tasks", "100", "-devices", "20", "-stations", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenarioio.Decode(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Tasks.Len() != 100 || sc.System.NumDevices() != 20 {
+		t.Fatalf("got %d tasks / %d devices, want 100 / 20", sc.Tasks.Len(), sc.System.NumDevices())
+	}
+	hot := 0
+	for i := 0; i < sc.Tasks.Len(); i++ {
+		if sc.Tasks.At(i).ID.User < 2 { // hottest 10% of 20 devices
+			hot++
+		}
+	}
+	if hot != 70 {
+		t.Errorf("hot devices raise %d/100 tasks, want 70", hot)
+	}
+}
+
+// TestRecipeEmbedsFaultPlan proves fault-bearing recipes embed their
+// plan without an explicit -faults flag.
+func TestRecipeEmbedsFaultPlan(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-recipe", "mass-station-outage", "-tasks", "20", "-devices", "10", "-stations", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	_, fp, err := scenarioio.DecodeWithFaults(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == nil || len(fp.StationOutages) != 2 {
+		t.Fatalf("fault plan = %+v; want 2 synchronized station outages (half of 4)", fp)
+	}
+	if fp.StationOutages[0].At != fp.StationOutages[1].At {
+		t.Error("mass outage stations must fail simultaneously")
+	}
+}
+
+func TestRecipeFaultsRejectDivisible(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-recipe", "device-churn-storm", "-divisible", "-tasks", "10", "-devices", "5", "-stations", "1"}, &out); err == nil {
+		t.Error("fault-bearing recipe with -divisible should fail")
+	}
+}

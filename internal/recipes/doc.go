@@ -1,0 +1,7 @@
+// Package recipes names the workload shapes the corpus and CLIs speak:
+// each Recipe pairs generator parameters (flash crowds, diurnal waves,
+// data-locality skew) with an optional fault-plan profile (mass station
+// outages, churn storms). It sits above both the scenario generator
+// (internal/workload) and the fault machinery (internal/sim) so that
+// neither has to know about the other.
+package recipes

@@ -1,0 +1,92 @@
+package recipes
+
+import (
+	"sort"
+
+	"dsmec/internal/sim"
+	"dsmec/internal/units"
+	"dsmec/internal/workload"
+)
+
+// Recipe is a named workload shape the generator knows how to produce:
+// base scenario parameters (sizes left zero so callers can pick the
+// scale) plus an optional fault-plan profile. Recipes are the vocabulary
+// of the workload-checks corpus — a case names a recipe and a seed
+// instead of committing a multi-megabyte scenario document — and are
+// exposed on the CLI as `mecgen -recipe <name>`.
+type Recipe struct {
+	Name        string
+	Description string
+	// Params carries the load shape. Population sizes (NumDevices,
+	// NumStations, NumTasks, MaxInput) are left zero here; callers
+	// override them per machine class, and the usual defaults apply
+	// otherwise.
+	Params workload.Params
+	// Faults, when non-nil, profiles the fault plan generated alongside
+	// the scenario (from its own fault seed).
+	Faults *sim.FaultParams
+}
+
+// catalog is the recipe set, keyed by name. The shapes deliberately
+// stress regimes the paper's even-spread generator cannot express:
+// correctness of the decomposed assignment must hold across load
+// regimes, not one.
+var catalog = map[string]Recipe{
+	"steady-state": {
+		Description: "the paper's Section V.A baseline: even task spread, no faults",
+	},
+	"flash-crowd": {
+		Description: "70% of all tasks concentrated on the hottest 10% of devices",
+		Params:      workload.Params{HotTaskFrac: 0.7, HotDeviceFrac: 0.1},
+	},
+	"diurnal-wave": {
+		Description: "per-station load tilted by a sinusoidal wave (amplitude 0.8), like time zones",
+		Params:      workload.Params{StationWave: 0.8},
+	},
+	"data-locality-skew": {
+		Description: "external reads concentrated on the hottest 10% of devices, with heavier external traffic",
+		Params:      workload.Params{HotSourceFrac: 0.1, ExternalMaxRatio: 1.2},
+	},
+	"mass-station-outage": {
+		Description: "half of all stations fail simultaneously mid-run and repair together",
+		Faults: &sim.FaultParams{
+			MassOutageFrac:   0.5,
+			MassOutageAt:     200 * units.Millisecond,
+			MassOutageRepair: 1500 * units.Millisecond,
+			TransferTimeout:  2 * units.Second,
+		},
+	},
+	"device-churn-storm": {
+		Description: "30% of devices churn out permanently during the run",
+		Faults: &sim.FaultParams{
+			ChurnRate:       0.3,
+			TransferTimeout: 2 * units.Second,
+		},
+	},
+}
+
+// All lists the catalog sorted by name.
+func All() []Recipe {
+	names := make([]string, 0, len(catalog))
+	for name := range catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Recipe, 0, len(names))
+	for _, name := range names {
+		r := catalog[name]
+		r.Name = name
+		out = append(out, r)
+	}
+	return out
+}
+
+// ByName looks one recipe up.
+func ByName(name string) (Recipe, bool) {
+	r, ok := catalog[name]
+	if !ok {
+		return Recipe{}, false
+	}
+	r.Name = name
+	return r, true
+}

@@ -1,0 +1,91 @@
+package recipes
+
+import (
+	"testing"
+
+	"dsmec/internal/rng"
+	"dsmec/internal/sim"
+	"dsmec/internal/workload"
+)
+
+func TestRecipeCatalog(t *testing.T) {
+	rs := All()
+	if len(rs) < 6 {
+		t.Fatalf("catalog has %d recipes, want >= 6", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].Name >= rs[i].Name {
+			t.Fatalf("catalog not sorted: %q before %q", rs[i-1].Name, rs[i].Name)
+		}
+	}
+	for _, want := range []string{
+		"steady-state", "flash-crowd", "diurnal-wave",
+		"data-locality-skew", "mass-station-outage", "device-churn-storm",
+	} {
+		r, ok := ByName(want)
+		if !ok {
+			t.Errorf("missing recipe %q", want)
+			continue
+		}
+		if r.Name != want || r.Description == "" {
+			t.Errorf("recipe %q: name %q, description %q", want, r.Name, r.Description)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown recipe resolved")
+	}
+}
+
+// TestEveryRecipeGenerates proves each recipe produces a valid scenario
+// deterministically: the same (recipe, seed) yields equal task sets.
+func TestEveryRecipeGenerates(t *testing.T) {
+	for _, r := range All() {
+		p := r.Params
+		p.NumDevices, p.NumStations, p.NumTasks = 20, 4, 60
+		gen := func() *workload.Scenario {
+			sc, err := workload.GenerateHolistic(rng.NewSource(7), p)
+			if err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			return sc
+		}
+		a, b := gen(), gen()
+		if a.Tasks.Len() != 60 {
+			t.Errorf("%s: generated %d tasks, want 60", r.Name, a.Tasks.Len())
+		}
+		for i := 0; i < a.Tasks.Len(); i++ {
+			ta, tb := a.Tasks.At(i), b.Tasks.At(i)
+			if ta.ID != tb.ID || ta.LocalSize != tb.LocalSize || ta.Deadline != tb.Deadline {
+				t.Fatalf("%s: task %d differs between identical seeds", r.Name, i)
+			}
+		}
+	}
+}
+
+// TestRecipeFaultPlansGenerate proves each fault-bearing recipe yields a
+// valid plan against a small system.
+func TestRecipeFaultPlansGenerate(t *testing.T) {
+	sc, err := workload.GenerateHolistic(rng.NewSource(7), workload.Params{
+		NumDevices: 20, NumStations: 4, NumTasks: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := 0
+	for _, r := range All() {
+		if r.Faults == nil {
+			continue
+		}
+		faulted++
+		plan := sim.GenerateFaultPlan(rng.NewSource(9), sc.System, *r.Faults)
+		if err := plan.Validate(sc.System); err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if len(plan.StationOutages)+len(plan.DeviceDepartures)+len(plan.LinkDegradations) == 0 {
+			t.Errorf("%s: fault profile produced an empty plan", r.Name)
+		}
+	}
+	if faulted < 2 {
+		t.Errorf("only %d fault-bearing recipes; want >= 2", faulted)
+	}
+}

@@ -196,6 +196,14 @@ type FaultParams struct {
 	TransferTimeout units.Duration
 	// Recovery is copied into the plan.
 	Recovery RecoveryPolicy
+
+	// MassOutageFrac takes that fraction of stations (rounded up, chosen
+	// by seeded shuffle) down simultaneously at MassOutageAt for
+	// MassOutageRepair — a correlated regional failure rather than the
+	// independent Poisson outages of OutageRate. Zero disables.
+	MassOutageFrac   float64
+	MassOutageAt     units.Duration
+	MassOutageRepair units.Duration // default: MeanRepair
 }
 
 func (p FaultParams) withDefaults() FaultParams {
@@ -270,6 +278,26 @@ func GenerateFaultPlan(src *rng.Source, sys *mecnet.System, params FaultParams) 
 					Slowdown: params.Slowdown,
 				})
 			}
+		}
+	}
+	if params.MassOutageFrac > 0 {
+		r = src.Stream("faults.mass")
+		k := int(math.Ceil(params.MassOutageFrac * float64(sys.NumStations())))
+		if k > sys.NumStations() {
+			k = sys.NumStations()
+		}
+		repair := params.MassOutageRepair
+		if repair == 0 {
+			repair = params.MeanRepair
+		}
+		victims := r.Perm(sys.NumStations())[:k]
+		sort.Ints(victims)
+		for _, s := range victims {
+			plan.StationOutages = append(plan.StationOutages, StationOutage{
+				Station: s,
+				At:      params.MassOutageAt,
+				Repair:  repair,
+			})
 		}
 	}
 	return plan

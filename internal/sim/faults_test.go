@@ -416,3 +416,54 @@ func TestFaultPlanValidate(t *testing.T) {
 		t.Error("nil plan should be empty")
 	}
 }
+
+func TestGenerateFaultPlanMassOutage(t *testing.T) {
+	sc, _ := genScenarioAssignment(t, 1)
+	numStations := sc.System.NumStations()
+	params := FaultParams{
+		MassOutageFrac:   0.5,
+		MassOutageAt:     units.Duration(0.2),
+		MassOutageRepair: units.Duration(1.5),
+	}
+	plan := GenerateFaultPlan(rng.NewSource(3), sc.System, params)
+	want := (numStations + 1) / 2 // ceil(0.5 * S)
+	if len(plan.StationOutages) != want {
+		t.Fatalf("mass outage took down %d stations, want %d of %d",
+			len(plan.StationOutages), want, numStations)
+	}
+	seen := map[int]bool{}
+	for _, o := range plan.StationOutages {
+		if o.At != params.MassOutageAt || o.Repair != params.MassOutageRepair {
+			t.Errorf("outage %+v not synchronized at %v for %v", o, params.MassOutageAt, params.MassOutageRepair)
+		}
+		if seen[o.Station] {
+			t.Errorf("station %d taken down twice", o.Station)
+		}
+		seen[o.Station] = true
+	}
+	if err := plan.Validate(sc.System); err != nil {
+		t.Errorf("mass outage plan invalid: %v", err)
+	}
+	// Determinism: same seed, same victims.
+	again := GenerateFaultPlan(rng.NewSource(3), sc.System, params)
+	if !reflect.DeepEqual(plan, again) {
+		t.Error("same seed should generate identical mass-outage plans")
+	}
+	// The zero value changes nothing: plans without the knob are
+	// byte-identical to pre-mass-outage builds (the committed goldens
+	// pin this end to end).
+	base := GenerateFaultPlan(rng.NewSource(3), sc.System, DefaultFaultParams())
+	if len(base.StationOutages) != len(GenerateFaultPlan(rng.NewSource(3), sc.System, DefaultFaultParams()).StationOutages) {
+		t.Error("default plan generation became nondeterministic")
+	}
+	// MassOutageRepair defaults to MeanRepair when zero.
+	p2 := GenerateFaultPlan(rng.NewSource(3), sc.System, FaultParams{MassOutageFrac: 1})
+	if len(p2.StationOutages) != numStations {
+		t.Fatalf("frac 1 took down %d of %d stations", len(p2.StationOutages), numStations)
+	}
+	for _, o := range p2.StationOutages {
+		if o.Repair != units.Second { // withDefaults: MeanRepair = 1 s
+			t.Errorf("repair %v, want the 1 s MeanRepair default", o.Repair)
+		}
+	}
+}

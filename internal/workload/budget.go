@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"dsmec/internal/obs"
+)
+
+// Budget is one metric bound of a budgets.json file. Unset bounds do not
+// apply. Budgets gate CI runs: mecbench -check and the mecwc workload-check
+// runner both evaluate them against a finished run.
+type Budget struct {
+	Metric string   `json:"metric"`
+	Max    *float64 `json:"max,omitempty"`
+	Min    *float64 `json:"min,omitempty"`
+}
+
+type budgetFile struct {
+	Budgets []Budget `json:"budgets"`
+}
+
+// BudgetError reports a malformed budget file: unparseable JSON, an empty
+// budget list, an unknown metric name, or an invalid limit. Tooling maps
+// it to exit code 2 ("bad input") with a structured JSON record on stderr,
+// so CI wrappers can tell a broken budget file from a real regression.
+type BudgetError struct {
+	Path   string // the file, "" when parsed from memory
+	Detail string
+}
+
+// Error renders the failure with its source path.
+func (e *BudgetError) Error() string {
+	if e.Path == "" {
+		return "budgets: " + e.Detail
+	}
+	return fmt.Sprintf("budgets %s: %s", e.Path, e.Detail)
+}
+
+// WriteJSON emits the machine-readable form of the error.
+func (e *BudgetError) WriteJSON(w io.Writer) {
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error":  "budget_file",
+		"path":   e.Path,
+		"detail": e.Detail,
+	})
+}
+
+// derivedMetrics are the workload-level quantities the mecwc runner
+// computes from a finished simulation, resolvable by budget files in
+// addition to the raw registry metrics. The list doubles as parse-time
+// validation: a metric name must be one of these, a run clock, or carry a
+// known registry namespace root.
+var derivedMetrics = map[string]string{
+	"miss_rate":            "deadline misses / tasks",
+	"miss_rate.fault":      "fault-attributed misses / tasks",
+	"miss_rate.capacity":   "capacity (queueing) misses / tasks",
+	"goodput":              "tasks completing within deadline / tasks",
+	"total_energy_joules":  "total energy of the run (J)",
+	"makespan_seconds":     "completion time of the last task",
+	"mean_latency_seconds": "mean sojourn time over placed tasks",
+	"tasks_total":          "tasks in the scenario",
+	"tasks_placed":         "tasks that completed in the simulator",
+	"tasks_lost":           "tasks the recovery policy gave up on",
+	"tasks_cancelled":      "tasks the assignment did not place",
+	"alloc_bytes_per_task": "heap bytes allocated per task (B/op)",
+}
+
+// clockMetrics are the run clocks every manifest carries.
+var clockMetrics = map[string]bool{
+	"wall_seconds": true,
+	"cpu_seconds":  true,
+}
+
+// knownMetricRoots are the registry namespaces the repo emits (see
+// docs/OBSERVABILITY.md). A budget naming a metric outside the derived
+// catalog, the clocks, and these roots can never resolve, so it is
+// rejected when the file is parsed rather than surfacing as a puzzling
+// "metric not found" at the end of a long run.
+var knownMetricRoots = map[string]bool{
+	"lp":       true,
+	"lphta":    true,
+	"dta":      true,
+	"sim":      true,
+	"bench":    true,
+	"gen":      true,
+	"feedback": true,
+	"mecwc":    true,
+}
+
+// DerivedMetricNames lists the derived metric catalog, sorted.
+func DerivedMetricNames() []string {
+	names := make([]string, 0, len(derivedMetrics))
+	for name := range derivedMetrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DerivedMetricHelp describes one derived metric, "" when unknown.
+func DerivedMetricHelp(name string) string { return derivedMetrics[name] }
+
+// validMetricName reports whether a budget metric can ever resolve.
+func validMetricName(name string) bool {
+	if clockMetrics[name] || derivedMetrics[name] != "" {
+		return true
+	}
+	root, rest, found := strings.Cut(name, ".")
+	if !found || rest == "" {
+		return false
+	}
+	return knownMetricRoots[root]
+}
+
+// ParseBudgets validates a budget document. path is used in error
+// messages only. Every failure is a *BudgetError.
+func ParseBudgets(data []byte, path string) ([]Budget, error) {
+	fail := func(format string, args ...any) ([]Budget, error) {
+		return nil, &BudgetError{Path: path, Detail: fmt.Sprintf(format, args...)}
+	}
+	var bf budgetFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return fail("malformed JSON: %v", err)
+	}
+	if len(bf.Budgets) == 0 {
+		return fail("no budgets defined")
+	}
+	for _, b := range bf.Budgets {
+		if b.Metric == "" {
+			return fail("budget with empty metric name")
+		}
+		if !validMetricName(b.Metric) {
+			return fail("unknown metric %q: not a derived workload metric, a run clock, or a registry metric under a known namespace (%s)",
+				b.Metric, strings.Join(sortedKeys(knownMetricRoots), ", "))
+		}
+		if b.Max == nil && b.Min == nil {
+			return fail("%s has neither min nor max", b.Metric)
+		}
+		if b.Max != nil && *b.Max < 0 {
+			return fail("%s: negative max %g (all budgetable quantities are non-negative)", b.Metric, *b.Max)
+		}
+		if b.Min != nil && *b.Min < 0 {
+			return fail("%s: negative min %g (all budgetable quantities are non-negative)", b.Metric, *b.Min)
+		}
+		if b.Max != nil && b.Min != nil && *b.Max < *b.Min {
+			return fail("%s: max %g < min %g", b.Metric, *b.Max, *b.Min)
+		}
+	}
+	return bf.Budgets, nil
+}
+
+// LoadBudgets reads and validates a budgets.json file.
+func LoadBudgets(path string) ([]Budget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &BudgetError{Path: path, Detail: err.Error()}
+	}
+	return ParseBudgets(data, path)
+}
+
+// Violation is the machine-readable record emitted alongside each human
+// "budget FAIL" line, so CI wrappers can parse failures without scraping
+// the column-aligned text. Margin is how far past the limit the run
+// landed, always non-negative.
+type Violation struct {
+	Budget string   `json:"budget"`
+	Kind   string   `json:"kind"` // "max", "min", or "missing"
+	Limit  *float64 `json:"limit,omitempty"`
+	Actual *float64 `json:"actual,omitempty"`
+	Margin *float64 `json:"margin,omitempty"`
+}
+
+// Resolver looks one budget metric up in a finished run.
+type Resolver func(name string) (float64, bool)
+
+// ManifestResolver resolves budget metrics against a finished run
+// manifest: counters and gauges by name, the wall_seconds/cpu_seconds
+// clocks, and histograms via a .count/.sum/.mean suffix.
+func ManifestResolver(m *obs.Manifest) Resolver {
+	return func(name string) (float64, bool) {
+		switch name {
+		case "wall_seconds":
+			return m.WallSeconds, true
+		case "cpu_seconds":
+			return m.CPUSeconds, true
+		}
+		if v, ok := m.Metrics.Counters[name]; ok {
+			return float64(v), true
+		}
+		if v, ok := m.Metrics.Gauges[name]; ok {
+			return v, true
+		}
+		for _, suffix := range []string{".count", ".sum", ".mean"} {
+			base, found := strings.CutSuffix(name, suffix)
+			if !found {
+				continue
+			}
+			h, ok := m.Metrics.Histograms[base]
+			if !ok {
+				continue
+			}
+			switch suffix {
+			case ".count":
+				return float64(h.Count), true
+			case ".sum":
+				return h.Sum, true
+			case ".mean":
+				return h.Mean(), true
+			}
+		}
+		return 0, false
+	}
+}
+
+// ChainResolvers tries each resolver in order.
+func ChainResolvers(rs ...Resolver) Resolver {
+	return func(name string) (float64, bool) {
+		for _, r := range rs {
+			if r == nil {
+				continue
+			}
+			if v, ok := r(name); ok {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+}
+
+// CheckBudgets resolves every budget and returns the violations, in
+// budget order. Each budget prints one human line to w ("budget ok" or
+// "budget FAIL"), and each failure additionally prints a one-line JSON
+// Violation record. A metric no resolver knows is a violation of kind
+// "missing".
+func CheckBudgets(budgets []Budget, resolve Resolver, w io.Writer) []Violation {
+	var violations []Violation
+	fail := func(v Violation) {
+		violations = append(violations, v)
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "%s\n", data)
+	}
+	for _, b := range budgets {
+		v, ok := resolve(b.Metric)
+		if !ok {
+			fmt.Fprintf(w, "budget FAIL %-32s metric not found in run\n", b.Metric)
+			fail(Violation{Budget: b.Metric, Kind: "missing"})
+			continue
+		}
+		switch {
+		case b.Max != nil && v > *b.Max:
+			fmt.Fprintf(w, "budget FAIL %-32s %g > max %g\n", b.Metric, v, *b.Max)
+			margin := v - *b.Max
+			fail(Violation{Budget: b.Metric, Kind: "max", Limit: b.Max, Actual: &v, Margin: &margin})
+		case b.Min != nil && v < *b.Min:
+			fmt.Fprintf(w, "budget FAIL %-32s %g < min %g\n", b.Metric, v, *b.Min)
+			margin := *b.Min - v
+			fail(Violation{Budget: b.Metric, Kind: "min", Limit: b.Min, Actual: &v, Margin: &margin})
+		default:
+			fmt.Fprintf(w, "budget ok   %-32s %g\n", b.Metric, v)
+		}
+	}
+	return violations
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -4,4 +4,14 @@
 // maximum, external data between 0 and 0.5 times the local data, deadlines
 // tied to what the system can actually achieve, and per-edge resource
 // caps that become contended as the task count grows.
+//
+// Beyond the paper's even spread, Params carries load-shape knobs
+// (HotTaskFrac/HotDeviceFrac flash crowds, StationWave diurnal tilt,
+// HotSourceFrac data-locality skew) that reshape who raises tasks and
+// where their data lives without perturbing any other random draw; all
+// knobs at zero reproduce the legacy generator byte for byte. The
+// package also owns the budget machinery shared by mecbench and mecwc:
+// ParseBudgets validates budget files into Budget values (rejecting
+// unknown metrics and malformed bounds with a structured *BudgetError),
+// and CheckBudgets evaluates them against metric resolvers.
 package workload

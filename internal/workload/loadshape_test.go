@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"testing"
+
+	"dsmec/internal/rng"
+	"dsmec/internal/task"
+)
+
+// tasksPerDevice counts how many tasks each device raises.
+func tasksPerDevice(t *testing.T, p Params) []int {
+	t.Helper()
+	sc, err := GenerateHolistic(rng.NewSource(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, sc.System.NumDevices())
+	for i := 0; i < sc.Tasks.Len(); i++ {
+		counts[sc.Tasks.At(i).ID.User]++
+	}
+	return counts
+}
+
+func TestFlashCrowdConcentratesTasks(t *testing.T) {
+	counts := tasksPerDevice(t, Params{
+		NumDevices: 50, NumStations: 5, NumTasks: 200,
+		HotTaskFrac: 0.7, HotDeviceFrac: 0.1,
+	})
+	hot := 0
+	for d := 0; d < 5; d++ { // the hottest 10% of 50 devices
+		hot += counts[d]
+	}
+	if hot != 140 { // 70% of 200
+		t.Errorf("hot devices raise %d tasks, want 140", hot)
+	}
+	// The cold remainder stays evenly spread.
+	for d := 5; d < 50; d++ {
+		if counts[d] < 1 || counts[d] > 2 {
+			t.Errorf("cold device %d raises %d tasks, want 1..2", d, counts[d])
+		}
+	}
+}
+
+func TestDiurnalWaveTiltsStations(t *testing.T) {
+	p := Params{NumDevices: 40, NumStations: 8, NumTasks: 400, StationWave: 0.8}
+	sc, err := GenerateHolistic(rng.NewSource(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStation := make([]int, 8)
+	for i := 0; i < sc.Tasks.Len(); i++ {
+		s, err := sc.System.StationOf(sc.Tasks.At(i).ID.User)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perStation[s]++
+	}
+	min, max := perStation[0], perStation[0]
+	total := 0
+	for _, c := range perStation {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		total += c
+	}
+	if total != 400 {
+		t.Fatalf("apportioned %d tasks, want 400", total)
+	}
+	// Amplitude 0.8 means the crest station carries ~9x the trough
+	// (1.8 vs 0.2 weight); demand far more than flat ±1 spread.
+	if max-min < 40 {
+		t.Errorf("station load spread %d..%d too flat for a 0.8 wave: %v", min, max, perStation)
+	}
+}
+
+func TestDataLocalitySkewRestrictsSources(t *testing.T) {
+	p := Params{
+		NumDevices: 50, NumStations: 5, NumTasks: 300,
+		HotSourceFrac: 0.1, ExternalMaxRatio: 1.2,
+	}
+	sc, err := GenerateHolistic(rng.NewSource(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	external := 0
+	for i := 0; i < sc.Tasks.Len(); i++ {
+		tk := sc.Tasks.At(i)
+		if tk.ExternalSource == task.NoExternalSource {
+			continue
+		}
+		external++
+		if tk.ExternalSource >= 5 { // hot pool: 10% of 50 devices
+			t.Fatalf("task %v reads from device %d outside the hot pool", tk.ID, tk.ExternalSource)
+		}
+		if tk.ExternalSource == tk.ID.User {
+			t.Fatalf("task %v reads external data from itself", tk.ID)
+		}
+	}
+	if external < 200 {
+		t.Errorf("only %d/300 tasks have external reads; skew recipe should produce mostly-external traffic", external)
+	}
+}
+
+// TestZeroKnobsMatchLegacySpread pins that the load-shape knobs default
+// to the paper's exact spread: deviceAssigner with zero knobs is n % D.
+// (The committed mecgen/mecsim goldens pin the full byte-level identity.)
+func TestZeroKnobsMatchLegacySpread(t *testing.T) {
+	counts := tasksPerDevice(t, Params{NumDevices: 10, NumStations: 2, NumTasks: 40})
+	for d, c := range counts {
+		if c != 4 {
+			t.Errorf("device %d raises %d tasks, want 4", d, c)
+		}
+	}
+}
+
+func TestLoadShapeValidation(t *testing.T) {
+	bad := []Params{
+		{NumDevices: 10, NumStations: 2, NumTasks: 10, HotTaskFrac: 1.5},
+		{NumDevices: 10, NumStations: 2, NumTasks: 10, HotDeviceFrac: -0.1},
+		{NumDevices: 10, NumStations: 2, NumTasks: 10, StationWave: 1},
+		{NumDevices: 10, NumStations: 2, NumTasks: 10, HotSourceFrac: 2},
+		{NumDevices: 10, NumStations: 2, NumTasks: 10, StationWave: 0.5, HotTaskFrac: 0.5},
+	}
+	for i, p := range bad {
+		if _, err := GenerateHolistic(rng.NewSource(1), p); err == nil {
+			t.Errorf("case %d: invalid load shape accepted", i)
+		}
+	}
+}
+
+// TestDivisibleHonorsLoadShape proves the divisible generator shares the
+// same device assigner.
+func TestDivisibleHonorsLoadShape(t *testing.T) {
+	sc, err := GenerateDivisible(rng.NewSource(3), Params{
+		NumDevices: 20, NumStations: 2, NumTasks: 100,
+		HotTaskFrac: 0.7, HotDeviceFrac: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for i := 0; i < sc.Tasks.Len(); i++ {
+		if sc.Tasks.At(i).ID.User < 2 {
+			hot++
+		}
+	}
+	if hot != 70 {
+		t.Errorf("hot devices raise %d tasks, want 70", hot)
+	}
+}
+
+func TestApportion(t *testing.T) {
+	quotas := apportion([]float64{1, 2, 1}, 8)
+	if quotas[0]+quotas[1]+quotas[2] != 8 {
+		t.Fatalf("quotas %v do not sum to 8", quotas)
+	}
+	if quotas[1] != 4 {
+		t.Errorf("weight-2 station got %d of 8, want 4", quotas[1])
+	}
+	if got := apportion([]float64{0, 0}, 5); got[0] != 0 || got[1] != 0 {
+		t.Errorf("zero weights apportioned %v", got)
+	}
+	// Zero-weight entries must never receive remainder tasks.
+	quotas = apportion([]float64{1.5, 0, 1.5}, 5)
+	if quotas[1] != 0 {
+		t.Errorf("zero-weight entry got %d tasks: %v", quotas[1], quotas)
+	}
+}

@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"math"
+	"math/rand"
+	"sort"
 
 	"dsmec/internal/compute"
 	"dsmec/internal/costmodel"
@@ -57,6 +59,28 @@ type Params struct {
 	BlockSize   units.ByteSize // default 100 kB
 	NumBlocks   int            // default: enough for ~2× the data demand
 	Replication int            // default 2: min devices holding each block
+
+	// Load-shape knobs (named recipes; see recipe.go). All default to
+	// zero, which reproduces the paper's even spread byte-for-byte.
+
+	// HotTaskFrac concentrates that fraction of tasks on the hottest
+	// HotDeviceFrac of devices (a flash crowd); the rest spread evenly
+	// over the remaining devices. HotDeviceFrac 0 with a positive
+	// HotTaskFrac pins the crowd on a single device.
+	HotTaskFrac   float64 // in [0,1]
+	HotDeviceFrac float64 // in [0,1]
+
+	// StationWave tilts per-station load like time zones under a diurnal
+	// wave: station s receives tasks in proportion to
+	// 1 + StationWave·sin(2π·s/S), apportioned by largest remainder and
+	// round-robined over the station's own devices.
+	StationWave float64 // in [0,1)
+
+	// HotSourceFrac draws every task's external-data source from the
+	// first max(2, HotSourceFrac·D) devices instead of uniformly over
+	// all of them — data-locality skew, where a few devices hold the
+	// data everyone else reads.
+	HotSourceFrac float64 // in [0,1]
 }
 
 func (p Params) withDefaults() Params {
@@ -114,9 +138,102 @@ func (p Params) validate() error {
 			p.DeadlineSlackMin, p.DeadlineSlackMax)
 	case p.ResourceMin < 0 || p.ResourceMax < p.ResourceMin:
 		return fmt.Errorf("workload: invalid resource range [%g,%g]", p.ResourceMin, p.ResourceMax)
+	case p.HotTaskFrac < 0 || p.HotTaskFrac > 1:
+		return fmt.Errorf("workload: HotTaskFrac %g outside [0,1]", p.HotTaskFrac)
+	case p.HotDeviceFrac < 0 || p.HotDeviceFrac > 1:
+		return fmt.Errorf("workload: HotDeviceFrac %g outside [0,1]", p.HotDeviceFrac)
+	case p.StationWave < 0 || p.StationWave >= 1:
+		return fmt.Errorf("workload: StationWave %g outside [0,1)", p.StationWave)
+	case p.HotSourceFrac < 0 || p.HotSourceFrac > 1:
+		return fmt.Errorf("workload: HotSourceFrac %g outside [0,1]", p.HotSourceFrac)
+	case p.StationWave > 0 && p.HotTaskFrac > 0:
+		return fmt.Errorf("workload: StationWave and HotTaskFrac are mutually exclusive load shapes")
 	default:
 		return nil
 	}
+}
+
+// deviceAssigner maps task index n to the device that raises it. The
+// default (all load-shape knobs zero) is the paper's even spread
+// n % NumDevices; the flash-crowd and diurnal-wave shapes redirect the
+// mapping without consuming any randomness, so the per-task draws (sizes,
+// ratios, resources, deadlines) stay on the exact same stream positions.
+func deviceAssigner(p Params, sys *mecnet.System) (func(n int) int, error) {
+	switch {
+	case p.HotTaskFrac > 0:
+		hot := int(math.Round(p.HotDeviceFrac * float64(p.NumDevices)))
+		if hot < 1 {
+			hot = 1
+		}
+		cold := p.NumDevices - hot
+		nHot := int(math.Round(p.HotTaskFrac * float64(p.NumTasks)))
+		return func(n int) int {
+			if n < nHot {
+				return n % hot
+			}
+			if cold == 0 {
+				return n % p.NumDevices
+			}
+			return hot + (n-nHot)%cold
+		}, nil
+	case p.StationWave > 0:
+		clusters := make([][]int, p.NumStations)
+		weights := make([]float64, p.NumStations)
+		for s := 0; s < p.NumStations; s++ {
+			devs, err := sys.Cluster(s)
+			if err != nil {
+				return nil, fmt.Errorf("workload: %w", err)
+			}
+			clusters[s] = devs
+			if len(devs) > 0 {
+				weights[s] = 1 + p.StationWave*math.Sin(2*math.Pi*float64(s)/float64(p.NumStations))
+			}
+		}
+		quotas := apportion(weights, p.NumTasks)
+		// Tasks are laid out station by station: prefix[s] is the first
+		// task index of station s's block.
+		prefix := make([]int, p.NumStations+1)
+		for s, q := range quotas {
+			prefix[s+1] = prefix[s] + q
+		}
+		return func(n int) int {
+			s := sort.SearchInts(prefix[1:], n+1)
+			devs := clusters[s]
+			return devs[(n-prefix[s])%len(devs)]
+		}, nil
+	default:
+		return func(n int) int { return n % p.NumDevices }, nil
+	}
+}
+
+// apportion splits total into integer quotas proportional to the weights
+// (largest-remainder method; deterministic, ties broken by index).
+func apportion(weights []float64, total int) []int {
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	quotas := make([]int, len(weights))
+	if sum <= 0 || total <= 0 {
+		return quotas
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(total) * w / sum
+		quotas[i] = int(exact)
+		assigned += quotas[i]
+		rems = append(rems, rem{idx: i, frac: exact - float64(quotas[i])})
+	}
+	sort.SliceStable(rems, func(i, j int) bool { return rems[i].frac > rems[j].frac })
+	for i := 0; i < total-assigned; i++ {
+		quotas[rems[i%len(rems)].idx]++
+	}
+	return quotas
 }
 
 // Scenario bundles a generated system, its cost model, the task set, and —
@@ -142,19 +259,20 @@ func GenerateHolistic(src *rng.Source, params Params) (*Scenario, error) {
 		return nil, err
 	}
 
+	assign, err := deviceAssigner(p, sys)
+	if err != nil {
+		return nil, err
+	}
 	r := src.Stream("tasks")
 	ts := &task.Set{}
 	counter := make(map[int]int)
 	for n := 0; n < p.NumTasks; n++ {
-		dev := n % p.NumDevices // spread tasks evenly, as the paper assumes
+		dev := assign(n) // default: spread evenly, as the paper assumes
 		alpha := drawInput(r, p)
 		beta := alpha.Scale(rng.Uniform(r, 0, p.ExternalMaxRatio))
 		source := task.NoExternalSource
 		if beta > 0 {
-			source = rng.UniformInt(r, 0, p.NumDevices-2)
-			if source >= dev {
-				source++ // uniform over devices other than dev
-			}
+			source = drawSource(r, p, dev)
 		}
 		tk := &task.Task{
 			ID:             task.ID{User: dev, Index: counter[dev]},
@@ -211,11 +329,15 @@ func GenerateDivisible(src *rng.Source, params Params) (*Scenario, error) {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
 
+	assign, err := deviceAssigner(p, sys)
+	if err != nil {
+		return nil, err
+	}
 	r := src.Stream("tasks")
 	ts := &task.Set{}
 	counter := make(map[int]int)
 	for n := 0; n < p.NumTasks; n++ {
-		dev := n % p.NumDevices
+		dev := assign(n)
 		size := drawInput(r, p)
 		window := int(math.Ceil(float64(size) / float64(p.BlockSize)))
 		if window > p.NumBlocks {
@@ -296,6 +418,37 @@ func generateSystem(src *rng.Source, p Params) (*mecnet.System, *costmodel.Model
 func drawInput(r interface{ Float64() float64 }, p Params) units.ByteSize {
 	f := p.MinInputFrac + r.Float64()*(1-p.MinInputFrac)
 	return p.MaxInput.Scale(f)
+}
+
+// drawSource picks the device holding a holistic task's external data:
+// uniform over all other devices by default, or — under data-locality
+// skew — uniform over the hot pool at the front of the device range.
+// Both paths consume exactly one draw from the stream.
+func drawSource(r *rand.Rand, p Params, dev int) int {
+	if p.HotSourceFrac > 0 {
+		pool := int(math.Round(p.HotSourceFrac * float64(p.NumDevices)))
+		// A pool of at least two guarantees a hot device can still read
+		// from a peer instead of itself.
+		if pool < 2 {
+			pool = 2
+		}
+		if pool > p.NumDevices {
+			pool = p.NumDevices
+		}
+		if dev >= pool {
+			return rng.UniformInt(r, 0, pool-1)
+		}
+		source := rng.UniformInt(r, 0, pool-2)
+		if source >= dev {
+			source++ // uniform over pool members other than dev
+		}
+		return source
+	}
+	source := rng.UniformInt(r, 0, p.NumDevices-2)
+	if source >= dev {
+		source++ // uniform over devices other than dev
+	}
+	return source
 }
 
 // setDeadline sets T_ij = slack · min_l t_ijl.

@@ -2,17 +2,19 @@
 # vet, build, the full test suite under the race detector, a
 # single-iteration benchmark smoke run so the perf harness can't rot, the
 # meclint static-analysis suite (which includes the repolint doc and link
-# checks — see docs/LINTING.md), staticcheck when fetchable, and a
-# mecstat smoke over its committed fixtures.
+# checks — see docs/LINTING.md), staticcheck when fetchable, a mecstat
+# smoke over its committed fixtures, and a mecd service smoke that boots
+# the daemon on a loopback port and drives one arrival/assign/departure
+# cycle through the live HTTP API.
 
 GO ?= go
 
 # Pinned so CI and local runs agree; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs lint staticcheck doc-check link-check mecstat-smoke workload-checks
+.PHONY: verify build test vet fmt-check race bench bench-go bench-smoke bench-obs lint staticcheck doc-check link-check mecstat-smoke mecd-smoke workload-checks
 
-verify: fmt-check vet build race bench-smoke lint staticcheck mecstat-smoke workload-checks
+verify: fmt-check vet build race bench-smoke lint staticcheck mecstat-smoke mecd-smoke workload-checks
 
 # The full go vet analyzer set, spelled out so the suite only changes
 # when this list does — a toolchain upgrade cannot silently drop a check.
@@ -100,3 +102,9 @@ mecstat-smoke:
 	$(GO) run ./cmd/mecstat -threshold 0.1 cmd/mecstat/testdata/base.json cmd/mecstat/testdata/base.json > /dev/null
 	@if $(GO) run ./cmd/mecstat -threshold 0.2 cmd/mecstat/testdata/base.json cmd/mecstat/testdata/regressed.json > /dev/null 2>&1; then \
 		echo "mecstat failed to flag the regressed fixture"; exit 1; fi
+
+# The online assignment service must boot, accept an arrival over HTTP,
+# assign it, survive its departure, and expose its counters on /metrics
+# (see docs/SERVICE.md). -selfcheck picks a random loopback port.
+mecd-smoke:
+	$(GO) run ./cmd/mecd -selfcheck -preload 25 -log-level off > /dev/null

@@ -110,9 +110,11 @@ func run() error {
 
 	lpBuildTasks, lpSolveTasks, htaTasks, simTasks := 300, 90, 450, 450
 	methodTasks := []int{150, 300, 600}
+	resolveTasks := []int{150, 300}
 	if *quick {
 		lpBuildTasks, lpSolveTasks, htaTasks, simTasks = 90, 30, 100, 100
 		methodTasks = []int{30, 90}
+		resolveTasks = []int{30, 90}
 	}
 
 	doc := baseline{
@@ -126,6 +128,7 @@ func run() error {
 		Notes: []string{
 			"lp build/solve compare dense vs sparse constraint rows on identical instances",
 			"lp_solve method=dense/revised compare the tableau oracle against the LU-factorized revised simplex",
+			"lp_resolve start=cold rebuilds and cold-solves the mutated cluster; start=warm dual-simplex re-solves the same mutation from the previous optimal basis (see docs/ALGORITHMS.md)",
 			"lphta compares Parallelism=1 vs one worker per core on the same scenario; outputs are byte-identical",
 			"sim_engine shards=N rows replay the same assignment with an explicit event-heap shard count; outputs are byte-identical",
 			"scenario_decode streams the canonical scenario document through the token-walking decoder",
@@ -198,6 +201,61 @@ func run() error {
 					}
 				}
 			})
+		}
+	}
+
+	// Incremental re-solve: the online service's steady state. start=cold
+	// rebuilds the mutated cluster and solves it from scratch; start=warm
+	// pushes the same single-bound mutation into a live lp.Incremental and
+	// dual-simplex re-solves from the previous optimal basis.
+	for _, tasks := range resolveTasks {
+		record(fmt.Sprintf("lp_resolve/tasks=%d/start=cold", tasks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := perfbench.ClusterLP(tasks, true)
+				p.Method = lp.MethodRevised
+				p.Upper[0] *= 0.5
+				s, err := lp.Solve(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Status != lp.Optimal {
+					b.Fatalf("status %v", s.Status)
+				}
+			}
+		})
+		record(fmt.Sprintf("lp_resolve/tasks=%d/start=warm", tasks), func(b *testing.B) {
+			b.ReportAllocs()
+			inc, err := lp.NewIncremental(perfbench.ClusterLP(tasks, true))
+			if err != nil {
+				b.Fatal(err)
+			}
+			u := inc.Problem().Upper[0]
+			if s, err := inc.Resolve(obs.Instruments{}); err != nil || s.Status != lp.Optimal {
+				b.Fatalf("seed solve: %v %v", s, err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					inc.SetUpper(0, u*0.5)
+				} else {
+					inc.SetUpper(0, u)
+				}
+				s, err := inc.Resolve(obs.Instruments{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Status != lp.Optimal {
+					b.Fatalf("status %v", s.Status)
+				}
+			}
+		})
+		// One instrumented mutation pair, for the pivot story in the notes.
+		if pivots, err := resolvePivots(tasks); err == nil {
+			doc.Notes = append(doc.Notes, pivots)
+			fmt.Println(pivots)
+		} else {
+			return err
 		}
 	}
 
@@ -340,6 +398,42 @@ func run() error {
 		return compareBaseline(&doc, *against, *tolerance)
 	}
 	return nil
+}
+
+// resolvePivots runs one instrumented single-arrival re-solve against a
+// warm cluster and reports its pivot count next to a cold solve of the
+// identical mutated problem, for the baseline notes (the <10% budget
+// itself is pinned by TestIncrementalWarmPivotBudget in internal/lp).
+func resolvePivots(tasks int) (string, error) {
+	const clusterDevices = 10 // perfbench's devicesPerCluster
+	inc, err := lp.NewIncremental(perfbench.ClusterLP(tasks, true))
+	if err != nil {
+		return "", err
+	}
+	if s, err := inc.Resolve(obs.Instruments{}); err != nil || s.Status != lp.Optimal {
+		return "", fmt.Errorf("seed solve: %v %v", s, err)
+	}
+	// One arrival: an EQ assignment row plus ClusterLP-shaped columns.
+	c4 := inc.AddRow(lp.EQ, 1)
+	inc.AddVariable(1.2, 0.8, []int{c4, tasks + tasks%clusterDevices}, []float64{1, 2})
+	inc.AddVariable(1.9, 0.8, []int{c4, tasks + clusterDevices}, []float64{1, 2})
+	inc.AddVariable(3.5, 0.8, []int{c4}, []float64{1})
+	warm, err := inc.Resolve(obs.Instruments{})
+	if err != nil {
+		return "", err
+	}
+	cold, err := lp.Solve(inc.Problem()) // Problem() pins MethodRevised
+
+	if err != nil {
+		return "", err
+	}
+	if warm.Status != lp.Optimal || cold.Status != lp.Optimal {
+		return "", fmt.Errorf("arrival re-solve: warm=%v cold=%v", warm.Status, cold.Status)
+	}
+	return fmt.Sprintf(
+		"lp_resolve tasks=%d single-arrival pivots: warm=%d (dual=%d, bound flips=%d) vs cold=%d",
+		tasks, warm.Stats.Pivots, warm.Stats.DualPivots, warm.Stats.BoundFlips,
+		cold.Stats.Pivots), nil
 }
 
 // compareBaseline checks the fresh results against a committed baseline.

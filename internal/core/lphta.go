@@ -312,14 +312,7 @@ func lphtaCluster(m *costmodel.Model, ts *task.Set, station int, tasks []int32, 
 		if err != nil {
 			return nil, err
 		}
-		feasibleSomewhere := false
-		for _, l := range costmodel.Subsystems {
-			if o.At(l).Time <= t.Deadline {
-				feasibleSomewhere = true
-				break
-			}
-		}
-		if !feasibleSomewhere {
+		if !feasibleAnywhere(t, o) {
 			out.placements = append(out.placements, taskPlacement{idx: ti, level: costmodel.SubsystemNone})
 			out.preCancelled++
 			opts.Obs.Counter("lphta.pre_cancelled").Inc()
@@ -339,6 +332,18 @@ func lphtaCluster(m *costmodel.Model, ts *task.Set, station int, tasks []int32, 
 	out.lpObjective = units.Energy(sol.Objective)
 	out.lpIterations = sol.Iterations
 
+	roundAndRepair(sys, station, cts, frac, opts, out)
+	return out, nil
+}
+
+// roundAndRepair runs Steps 2–6 of LP-HTA for one cluster: round the
+// fractional solution to x̂, repair deadline violations, then repair device
+// and station capacity overloads. It appends the surviving placements and
+// accumulates rounded energy, Δ, and the fractional-task count into out.
+// Both the batch path (lphtaCluster) and the incremental path
+// (ClusterState.Solve) share this code, so a warm re-solve that reaches the
+// same fractional solution produces byte-identical assignments.
+func roundAndRepair(sys *mecnet.System, station int, cts []clusterTask, frac [][3]float64, opts LPHTAOptions, out *clusterOutcome) {
 	// Steps 2–3: round to x̂.
 	rspan := opts.Obs.Span.Child("lphta.round")
 	roundTimer := obs.StartTimer()
@@ -478,7 +483,41 @@ func lphtaCluster(m *costmodel.Model, ts *task.Set, station int, tasks []int32, 
 		step3 := ct.opts.At(argmaxLevel(frac[i])).Energy
 		out.delta += ct.opts.At(l).Energy - step3
 	}
-	return out, nil
+}
+
+// feasibleAnywhere reports whether at least one subsystem can serve the
+// task within its deadline; tasks failing this are cancelled before the LP.
+func feasibleAnywhere(t *task.Task, o costmodel.Options) bool {
+	for _, l := range costmodel.Subsystems {
+		if o.At(l).Time <= t.Deadline {
+			return true
+		}
+	}
+	return false
+}
+
+// taskBounds returns the deadline-derived variable upper bound (C1 folded
+// into the relaxed C5 bound) and the reachability flag per subsystem for one
+// evaluated task. Shared by the batch LP build and the incremental solver so
+// both derive identical bounds.
+func taskBounds(t *task.Task, o costmodel.Options) (bounds [3]float64, reach [3]bool) {
+	for li, l := range costmodel.Subsystems {
+		c := o.At(l)
+		bound := 1.0
+		if !c.Time.IsFinite() {
+			bound = 0
+		} else {
+			reach[li] = true
+			if c.Time > 0 {
+				// t_ijl·x ≤ T_ij  ⇒  x ≤ T_ij/t_ijl.
+				if b := float64(t.Deadline) / float64(c.Time); b < bound {
+					bound = b
+				}
+			}
+		}
+		bounds[li] = bound
+	}
+	return bounds, reach
 }
 
 // solveClusterLP builds and solves the relaxation P2 for one cluster:
@@ -509,23 +548,12 @@ func solveClusterLP(sys *mecnet.System, station int, cts []clusterTask, method l
 	// bounds, never re-enable an unreachable subsystem.
 	reachable := make([]bool, nVars)
 	for i, ct := range cts {
+		bounds, reach := taskBounds(ct.t, ct.opts)
 		for li, l := range costmodel.Subsystems {
 			v := 3*i + li
-			c := ct.opts.At(l)
-			p.Minimize[v] = float64(c.Energy)
-			bound := 1.0
-			if !c.Time.IsFinite() {
-				bound = 0
-			} else {
-				reachable[v] = true
-				if c.Time > 0 {
-					// t_ijl·x ≤ T_ij  ⇒  x ≤ T_ij/t_ijl.
-					if b := float64(ct.t.Deadline) / float64(c.Time); b < bound {
-						bound = b
-					}
-				}
-			}
-			p.Upper[v] = bound
+			p.Minimize[v] = float64(ct.opts.At(l).Energy)
+			p.Upper[v] = bounds[li]
+			reachable[v] = reach[li]
 		}
 	}
 

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"dsmec/internal/costmodel"
+	"dsmec/internal/task"
+)
+
+// Replanner answers repeated replan-on-survivors queries over the course of
+// a run without re-deriving the cost model for tasks no fault ever came
+// near. Fault handlers mark the devices and stations they actually hit;
+// Replan then serves tasks whose whole dependency set (home device, home
+// station, external source and its station, cloud) is unmarked from a
+// cached fault-free answer, and falls back to the exact degraded-topology
+// computation (ReplanOnSurvivors) for everything else.
+//
+// Marks are never cleared on repair: a once-hit cluster stays dirty, which
+// is conservative — the exact path consults the live Survivors view, so
+// repaired elements are used again; only the caching shortcut is lost.
+//
+// Replanner is not safe for concurrent use.
+type Replanner struct {
+	m          *costmodel.Model
+	healthy    map[task.ID]costmodel.Subsystem
+	deviceHit  []bool
+	stationHit []bool
+	cloudHit   bool
+
+	// Cached and Exact count how queries were answered, for telemetry.
+	Cached int
+	Exact  int
+}
+
+// NewReplanner builds a replanner with nothing marked dirty.
+func NewReplanner(m *costmodel.Model) *Replanner {
+	sys := m.System()
+	return &Replanner{
+		m:          m,
+		healthy:    make(map[task.ID]costmodel.Subsystem),
+		deviceHit:  make([]bool, sys.NumDevices()),
+		stationHit: make([]bool, sys.NumStations()),
+	}
+}
+
+// MarkDevice records that device i departed (or otherwise faulted) at some
+// point; tasks raised by it, or drawing external data from it, take the
+// exact path from now on.
+func (r *Replanner) MarkDevice(i int) {
+	if i >= 0 && i < len(r.deviceHit) {
+		r.deviceHit[i] = true
+	}
+}
+
+// MarkStation records that station s suffered an outage at some point;
+// tasks homed on it (or retrieving cross-cluster data through it) take the
+// exact path from now on.
+func (r *Replanner) MarkStation(s int) {
+	if s >= 0 && s < len(r.stationHit) {
+		r.stationHit[s] = true
+	}
+}
+
+// MarkCloud records that the cloud was unreachable at some point; every
+// task takes the exact path from now on.
+func (r *Replanner) MarkCloud() { r.cloudHit = true }
+
+// dirty reports whether any topology element the task's replan decision
+// depends on was ever marked. Out-of-range references count as dirty so the
+// exact path surfaces the error.
+func (r *Replanner) dirty(t *task.Task) bool {
+	if r.cloudHit {
+		return true
+	}
+	sys := r.m.System()
+	dev := t.ID.User
+	if dev < 0 || dev >= len(r.deviceHit) || r.deviceHit[dev] {
+		return true
+	}
+	st, err := sys.StationOf(dev)
+	if err != nil || r.stationHit[st] {
+		return true
+	}
+	if t.HasExternal() {
+		src := t.ExternalSource
+		if src < 0 || src >= len(r.deviceHit) || r.deviceHit[src] {
+			return true
+		}
+		sst, err := sys.StationOf(src)
+		if err != nil || r.stationHit[sst] {
+			return true
+		}
+	}
+	return false
+}
+
+// Replan returns the same subsystem ReplanOnSurvivors would pick for the
+// task under sv. Tasks in never-hit clusters are answered from the cached
+// fault-free plan: for them every element sv could report down is up (the
+// current outage set is a subset of the ever-marked set), so the exact
+// computation would reduce to the fault-free one.
+func (r *Replanner) Replan(t *task.Task, sv Survivors) (costmodel.Subsystem, error) {
+	if !sv.CloudUp || r.dirty(t) {
+		r.Exact++
+		return ReplanOnSurvivors(r.m, t, sv)
+	}
+	if l, ok := r.healthy[t.ID]; ok {
+		r.Cached++
+		return l, nil
+	}
+	l, err := ReplanOnSurvivors(r.m, t, AllAlive())
+	if err != nil {
+		r.Exact++
+		return l, err
+	}
+	r.Cached++
+	r.healthy[t.ID] = l
+	return l, nil
+}

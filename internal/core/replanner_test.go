@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"dsmec/internal/rng"
+	"dsmec/internal/workload"
+)
+
+// TestReplannerMatchesExact pins the caching shortcut to the exact path:
+// under randomized fault histories the Replanner must answer every query
+// exactly as a direct ReplanOnSurvivors call would.
+func TestReplannerMatchesExact(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		sc, err := workload.GenerateHolistic(rng.NewSource(seed), workload.Params{
+			NumDevices: 20, NumStations: 4, NumTasks: 60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := sc.Model.System()
+		r := NewReplanner(sc.Model)
+		stream := rng.NewSource(seed).Stream("replanner")
+
+		deviceGone := make([]bool, sys.NumDevices())
+		stationDown := make([]bool, sys.NumStations())
+		sv := Survivors{
+			DeviceUp:  func(i int) bool { return !deviceGone[i] },
+			StationUp: func(s int) bool { return !stationDown[s] },
+			CloudUp:   true,
+		}
+		queryAll := func() {
+			t.Helper()
+			for _, tk := range arenaTasks(sc.Tasks) {
+				got, gotErr := r.Replan(tk, sv)
+				want, wantErr := ReplanOnSurvivors(sc.Model, tk, sv)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("seed %d task %v: err %v, exact err %v", seed, tk.ID, gotErr, wantErr)
+				}
+				if got != want {
+					t.Fatalf("seed %d task %v: Replan = %v, exact = %v", seed, tk.ID, got, want)
+				}
+			}
+		}
+
+		// Fault-free round: everything should come from the cache contract.
+		queryAll()
+		if r.Exact != 0 {
+			t.Errorf("seed %d: %d exact queries on a fault-free topology", seed, r.Exact)
+		}
+
+		// Randomized fault/repair rounds. The marking contract mirrors the
+		// sim: every transition to down marks the element, repairs only
+		// clear the live flag.
+		for round := 0; round < 6; round++ {
+			for k := 0; k < 3; k++ {
+				switch stream.Intn(4) {
+				case 0:
+					d := stream.Intn(len(deviceGone))
+					deviceGone[d] = true
+					r.MarkDevice(d)
+				case 1:
+					s := stream.Intn(len(stationDown))
+					stationDown[s] = true
+					r.MarkStation(s)
+				case 2:
+					stationDown[stream.Intn(len(stationDown))] = false
+				case 3:
+					deviceGone[stream.Intn(len(deviceGone))] = false
+				}
+			}
+			queryAll()
+		}
+		if r.Cached == 0 {
+			t.Errorf("seed %d: caching never used under partial faults", seed)
+		}
+	}
+}
+
+// TestReplannerCloudDownGoesExact: a cloud outage invalidates every cached
+// answer, whether or not MarkCloud was called before the query.
+func TestReplannerCloudDownGoesExact(t *testing.T) {
+	sc, err := workload.GenerateHolistic(rng.NewSource(9), workload.Params{
+		NumDevices: 6, NumStations: 2, NumTasks: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplanner(sc.Model)
+	sv := AllAlive()
+	sv.CloudUp = false
+	for _, tk := range arenaTasks(sc.Tasks) {
+		got, err := r.Replan(tk, sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ReplanOnSurvivors(sc.Model, tk, sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("task %v: Replan = %v, exact = %v", tk.ID, got, want)
+		}
+	}
+	if r.Cached != 0 {
+		t.Errorf("Cached = %d, want 0 when the cloud is down", r.Cached)
+	}
+	// MarkCloud makes the dirtiness permanent even after CloudUp returns.
+	r.MarkCloud()
+	sv.CloudUp = true
+	if _, err := r.Replan(sc.Tasks.At(0), sv); err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached != 0 {
+		t.Errorf("Cached = %d, want 0 after MarkCloud", r.Cached)
+	}
+}

@@ -28,6 +28,7 @@ func TestApplies(t *testing.T) {
 		{"determinism", "dsmec/internal/scenarioio", true},
 		{"determinism", "dsmec/internal/obs", false},
 		{"determinism", "dsmec/cmd/mecsim", false},
+		{"determinism", "dsmec/cmd/mecd", true},
 		{"determinism", "dsmec", false},
 		{"nilsafe", "dsmec/internal/obs", true},
 		{"nilsafe", "dsmec/internal/lp", true},

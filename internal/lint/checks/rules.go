@@ -17,7 +17,9 @@ func All() []*lint.Analyzer {
 //   - determinism: every internal/ package except internal/obs — obs
 //     owns the wall clock by design (manifests, snapshots, spans are
 //     documented wall-clock surfaces) and its outputs never feed the
-//     deterministic result path;
+//     deterministic result path — plus cmd/mecd, whose responses promise
+//     to be byte-identical at any solver parallelism and so must route
+//     every wall-clock read through obs like the solver packages do;
 //   - nilsafe: everywhere — the check triggers only on types that
 //     declare a nil-receiver contract in their doc comment;
 //   - floatcmp: the numeric core, internal/lp and internal/core;
@@ -29,8 +31,9 @@ func Applies(check, importPath string) bool {
 	}
 	switch check {
 	case "determinism":
-		return strings.HasPrefix(rest, "internal/") && rest != "internal/obs" &&
-			!strings.HasPrefix(rest, "internal/obs/")
+		return rest == "cmd/mecd" ||
+			(strings.HasPrefix(rest, "internal/") && rest != "internal/obs" &&
+				!strings.HasPrefix(rest, "internal/obs/"))
 	case "nilsafe":
 		return true
 	case "floatcmp":

@@ -193,6 +193,9 @@ type Solution struct {
 	// Method is the simplex implementation that produced the solution
 	// (never MethodAuto).
 	Method Method
+	// Warm is set by Incremental.Resolve when the solve reused the
+	// previous optimal basis instead of starting from scratch.
+	Warm bool
 	// Stats breaks the solve down for observability.
 	Stats SolveStats
 }
@@ -214,6 +217,10 @@ type SolveStats struct {
 	// BlandSwitches counts escalations to Bland's rule after a
 	// degenerate run.
 	BlandSwitches int
+	// DualPivots counts the subset of Pivots driven by the dual simplex
+	// phase of a warm-started incremental re-solve (always 0 for cold
+	// solves).
+	DualPivots int
 	// ObjectiveInstalls counts reduced-cost row installations.
 	ObjectiveInstalls int
 	// Refactorizations counts basis LU refactorizations beyond the
@@ -313,6 +320,7 @@ func record(ins obs.Instruments, span *obs.Span, p *Problem, method Method, sol 
 	reg.Counter("lp.degenerate_pivots").Add(int64(st.DegeneratePivots))
 	reg.Counter("lp.ratio_test_ties").Add(int64(st.RatioTestTies))
 	reg.Counter("lp.bland_switches").Add(int64(st.BlandSwitches))
+	reg.Counter("lp.dual_pivots").Add(int64(st.DualPivots))
 	reg.Counter("lp.objective_installs").Add(int64(st.ObjectiveInstalls))
 	reg.Counter("lp.refactorizations").Add(int64(st.Refactorizations))
 	reg.Counter("lp.eta_vectors").Add(int64(st.EtaVectors))

@@ -47,10 +47,24 @@ type rsimplex struct {
 	colVal []float64
 
 	b      []float64   // normalized RHS ≥ 0, row space
+	rowNeg []bool      // rows negated by RHS-sign normalization
 	upper  []float64   // per-column upper bound (+Inf when absent)
 	status []varStatus // per-column location
 	basis  []int       // basis[k] = column basic at position k
 	value  []float64   // value[k] = current value of basis[k]
+
+	// skipFixed, when set, excludes columns fixed at zero (upper bound 0)
+	// from pricing. A fixed column can never change the solution, but the
+	// cold path still prices it to stay iteration-for-iteration identical
+	// with the dense oracle; only the incremental warm path (which pins
+	// removed variables at zero instead of deleting them) sets this.
+	skipFixed bool
+
+	// colVar maps solver columns back to problem variables (-1 for
+	// slack/artificial columns). nil means the original prefix layout:
+	// variables are exactly columns [0, nStruct). Incremental solves
+	// materialize it once columns stop being a prefix.
+	colVar []int
 
 	lu   *luFactors
 	etas []etaVec
@@ -124,6 +138,10 @@ func newRevised(p *Problem) *rsimplex {
 	}
 
 	s.b = make([]float64, m)
+	s.rowNeg = make([]bool, m)
+	for i := range kinds {
+		s.rowNeg[i] = kinds[i].neg
+	}
 	s.basis = make([]int, m)
 	s.value = make([]float64, m)
 	s.upper = make([]float64, s.n)
@@ -221,6 +239,14 @@ func (s *rsimplex) refactor() error {
 			"pivots", s.stats.Pivots,
 			"etas_dropped", etas)
 	}
+	s.recomputeValues()
+	return nil
+}
+
+// recomputeValues rebuilds the basic values from the original right-hand
+// side against the current (freshly factorized, eta-free) basis:
+// x_B = B⁻¹(b − Σ_{j at upper} u_j·A_j).
+func (s *rsimplex) recomputeValues() {
 	copy(s.rhsDense, s.b)
 	for j := 0; j < s.n; j++ {
 		if s.status[j] != atUpper {
@@ -243,7 +269,6 @@ func (s *rsimplex) refactor() error {
 		}
 	}
 	s.lu.ftran(s.value, s.rhsRows, s.rhsVals)
-	return nil
 }
 
 // ftranColumn computes w = B⁻¹A_j into dst (position space): the LU
@@ -334,6 +359,7 @@ func (s *rsimplex) run(maxCol int) error {
 	// the inner dot product stays bounds-check free.
 	colPtr, colRow, colVal := s.colPtr, s.colRow, s.colVal
 	cost, status, y := s.cost, s.status, s.y
+	upper, skipFixed := s.upper, s.skipFixed
 
 	for iter := 0; iter < limit; iter++ {
 		s.btranCosts()
@@ -345,7 +371,7 @@ func (s *rsimplex) run(maxCol int) error {
 		if useBland {
 			for j := 0; j < maxCol; j++ {
 				st := status[j]
-				if st == basic {
+				if st == basic || (skipFixed && upper[j] == 0) {
 					continue
 				}
 				d := cost[j]
@@ -365,7 +391,7 @@ func (s *rsimplex) run(maxCol int) error {
 			best := eps
 			for j := 0; j < maxCol; j++ {
 				st := status[j]
-				if st == basic {
+				if st == basic || (skipFixed && upper[j] == 0) {
 					continue
 				}
 				d := cost[j]
@@ -502,6 +528,14 @@ func solveRevised(p *Problem, span *obs.Span, log *obs.Logger) (*Solution, error
 	if err := s.factor(); err != nil {
 		return nil, err
 	}
+	return s.solveFull(p.Minimize, span, log)
+}
+
+// solveFull runs both phases on a freshly factorized solver and extracts
+// the solution. Incremental solves reuse it for the initial (cold) solve
+// and after any fallback rebuild, then keep the end state for
+// warm-started re-solves.
+func (s *rsimplex) solveFull(minimize []float64, span *obs.Span, log *obs.Logger) (*Solution, error) {
 	artStart := s.artStart
 
 	if s.nArt > 0 {
@@ -542,7 +576,7 @@ func solveRevised(p *Problem, span *obs.Span, log *obs.Logger) (*Solution, error
 
 	p2Span := span.Child("lp.phase2")
 	p2Timer := obs.StartTimer()
-	s.setCosts(p.Minimize, false)
+	s.setCosts(minimize, false)
 	err := s.run(artStart)
 	s.stats.Phase2Iterations = s.iterations - s.stats.Phase1Iterations
 	s.stats.Phase2Seconds = p2Timer.Seconds()
@@ -562,24 +596,49 @@ func solveRevised(p *Problem, span *obs.Span, log *obs.Logger) (*Solution, error
 		return nil, err
 	}
 
-	x := make([]float64, s.nStruct)
-	for j := 0; j < s.nStruct; j++ {
-		if s.status[j] == atUpper {
-			x[j] = s.upper[j]
-		}
-	}
-	for i, bcol := range s.basis {
-		if bcol < s.nStruct {
-			v := s.value[i]
-			if v < 0 && v > -1e-6 {
-				v = 0
+	x, obj := s.extract(minimize)
+	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: s.iterations, Stats: s.stats}, nil
+}
+
+// extract reads the current iterate into problem-variable space and
+// prices it with the given objective. With a nil colVar map the
+// structural variables are the column prefix [0, nStruct); otherwise
+// colVar translates grown column layouts back to variables.
+func (s *rsimplex) extract(minimize []float64) (x []float64, obj float64) {
+	x = make([]float64, len(minimize))
+	if s.colVar == nil {
+		for j := 0; j < s.nStruct; j++ {
+			if s.status[j] == atUpper {
+				x[j] = s.upper[j]
 			}
-			x[bcol] = v
+		}
+		for i, bcol := range s.basis {
+			if bcol < s.nStruct {
+				v := s.value[i]
+				if v < 0 && v > -1e-6 {
+					v = 0
+				}
+				x[bcol] = v
+			}
+		}
+	} else {
+		for j, v := range s.colVar {
+			if v >= 0 && s.status[j] == atUpper {
+				x[v] = s.upper[j]
+			}
+		}
+		for i, bcol := range s.basis {
+			if v := s.colVar[bcol]; v >= 0 {
+				val := s.value[i]
+				if val < 0 && val > -1e-6 {
+					val = 0
+				}
+				x[v] = val
+			}
 		}
 	}
-	obj := 0.0
-	for j, c := range p.Minimize {
+	for j, c := range minimize {
 		obj += c * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: s.iterations, Stats: s.stats}, nil
+	return x, obj
 }
